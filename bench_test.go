@@ -1,0 +1,284 @@
+// Benchmarks regenerating each table and figure of the study (run with
+// `go test -bench=. -benchmem`). Micro-benchmarks (Insert/Query/Merge)
+// feed Table 3 and Fig 5; experiment benchmarks run the corresponding
+// harness experiment at a small scale and report its headline number as
+// a custom metric. cmd/quantbench runs the same experiments at full,
+// paper-sized scale.
+package quantiles_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gk"
+	"repro/internal/harness"
+	"repro/internal/hdr"
+	"repro/internal/mrl"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/tdigest"
+)
+
+// benchBuilders returns the five study-configured builders (Pareto
+// setting: Moments log-transformed).
+func benchBuilders(b *testing.B) map[string]sketch.Builder {
+	b.Helper()
+	builders, err := core.BuildersForDataset(datagen.DatasetPareto, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return builders
+}
+
+func paretoValues(n int, seed uint64) []float64 {
+	return datagen.Take(datagen.NewPareto(1, 1, seed), n)
+}
+
+// BenchmarkInsert is Fig 5a: per-element insertion cost on Pareto data.
+func BenchmarkInsert(b *testing.B) {
+	vals := paretoValues(1<<20, 11)
+	for _, alg := range core.AlgorithmNames() {
+		builder := benchBuilders(b)[alg]
+		b.Run(alg, func(b *testing.B) {
+			sk := builder()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sk.Insert(vals[i&(1<<20-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkQuery is Fig 5b: answering the study's 8-quantile set at
+// different consumed data sizes.
+func BenchmarkQuery(b *testing.B) {
+	qs := core.AllQuantiles()
+	for _, n := range []int{100_000, 1_000_000} {
+		vals := paretoValues(n, 13)
+		for _, alg := range core.AlgorithmNames() {
+			builder := benchBuilders(b)[alg]
+			b.Run(fmt.Sprintf("%s/n=%d", alg, n), func(b *testing.B) {
+				sk := builder()
+				sketch.InsertAll(sk, vals)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i > 0 {
+						sk.Insert(vals[i%n]) // invalidate solver/view caches
+					}
+					for _, q := range qs {
+						if _, err := sk.Quantile(q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMerge is Fig 5c: merging two sketches, each filled with the
+// merge workload distributions.
+func BenchmarkMerge(b *testing.B) {
+	const fill = 100_000
+	for _, workload := range datagen.MergeWorkloadNames() {
+		for _, alg := range core.AlgorithmNames() {
+			builders, err := core.BuildersForDataset(datagen.DatasetUniform, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			builder := builders[alg]
+			b.Run(fmt.Sprintf("%s/%s", alg, workload), func(b *testing.B) {
+				pool := make([]sketch.Sketch, 8)
+				for i := range pool {
+					src, err := datagen.NewMergeWorkload(workload, uint64(100+i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sk := builder()
+					for j := 0; j < fill; j++ {
+						sk.Insert(src.Next())
+					}
+					pool[i] = sk
+				}
+				acc := builder()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := acc.Merge(pool[i%len(pool)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSerde measures serialization round-trips (the shipped-bytes
+// cost of distributed merging).
+func BenchmarkSerde(b *testing.B) {
+	vals := paretoValues(200_000, 17)
+	for _, alg := range core.AlgorithmNames() {
+		builder := benchBuilders(b)[alg]
+		b.Run(alg, func(b *testing.B) {
+			sk := builder()
+			sketch.InsertAll(sk, vals)
+			blob, err := sk.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(blob)))
+			dst := builder()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blob, err = sk.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := dst.UnmarshalBinary(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchOpts is a tiny-scale harness configuration for experiment
+// benchmarks: one data pass, minimal repetitions.
+func benchOpts() harness.Options {
+	o := harness.DefaultOptions(0.02)
+	o.Runs = 2
+	return o
+}
+
+// runExperiment runs a harness experiment b.N times, reporting the given
+// cell of the first table as a custom metric.
+func runExperiment(b *testing.B, id string, metricRow, metricCol int, metricName string) {
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && metricName != "" {
+			var v float64
+			fmt.Sscanf(tables[0].Rows[metricRow][metricCol], "%f", &v)
+			b.ReportMetric(v, metricName)
+		}
+	}
+}
+
+// BenchmarkTable3Memory regenerates Table 3 (memory usage per sketch).
+func BenchmarkTable3Memory(b *testing.B) { runExperiment(b, "table3", 0, 1, "req-KB") }
+
+// BenchmarkFig6Accuracy regenerates Fig 6 (streaming accuracy on the
+// four data sets); the reported metric is the first algorithm's mid
+// error on Pareto.
+func BenchmarkFig6Accuracy(b *testing.B) { runExperiment(b, "fig6", 0, 1, "") }
+
+// BenchmarkFig7Kurtosis regenerates Fig 7 (0.98-quantile error vs
+// kurtosis).
+func BenchmarkFig7Kurtosis(b *testing.B) { runExperiment(b, "fig7", 0, 2, "") }
+
+// BenchmarkFig8Adaptability regenerates Fig 8 (distribution-switch
+// accuracy).
+func BenchmarkFig8Adaptability(b *testing.B) { runExperiment(b, "fig8", 0, 1, "") }
+
+// BenchmarkLateData regenerates the Sec 4.6 late-arriving-data variant.
+func BenchmarkLateData(b *testing.B) { runExperiment(b, "late", 0, 1, "") }
+
+// BenchmarkStoreAblation regenerates the DDSketch store ablation.
+func BenchmarkStoreAblation(b *testing.B) { runExperiment(b, "ablation-store", 0, 2, "") }
+
+// BenchmarkHRAAblation regenerates the ReqSketch HRA/LRA ablation.
+func BenchmarkHRAAblation(b *testing.B) { runExperiment(b, "ablation-hra", 0, 4, "") }
+
+// BenchmarkBulkInsert measures the O(1) weighted-insert path against the
+// loop fallback for a heavy point mass.
+func BenchmarkBulkInsert(b *testing.B) {
+	for _, alg := range []string{"ddsketch", "uddsketch", "moments"} {
+		builder := benchBuilders(b)[alg]
+		b.Run(alg, func(b *testing.B) {
+			sk := builder()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sketch.InsertRepeated(sk, 42.5, 1000)
+			}
+		})
+	}
+}
+
+// BenchmarkRelatedInsert covers the Sec 5 related sketches under the
+// same Fig 5a-style insertion workload.
+func BenchmarkRelatedInsert(b *testing.B) {
+	vals := paretoValues(1<<20, 23)
+	related := map[string]func() sketch.Sketch{
+		"tdigest": func() sketch.Sketch { return tdigest.New(tdigest.DefaultCompression) },
+		"gk":      func() sketch.Sketch { return gk.New(gk.DefaultEpsilon) },
+		"mrl":     func() sketch.Sketch { return mrl.NewWithSeed(mrl.DefaultBuffers, mrl.DefaultK, 7) },
+		"hdr": func() sketch.Sketch {
+			h, err := hdr.New(1, 100_000_000, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return h
+		},
+	}
+	for name, mk := range related {
+		b.Run(name, func(b *testing.B) {
+			sk := mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sk.Insert(vals[i&(1<<20-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkStreamThroughput measures the full engine pipeline (event
+// generation, delay heap, windowing, sketch insert) in events/op.
+func BenchmarkStreamThroughput(b *testing.B) {
+	vals := paretoValues(1<<18, 29)
+	i := 0
+	src := datagen.SourceFunc(func() float64 {
+		v := vals[i&(1<<18-1)]
+		i++
+		return v
+	})
+	for _, delayed := range []bool{false, true} {
+		name := "no-delay"
+		var delay stream.DelayModel = stream.ZeroDelay{}
+		if delayed {
+			name = "exp-delay"
+			delay = stream.NewExponentialDelay(20*time.Millisecond, 31)
+		}
+		b.Run(name, func(b *testing.B) {
+			builders, err := core.BuildersForDataset(datagen.DatasetPareto, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One window per 100k events; b.N events total.
+			windows := b.N/100_000 + 1
+			eng, err := stream.NewEngine(stream.Config{
+				WindowSize: time.Second,
+				Rate:       100_000,
+				NumWindows: windows,
+				Partitions: 4,
+				Values:     src,
+				Delay:      delay,
+				Builder:    builders["ddsketch"],
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := eng.Run(func(stream.WindowResult) {}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

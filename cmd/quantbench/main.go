@@ -1,0 +1,112 @@
+// Command quantbench regenerates the tables and figures of "An
+// Experimental Analysis of Quantile Sketches over Data Streams" (EDBT
+// 2023). Each experiment is addressed by the paper artifact it
+// reproduces:
+//
+//	quantbench -list
+//	quantbench -run fig6 -scale 0.1
+//	quantbench -run all -scale 1 -out results.txt
+//
+// Scale 1 reproduces the paper's workload sizes (minutes to hours);
+// the default 0.1 preserves every qualitative conclusion in a fraction
+// of the time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "", "experiment id to run (or 'all'); see -list")
+		scale    = flag.Float64("scale", 0.1, "workload scale factor (1 = paper scale)")
+		runs     = flag.Int("runs", 10, "independent repetitions for accuracy experiments (paper: 10)")
+		rate     = flag.Int("rate", 50000, "stream event rate in events/s (paper: 50000)")
+		winSec   = flag.Float64("window", 20, "tumbling window length in seconds before scaling (paper: 20)")
+		windows  = flag.Int("windows", 10, "measured windows per run (paper: 10)")
+		seed     = flag.Uint64("seed", 0x5eedc0de, "root RNG seed")
+		parallel = flag.Int("parallel", 1, "concurrent accuracy runs (results are identical at any parallelism)")
+		outPath  = flag.String("out", "", "also write results to this file")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-8s  %-10s  %s\n", e.ID, "("+e.Ref+")", e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	opts := harness.Options{
+		Scale:         *scale,
+		Runs:          *runs,
+		Rate:          *rate,
+		WindowSeconds: *winSec,
+		Windows:       *windows,
+		Seed:          *seed,
+		Parallel:      *parallel,
+	}
+	if !*quiet {
+		opts.Out = os.Stderr
+	}
+
+	var sink io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quantbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	for _, id := range ids {
+		e, ok := harness.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "quantbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Fprintf(sink, "=== %s (%s): %s ===\n", e.ID, e.Ref, e.Title)
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quantbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Fprintf(sink, "# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Fprintln(sink, t.Render())
+			}
+		}
+		fmt.Fprintf(sink, "(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,180 @@
+// Command sketchtool builds a quantile sketch over numbers read from
+// stdin (one per line, blank lines and '#' comments skipped) and prints
+// the requested quantiles — a pipeline-friendly way to use the library:
+//
+//	seq 1 100000 | sketchtool -sketch ddsketch -q 0.5,0.95,0.99
+//	sketchtool -sketch kll -q 0.999 -rank 42.5 < latencies.txt
+//
+// With -serialize the sketch itself is written to stdout as binary
+// (deserializable with -merge in a later invocation), demonstrating the
+// cross-process mergeability workflow the study motivates.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ddsketch"
+	"repro/internal/gk"
+	"repro/internal/hdr"
+	"repro/internal/kll"
+	"repro/internal/moments"
+	"repro/internal/mrl"
+	"repro/internal/req"
+	"repro/internal/sketch"
+	"repro/internal/tdigest"
+	"repro/internal/uddsketch"
+)
+
+func newSketch(name string, alpha float64, k int) (sketch.Sketch, error) {
+	switch name {
+	case "ddsketch":
+		return ddsketch.New(alpha), nil
+	case "uddsketch":
+		return uddsketch.NewChecked(alpha, 1024)
+	case "kll":
+		return kll.New(k), nil
+	case "req":
+		return req.New(k, true), nil
+	case "req-lra":
+		return req.New(k, false), nil
+	case "moments":
+		return moments.New(12), nil
+	case "moments-log":
+		return moments.NewWithTransform(12, moments.TransformLog), nil
+	case "tdigest":
+		return tdigest.New(tdigest.DefaultCompression), nil
+	case "gk":
+		return gk.New(alpha), nil
+	case "ddsketch-cubic":
+		m, err := ddsketch.NewCubicMapping(alpha)
+		if err != nil {
+			return nil, err
+		}
+		return ddsketch.NewWithMapping(m, func() ddsketch.Store { return ddsketch.NewDenseStore() })
+	case "hdr":
+		return hdr.New(1, 100_000_000, 3)
+	case "mrl":
+		return mrl.New(mrl.DefaultBuffers, mrl.DefaultK), nil
+	default:
+		return nil, fmt.Errorf("unknown sketch %q (ddsketch, ddsketch-cubic, uddsketch, kll, req, req-lra, moments, moments-log, tdigest, gk, hdr, mrl)", name)
+	}
+}
+
+func main() {
+	var (
+		name      = flag.String("sketch", "ddsketch", "sketch type")
+		alpha     = flag.Float64("alpha", 0.01, "relative accuracy (ddsketch/uddsketch) or rank error (gk)")
+		k         = flag.Int("k", 0, "size parameter for kll (default 350) and req (default 30)")
+		qList     = flag.String("q", "0.5,0.9,0.95,0.99", "comma-separated quantiles to print")
+		rankOf    = flag.Float64("rank", 0, "also print the rank of this value (0 disables)")
+		serialize = flag.Bool("serialize", false, "write the binary sketch to stdout instead of quantiles")
+		mergeIn   = flag.String("merge", "", "comma-separated files holding serialized sketches to merge in")
+		stats     = flag.Bool("stats", false, "print sketch statistics (count, memory) to stderr")
+	)
+	flag.Parse()
+	if *k == 0 {
+		if *name == "kll" {
+			*k = kll.DefaultK
+		} else {
+			*k = req.DefaultSectionSize
+		}
+	}
+
+	sk, err := newSketch(*name, *alpha, *k)
+	if err != nil {
+		fail(err)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lines := 0
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				fail(fmt.Errorf("line %d: %w", lines+1, err))
+			}
+			sk.Insert(v)
+		}
+		lines++
+	}
+	if err := in.Err(); err != nil {
+		fail(err)
+	}
+
+	for _, path := range splitNonEmpty(*mergeIn) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		other, err := newSketch(*name, *alpha, *k)
+		if err != nil {
+			fail(err)
+		}
+		if err := other.UnmarshalBinary(blob); err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		if err := sk.Merge(other); err != nil {
+			fail(fmt.Errorf("merging %s: %w", path, err))
+		}
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "sketch=%s count=%d memory=%dB\n", sk.Name(), sk.Count(), sk.MemoryBytes())
+	}
+
+	if *serialize {
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			fail(err)
+		}
+		if _, err := io.Copy(os.Stdout, strings.NewReader(string(blob))); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	for _, qs := range splitNonEmpty(*qList) {
+		q, err := strconv.ParseFloat(qs, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad quantile %q: %w", qs, err))
+		}
+		v, err := sk.Quantile(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("q%v\t%g\n", q, v)
+	}
+	if *rankOf != 0 {
+		r, err := sk.Rank(*rankOf)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("rank(%g)\t%.6f\n", *rankOf, r)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sketchtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command streamgen generates and inspects the study's workload data
+// sets. It writes values to stdout (one per line) for piping into
+// sketchtool or external tools, or prints distribution summaries:
+//
+//	streamgen -dataset pareto -n 1000000 > pareto.txt
+//	streamgen -dataset nyt -n 100000 -summary
+//	streamgen -dataset power -n 50000 | sketchtool -q 0.99
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "pareto", "dataset name: pareto, uniform, nyt, power, adaptability, or file:<path>")
+		n       = flag.Int("n", 1_000_000, "number of values to generate")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		summary = flag.Bool("summary", false, "print a distribution summary instead of raw values")
+		hist    = flag.Bool("hist", false, "print a text histogram instead of raw values")
+	)
+	flag.Parse()
+
+	var src datagen.Source
+	var err error
+	if *dataset == "adaptability" {
+		src = datagen.NewAdaptabilityWorkload(*seed, *n/2)
+	} else {
+		src, err = datagen.NewDatasetOrFile(*dataset, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamgen:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !*summary && !*hist {
+		w := bufio.NewWriterSize(os.Stdout, 1<<16)
+		defer w.Flush()
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(w, "%g\n", src.Next())
+		}
+		return
+	}
+
+	data := datagen.Take(src, *n)
+	ex := stats.NewExactQuantiles(data)
+	var mom stats.Moments
+	mom.AddAll(data)
+	fmt.Printf("dataset=%s n=%d\n", *dataset, *n)
+	fmt.Printf("min=%g max=%g mean=%g stddev=%g\n", ex.Min(), ex.Max(), mom.Mean(), mom.StdDev())
+	fmt.Printf("skewness=%.3f kurtosis=%.3f top10mass=%.3f%%\n",
+		mom.Skewness(), mom.Kurtosis(), 100*stats.TopValueMass(data, 10))
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.98, 0.99} {
+		fmt.Printf("q%.2f=%g\n", q, ex.Quantile(q))
+	}
+	if *hist {
+		h := stats.NewHistogram(data, ex.Min(), ex.Quantile(0.995), 24)
+		fmt.Println(h.Render(48))
+	}
+}

@@ -1,0 +1,95 @@
+package quantiles_test
+
+import (
+	"fmt"
+
+	quantiles "repro"
+)
+
+// The basic workflow: insert a stream, query quantiles within the
+// configured relative-error guarantee.
+func Example() {
+	sk := quantiles.NewDDSketch(0.01)
+	for i := 1; i <= 100000; i++ {
+		sk.Insert(float64(i))
+	}
+	median, _ := sk.Quantile(0.5)
+	p99, _ := sk.Quantile(0.99)
+	fmt.Printf("median within 1%%: %v\n", median > 49500 && median < 50500)
+	fmt.Printf("p99 within 1%%: %v\n", p99 > 98010 && p99 < 99990)
+	// Output:
+	// median within 1%: true
+	// p99 within 1%: true
+}
+
+// Merging summarizes partitioned data without moving it: sketch each
+// partition locally, merge the small summaries centrally.
+func ExampleSketch_merge() {
+	partA := quantiles.NewDDSketch(0.01)
+	partB := quantiles.NewDDSketch(0.01)
+	for i := 1; i <= 5000; i++ {
+		partA.Insert(float64(i)) // values 1..5000
+	}
+	for i := 5001; i <= 10000; i++ {
+		partB.Insert(float64(i)) // values 5001..10000
+	}
+	global := quantiles.NewDDSketch(0.01)
+	_ = global.Merge(partA)
+	_ = global.Merge(partB)
+	fmt.Println("count:", global.Count())
+	med, _ := global.Quantile(0.5)
+	fmt.Printf("median ≈ 5000: %v\n", med > 4950 && med < 5050)
+	// Output:
+	// count: 10000
+	// median ≈ 5000: true
+}
+
+// Serialization ships a sketch across processes; the decoded sketch
+// answers identically.
+func ExampleSketch_serialization() {
+	src := quantiles.NewKLL(200)
+	for i := 1; i <= 10000; i++ {
+		src.Insert(float64(i))
+	}
+	blob, _ := src.MarshalBinary()
+
+	dst := quantiles.NewKLL(200) // same configuration
+	_ = dst.UnmarshalBinary(blob)
+	a, _ := src.Quantile(0.9)
+	b, _ := dst.Quantile(0.9)
+	fmt.Println("identical answers:", a == b)
+	fmt.Println("wire size under 2KB:", len(blob) < 2048)
+	// Output:
+	// identical answers: true
+	// wire size under 2KB: true
+}
+
+// Rank answers the inverse question: what fraction of the stream was ≤ x?
+func ExampleSketch_rank() {
+	sk := quantiles.NewDDSketch(0.01)
+	for i := 1; i <= 1000; i++ {
+		sk.Insert(float64(i))
+	}
+	r, _ := sk.Rank(250)
+	fmt.Printf("rank(250) ≈ 0.25: %v\n", r > 0.24 && r < 0.26)
+	// Output:
+	// rank(250) ≈ 0.25: true
+}
+
+// Moments Sketch fits data spanning many orders of magnitude when given
+// a log transform — the study's configuration for Pareto-like data.
+func ExampleNewMomentsWithTransform() {
+	sk := quantiles.NewMomentsWithTransform(12, quantiles.MomentsLog)
+	for i := 1; i <= 50000; i++ {
+		sk.Insert(float64(i) * float64(i)) // quadratic growth: wide range
+	}
+	fmt.Println("state under 200 bytes:", sk.MemoryBytes() < 200)
+	med, err := sk.Quantile(0.5)
+	fmt.Println("err:", err)
+	truth := 25000.0 * 25000.0
+	fmt.Printf("median within 5%%: %v\n", med > truth*0.95 && med < truth*1.05)
+	// Output:
+	// state under 200 bytes: true
+	// err: <nil>
+	// median within 5%: true
+}

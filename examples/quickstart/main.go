@@ -1,0 +1,57 @@
+// Quickstart: build a DDSketch over a simulated latency stream, query
+// quantiles, and verify the relative-error guarantee against the exact
+// values.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	quantiles "repro"
+)
+
+func main() {
+	// A DDSketch with α = 0.01 guarantees every quantile estimate within
+	// 1% relative error, using a few KB regardless of stream size.
+	sk := quantiles.NewDDSketch(0.01)
+
+	// Simulate 1M request latencies: lognormal body plus a slow tail.
+	rng := rand.New(rand.NewPCG(42, 1))
+	data := make([]float64, 1_000_000)
+	for i := range data {
+		ms := math.Exp(3 + 0.8*rng.NormFloat64()) // ~20ms median
+		if rng.Float64() < 0.01 {
+			ms *= 20 // occasional slow requests
+		}
+		data[i] = ms
+		sk.Insert(ms)
+	}
+
+	fmt.Printf("events: %d, sketch memory: %d bytes\n\n", sk.Count(), sk.MemoryBytes())
+
+	// Compare against exact quantiles.
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	exact := func(q float64) float64 {
+		return sorted[int(math.Ceil(q*float64(len(sorted))))-1]
+	}
+
+	fmt.Println("quantile   estimate(ms)   exact(ms)   rel.err")
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		est, err := sk.Quantile(q)
+		if err != nil {
+			panic(err)
+		}
+		truth := exact(q)
+		fmt.Printf("  p%-5.1f   %10.2f   %9.2f   %.4f\n",
+			q*100, est, truth, math.Abs(est-truth)/truth)
+	}
+
+	// Rank queries answer "what fraction of requests finished within X?"
+	r, _ := sk.Rank(100)
+	fmt.Printf("\nrequests within 100ms: %.2f%%\n", r*100)
+}

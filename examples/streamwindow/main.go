@@ -1,0 +1,57 @@
+// Stream window: the paper's core experimental setting (Sec 4.2/4.6) as
+// a runnable demo — event-time tumbling windows over the NYT taxi-fare
+// workload with realistic network delay, late events dropped, and
+// per-window quantile accuracy measured against the exact window
+// contents.
+//
+//	go run ./examples/streamwindow
+package main
+
+import (
+	"fmt"
+	"time"
+
+	quantiles "repro"
+	"repro/internal/datagen"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func main() {
+	const seed = 2024
+	src := datagen.NewSyntheticNYT(seed)
+
+	eng, err := stream.NewEngine(stream.Config{
+		WindowSize:    2 * time.Second,
+		Rate:          50_000, // the study's event rate
+		NumWindows:    6,
+		Partitions:    4,
+		Values:        src,
+		Delay:         stream.NewExponentialDelay(30*time.Millisecond, seed+1),
+		Builder:       func() sketch.Sketch { return quantiles.NewKLL(350) },
+		CollectValues: true, // keep ground truth for the accuracy columns
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("NYT fares, 50k events/s, 2s windows, exponential delay (mean 30ms), late events dropped")
+	fmt.Println()
+	fmt.Println("window   accepted   late-dropped   median est/exact     p99 est/exact")
+	results, statsAgg, err := eng.RunCollect()
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		exact := stats.NewExactQuantiles(r.Values)
+		p50, _ := r.Sketch.Quantile(0.5)
+		p99, _ := r.Sketch.Quantile(0.99)
+		fmt.Printf("  %2d     %8d   %12d   $%6.2f / $%6.2f    $%6.2f / $%6.2f\n",
+			r.Index, r.Accepted, r.DroppedLate,
+			p50, exact.Quantile(0.5), p99, exact.Quantile(0.99))
+	}
+	fmt.Printf("\ntotals: generated %d, accepted %d, dropped late %d (%.2f%% loss)\n",
+		statsAgg.Generated, statsAgg.Accepted, statsAgg.DroppedLate, 100*statsAgg.LossRate())
+	fmt.Println("Dropping a small share of late events barely moves the estimates (Sec 4.6).")
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/moments"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+func TestAlgorithmNames(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) != 5 {
+		t.Fatalf("got %d algorithms", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate %s", n)
+		}
+		seen[n] = true
+		b, err := NewBuilder(n, BuilderOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		sk := b()
+		if sk.Name() != n {
+			t.Errorf("builder %s produced sketch named %s", n, sk.Name())
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := NewBuilder("nope", BuilderOptions{}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestQuantileGroups(t *testing.T) {
+	all := AllQuantiles()
+	if len(all) != len(MidQuantiles)+len(UpperQuantiles)+1 {
+		t.Fatalf("AllQuantiles has %d entries", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Fatalf("quantiles not ascending: %v", all)
+		}
+	}
+	if all[len(all)-1] != P99 {
+		t.Error("p99 must come last")
+	}
+}
+
+func TestBuildersForDatasetTransforms(t *testing.T) {
+	for _, ds := range datagen.DatasetNames() {
+		builders, err := BuildersForDataset(ds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(builders) != 5 {
+			t.Fatalf("%s: %d builders", ds, len(builders))
+		}
+		m := builders[AlgMoments]().(*moments.Sketch)
+		wantLog := datagen.NeedsLogTransform(ds)
+		gotLog := m.Transform() == moments.TransformLog
+		if wantLog != gotLog {
+			t.Errorf("%s: moments log transform = %v, want %v", ds, gotLog, wantLog)
+		}
+	}
+}
+
+func TestStudyParameters(t *testing.T) {
+	// Sanity-check the derived configuration values quoted in Sec 4.2.
+	b, err := NewBuilder(AlgDD, BuilderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := b()
+	type gammaer interface{ Gamma() float64 }
+	if g := dd.(gammaer).Gamma(); math.Abs(g-1.0202) > 0.0001 {
+		t.Errorf("DDSketch gamma = %v, paper reports 1.0202", g)
+	}
+	ub, err := NewBuilder(AlgUDD, BuilderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type alphaer interface{ InitialAlpha() float64 }
+	a0 := ub().(alphaer).InitialAlpha()
+	if a0 < 4.5e-6 || a0 > 5.0e-6 {
+		t.Errorf("UDDSketch alpha0 = %v, formula gives ≈ 4.88e-6", a0)
+	}
+}
+
+func TestEvaluateWindow(t *testing.T) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	b, err := NewBuilder(AlgDD, BuilderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := b()
+	sketch.InsertAll(sk, data)
+	wa, err := EvaluateWindow(sk, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wa.PerQuantile) != 8 {
+		t.Fatalf("PerQuantile has %d entries", len(wa.PerQuantile))
+	}
+	if wa.Mid > 0.01 || wa.Upper > 0.01 || wa.P99 > 0.01 {
+		t.Errorf("DDSketch errors above alpha: mid=%v upper=%v p99=%v", wa.Mid, wa.Upper, wa.P99)
+	}
+	// Group means are the means of their members.
+	var midSum float64
+	for _, q := range MidQuantiles {
+		midSum += wa.PerQuantile[q]
+	}
+	if math.Abs(wa.Mid-midSum/float64(len(MidQuantiles))) > 1e-15 {
+		t.Error("Mid is not the mean of the mid quantile errors")
+	}
+	if wa.P99 != wa.PerQuantile[P99] {
+		t.Error("P99 mismatch")
+	}
+}
+
+func TestEvaluateWindowEmpty(t *testing.T) {
+	b, _ := NewBuilder(AlgDD, BuilderOptions{})
+	if _, err := EvaluateWindow(b(), nil); err == nil {
+		t.Error("empty window should fail")
+	}
+}
+
+func TestEvaluateAgainstPropagatesQueryErrors(t *testing.T) {
+	// A Moments sketch with < 5 values fails to solve; the evaluation
+	// must surface that instead of fabricating numbers.
+	b, _ := NewBuilder(AlgMoments, BuilderOptions{})
+	sk := b()
+	sk.Insert(1)
+	sk.Insert(2)
+	exact := stats.NewExactQuantiles([]float64{1, 2})
+	if _, err := EvaluateAgainst(sk, exact); err == nil {
+		t.Error("under-filled moments sketch should fail evaluation")
+	}
+}
+
+// Seeded builders must produce deterministic randomized sketches.
+func TestBuilderSeedDeterminism(t *testing.T) {
+	for _, alg := range []string{AlgKLL, AlgReq} {
+		run := func() float64 {
+			b, err := NewBuilder(alg, BuilderOptions{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sk := b()
+			src := datagen.NewPareto(1, 1, 7)
+			for i := 0; i < 100000; i++ {
+				sk.Insert(src.Next())
+			}
+			v, err := sk.Quantile(0.99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("%s: non-deterministic with fixed seed", alg)
+		}
+	}
+}

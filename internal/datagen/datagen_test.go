@@ -1,0 +1,429 @@
+package datagen
+
+import (
+	"math"
+	"os"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sampleStats computes mean and variance of n draws.
+func sampleStats(src Source, n int) (mean, variance float64) {
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := src.Next()
+		sum += x
+		sum2 += x * x
+	}
+	mean = sum / float64(n)
+	variance = sum2/float64(n) - mean*mean
+	return
+}
+
+func TestDeterminism(t *testing.T) {
+	factories := map[string]func(seed uint64) Source{
+		"uniform":   func(s uint64) Source { return NewUniform(0, 1, s) },
+		"pareto":    func(s uint64) Source { return NewPareto(1, 1, s) },
+		"normal":    func(s uint64) Source { return NewNormal(0, 1, s) },
+		"gamma":     func(s uint64) Source { return NewGamma(2, 3, s) },
+		"binomial":  func(s uint64) Source { return NewBinomial(30, 0.4, s) },
+		"zipf":      func(s uint64) Source { return NewZipf(20, 0.6, s) },
+		"lognormal": func(s uint64) Source { return NewLogNormal(0, 1, s) },
+		"nyt":       NewSyntheticNYT,
+		"power":     NewSyntheticPower,
+		"driftP":    func(s uint64) Source { return NewDriftingPareto(s, 50) },
+		"driftU":    func(s uint64) Source { return NewDriftingUniform(s, 50) },
+	}
+	for name, f := range factories {
+		a := Take(f(42), 1000)
+		b := Take(f(42), 1000)
+		c := Take(f(43), 1000)
+		same, diff := true, false
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+			}
+			if a[i] != c[i] {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("%s: same seed produced different streams", name)
+		}
+		if !diff {
+			t.Errorf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	src := NewUniform(30, 100, 1)
+	for i := 0; i < 10000; i++ {
+		x := src.Next()
+		if x < 30 || x >= 100 {
+			t.Fatalf("U(30,100) produced %v", x)
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	src := NewPareto(2, 1, 2) // finite mean 2, finite variance
+	mean, _ := sampleStats(src, 500000)
+	if math.Abs(mean-2) > 0.1 {
+		t.Errorf("Pareto(2,1) mean = %v, want ≈ 2", mean)
+	}
+	// All values ≥ Xm.
+	src = NewPareto(1, 5, 3)
+	for i := 0; i < 10000; i++ {
+		if x := src.Next(); x < 5 {
+			t.Fatalf("Pareto(1,5) produced %v < Xm", x)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	mean, variance := sampleStats(NewNormal(10, 3, 4), 500000)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-9) > 0.2 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	// Gamma(k, θ): mean kθ, variance kθ².
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 2}, {2, 3}, {9, 0.5}} {
+		mean, variance := sampleStats(NewGamma(tc.shape, tc.scale, 5), 500000)
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.02 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want %v", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.05 {
+			t.Errorf("Gamma(%v,%v) var = %v, want %v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	mean, variance := sampleStats(NewBinomial(30, 0.4, 6), 200000)
+	if math.Abs(mean-12) > 0.1 {
+		t.Errorf("mean = %v, want 12", mean)
+	}
+	if math.Abs(variance-7.2) > 0.3 {
+		t.Errorf("variance = %v, want 7.2", variance)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	src := NewZipf(20, 0.6, 7)
+	counts := make(map[float64]int)
+	n := 200000
+	for i := 0; i < n; i++ {
+		x := src.Next()
+		if x < 1 || x > 20 || x != math.Trunc(x) {
+			t.Fatalf("Zipf produced %v", x)
+		}
+		counts[x]++
+	}
+	// P(1)/P(2) should be ≈ 2^0.6.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if math.Abs(ratio-math.Pow(2, 0.6)) > 0.1 {
+		t.Errorf("P(1)/P(2) = %v, want ≈ %v", ratio, math.Pow(2, 0.6))
+	}
+	if counts[1] <= counts[20] {
+		t.Error("Zipf should favour small values")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	mean, _ := sampleStats(NewExponential(150, 8), 500000)
+	if math.Abs(mean-150) > 2 {
+		t.Errorf("mean = %v, want 150", mean)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(9, []float64{3, 1}, Constant{1}, Constant{2})
+	n := 100000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if m.Next() == 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(n); math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("mixture weight 3:1 gave %v ones", frac)
+	}
+}
+
+func TestConcatSwitches(t *testing.T) {
+	c := NewConcat([]int{3, 1 << 30}, Constant{1}, Constant{2})
+	want := []float64{1, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := c.Next(); got != w {
+			t.Fatalf("Concat value %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestQuantizeAndClamp(t *testing.T) {
+	q := Quantize{Src: Constant{1.234}, Step: 0.5}
+	if got := q.Next(); got != 1.0 {
+		t.Errorf("Quantize(1.234, 0.5) = %v, want 1.0", got)
+	}
+	cl := Clamp{Src: Constant{99}, Lo: 0, Hi: 10}
+	if got := cl.Next(); got != 10 {
+		t.Errorf("Clamp(99) = %v", got)
+	}
+}
+
+func TestDriftingResamples(t *testing.T) {
+	// A drifting uniform with a tiny resample period must produce values
+	// from multiple parameter regimes: its overall spread exceeds any
+	// single member's width of 1000.
+	src := NewDriftingUniform(11, 10)
+	data := Take(src, 10000)
+	sort.Float64s(data)
+	spread := data[len(data)-1] - data[0]
+	if spread <= 1000 {
+		t.Errorf("spread %v suggests parameters never drifted", spread)
+	}
+}
+
+func TestSyntheticNYTProperties(t *testing.T) {
+	data := Take(NewSyntheticNYT(12), 1_000_000)
+	sort.Float64s(data)
+	n := len(data)
+	q := func(p float64) float64 { return data[int(math.Ceil(p*float64(n)))-1] }
+
+	// The paper's defining statistics (Sec 4.5.3, Fig 7).
+	if v := q(0.98); v != NYTAirportFare {
+		t.Errorf("q0.98 = %v, want the airport fare %v", v, NYTAirportFare)
+	}
+	airport := 0
+	for _, x := range data {
+		if x == NYTAirportFare {
+			airport++
+		}
+	}
+	if airport < 4000 {
+		t.Errorf("airport fare repeated %d times per 1M, paper reports > 4000", airport)
+	}
+	// q0.25 is one of the heavily repeated head fares.
+	head := map[float64]bool{}
+	for _, f := range NYTTopFares {
+		head[f.Fare] = true
+	}
+	if v := q(0.25); !head[v] {
+		t.Errorf("q0.25 = %v, want a head fare", v)
+	}
+	// Top-10 mass ≈ 31% (paper: 31.2%; accept 25–40%).
+	freq := map[float64]int{}
+	for _, x := range data {
+		freq[x]++
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top10 := 0
+	for i := 0; i < 10 && i < len(counts); i++ {
+		top10 += counts[i]
+	}
+	if frac := float64(top10) / float64(n); frac < 0.25 || frac > 0.40 {
+		t.Errorf("top-10 mass = %v, paper reports ≈ 0.312", frac)
+	}
+}
+
+func TestSyntheticPowerProperties(t *testing.T) {
+	data := Take(NewSyntheticPower(13), 500_000)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	freq := map[float64]int{}
+	for _, x := range data {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		freq[x]++
+	}
+	if lo < 0 || hi > 11.2 {
+		t.Errorf("range [%v, %v] outside the UCI data's [0, 11]", lo, hi)
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top10 := 0
+	for i := 0; i < 10 && i < len(counts); i++ {
+		top10 += counts[i]
+	}
+	frac := float64(top10) / float64(len(data))
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("top-10 mass = %v, paper reports ≈ 0.045", frac)
+	}
+	// Bimodality: a histogram over the body should have ≥ 2 well-separated
+	// peaks.
+	bins := make([]int, 30)
+	for _, x := range data {
+		i := int(x / 3.0 * float64(len(bins)))
+		if i >= len(bins) {
+			i = len(bins) - 1
+		}
+		bins[i]++
+	}
+	peaks := 0
+	for i := 1; i < len(bins)-1; i++ {
+		if bins[i] > bins[i-1] && bins[i] >= bins[i+1] && bins[i] > len(data)/100 {
+			peaks++
+		}
+	}
+	if peaks < 2 {
+		t.Errorf("found %d peaks, want bimodal (≥2)", peaks)
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	for _, name := range DatasetNames() {
+		src, err := NewDataset(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v := src.Next(); math.IsNaN(v) {
+			t.Errorf("%s produced NaN", name)
+		}
+	}
+	if _, err := NewDataset("nope", 1); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if !NeedsLogTransform(DatasetPareto) || !NeedsLogTransform(DatasetPower) {
+		t.Error("pareto and power need the log transform")
+	}
+	if NeedsLogTransform(DatasetUniform) || NeedsLogTransform(DatasetNYT) {
+		t.Error("uniform and nyt must not be transformed")
+	}
+}
+
+func TestMergeWorkloads(t *testing.T) {
+	for _, name := range MergeWorkloadNames() {
+		src, err := NewMergeWorkload(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		Take(src, 100)
+	}
+	if _, err := NewMergeWorkload("nope", 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestKurtosisSweepOrdered(t *testing.T) {
+	pts := NewKurtosisSweep(21, 50000)
+	if len(pts) < 5 {
+		t.Fatalf("sweep has %d points", len(pts))
+	}
+	prev := math.Inf(-1)
+	for _, p := range pts {
+		k := sampleKurtosis(p.Src, 50000)
+		// Re-measured kurtosis may wobble for the heavy-tail points, but
+		// the broad ordering must hold: each point within 3 units or
+		// greater than the previous.
+		if k < prev-5 && prev < 50 {
+			t.Errorf("sweep not ordered: %s has kurtosis %v after %v", p.Name, k, prev)
+		}
+		if k > prev {
+			prev = k
+		}
+	}
+	// Endpoints: uniform first, pareto last.
+	if pts[0].Name != "uniform" {
+		t.Errorf("first sweep point = %s, want uniform", pts[0].Name)
+	}
+	if last := pts[len(pts)-1].Name; last != "pareto" && last != "nyt" {
+		t.Errorf("last sweep point = %s, want a heavy tail", last)
+	}
+}
+
+func TestSplitMix64(t *testing.T) {
+	s := uint64(0)
+	a := SplitMix64(&s)
+	b := SplitMix64(&s)
+	if a == b {
+		t.Error("consecutive outputs equal")
+	}
+	s2 := uint64(0)
+	if a2 := SplitMix64(&s2); a2 != a {
+		t.Error("not deterministic")
+	}
+}
+
+// Property: DeriveSeed(root, i) is deterministic and injective-ish over
+// small i.
+func TestQuickDeriveSeed(t *testing.T) {
+	f := func(root uint64) bool {
+		seen := map[uint64]bool{}
+		for i := 0; i < 16; i++ {
+			s := DeriveSeed(root, i)
+			if s != DeriveSeed(root, i) {
+				return false
+			}
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/vals.txt"
+	content := "# header comment\n1.5\n\n2.5\n3.5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	want := []float64{1.5, 2.5, 3.5, 1.5} // cycles
+	for i, w := range want {
+		if got := src.Next(); got != w {
+			t.Errorf("value %d = %v, want %v", i, got, w)
+		}
+	}
+	// Registry integration.
+	if _, err := NewDatasetOrFile("file:"+path, 1); err != nil {
+		t.Errorf("file: prefix failed: %v", err)
+	}
+	if _, err := NewDatasetOrFile("pareto", 1); err != nil {
+		t.Errorf("plain dataset failed: %v", err)
+	}
+	// Failure paths.
+	if _, err := NewFileSource(dir + "/missing.txt"); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := dir + "/bad.txt"
+	os.WriteFile(bad, []byte("1.5\nnot-a-number\n"), 0o644)
+	if _, err := NewFileSource(bad); err == nil {
+		t.Error("bad line should fail")
+	}
+	empty := dir + "/empty.txt"
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644)
+	if _, err := NewFileSource(empty); err == nil {
+		t.Error("empty file should fail")
+	}
+}

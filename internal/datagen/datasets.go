@@ -1,0 +1,153 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset names used across the harness, matching the paper's Fig 4.
+const (
+	DatasetPareto  = "pareto"
+	DatasetUniform = "uniform"
+	DatasetNYT     = "nyt"
+	DatasetPower   = "power"
+)
+
+// ResampleEveryAt50k is the drift re-sampling period in events
+// corresponding to the paper's "every millisecond" at 50,000 events/s.
+const ResampleEveryAt50k = 50
+
+// NewDataset returns the accuracy-experiment source for one of the four
+// named data sets (Sec 4.1). Unknown names return an error listing the
+// valid choices.
+func NewDataset(name string, seed uint64) (Source, error) {
+	switch name {
+	case DatasetPareto:
+		return NewDriftingPareto(seed, ResampleEveryAt50k), nil
+	case DatasetUniform:
+		return NewDriftingUniform(seed, ResampleEveryAt50k), nil
+	case DatasetNYT:
+		return NewSyntheticNYT(seed), nil
+	case DatasetPower:
+		return NewSyntheticPower(seed), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q (want one of %v)", name, DatasetNames())
+	}
+}
+
+// DatasetNames returns the four data-set names in the paper's order.
+func DatasetNames() []string {
+	return []string{DatasetPareto, DatasetUniform, DatasetNYT, DatasetPower}
+}
+
+// NeedsLogTransform reports whether the harness applies the Moments-Sketch
+// log transformation for the data set, mirroring the paper's methodology:
+// "we apply a log transformation to Pareto and Power data sets since these
+// data sets span over many orders of magnitude" (Sec 4.2).
+func NeedsLogTransform(dataset string) bool {
+	return dataset == DatasetPareto || dataset == DatasetPower
+}
+
+// MergeWorkloadNames returns the three distributions feeding the
+// merge-speed experiment (Fig 5c).
+func MergeWorkloadNames() []string { return []string{"uniform", "binomial", "zipf"} }
+
+// NewMergeWorkload returns one of the Fig 5c per-sketch fill sources:
+// U(30,100), Binomial(100, 0.2) or Zipf(20 elements, exponent 0.6).
+func NewMergeWorkload(name string, seed uint64) (Source, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(30, 100, seed), nil
+	case "binomial":
+		return NewBinomial(100, 0.2, seed), nil
+	case "zipf":
+		return NewZipf(20, 0.6, seed), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown merge workload %q", name)
+	}
+}
+
+// NewAdaptabilityWorkload returns the Sec 4.5.7 source: the first half
+// (halfSize values) from Binomial(30, 0.4), then U(30, 100) thereafter.
+func NewAdaptabilityWorkload(seed uint64, halfSize int) Source {
+	s := seed
+	return NewConcat(
+		[]int{halfSize, int(^uint(0) >> 1)},
+		NewBinomial(30, 0.4, SplitMix64(&s)),
+		NewUniform(30, 100, SplitMix64(&s)),
+	)
+}
+
+// KurtosisPoint is one x-axis entry of the Fig 7 sweep: a named source
+// whose sample kurtosis spans from no tail (uniform) to an extremely heavy
+// tail (Pareto).
+type KurtosisPoint struct {
+	Name string
+	Src  Source
+}
+
+// NewKurtosisSweep returns the Fig 7 data sets ordered by increasing
+// sample kurtosis: the four paper data sets plus gamma interpolation
+// points (excess kurtosis of Gamma(k) is 6/k) that fill the gap between
+// uniform and Pareto, echoing Fig 1's gamma example. The pilot sample used
+// for ordering draws from independent source instances, so the returned
+// sources are fresh and deterministic in seed.
+func NewKurtosisSweep(seed uint64, sampleSize int) []KurtosisPoint {
+	factories := []struct {
+		name string
+		make func(seed uint64) Source
+	}{
+		{"uniform", func(s uint64) Source { return NewDriftingUniform(s, ResampleEveryAt50k) }},
+		{"gamma(k=6)", func(s uint64) Source { return NewGamma(6, 10, s) }},
+		{"gamma(k=2)", func(s uint64) Source { return NewGamma(2, 10, s) }},
+		{"power", NewSyntheticPower},
+		{"gamma(k=0.5)", func(s uint64) Source { return NewGamma(0.5, 10, s) }},
+		{"nyt", NewSyntheticNYT},
+		{"pareto", func(s uint64) Source { return NewDriftingPareto(s, ResampleEveryAt50k) }},
+	}
+	// Order by measured kurtosis on a pilot sample so the sweep is
+	// monotone on its x-axis regardless of the synthetic details.
+	s := seed
+	type kp struct {
+		p KurtosisPoint
+		k float64
+	}
+	measured := make([]kp, len(factories))
+	for i, f := range factories {
+		srcSeed := SplitMix64(&s)
+		pilot := f.make(srcSeed ^ 0xabcddcba12344321)
+		measured[i] = kp{KurtosisPoint{f.name, f.make(srcSeed)}, sampleKurtosis(pilot, sampleSize)}
+	}
+	sort.SliceStable(measured, func(i, j int) bool { return measured[i].k < measured[j].k })
+	out := make([]KurtosisPoint, len(measured))
+	for i, m := range measured {
+		out[i] = m.p
+	}
+	return out
+}
+
+func sampleKurtosis(src Source, n int) float64 {
+	// Local import cycle avoidance: a tiny inline kurtosis accumulator
+	// (same update as stats.Moments) keeps datagen free of dependencies.
+	var (
+		cnt              float64
+		mean, m2, m3, m4 float64
+	)
+	for i := 0; i < n; i++ {
+		x := src.Next()
+		n1 := cnt
+		cnt++
+		delta := x - mean
+		dn := delta / cnt
+		dn2 := dn * dn
+		t1 := delta * dn * n1
+		mean += dn
+		m4 += t1*dn2*(cnt*cnt-3*cnt+3) + 6*dn2*m2 - 4*dn*m3
+		m3 += t1*dn*(cnt-2) - 3*dn*m2
+		m2 += t1
+	}
+	if m2 == 0 {
+		return 0
+	}
+	return cnt*m4/(m2*m2) - 3
+}

@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// FileSource replays float64 values from a text file (one value per
+// line; blank lines and '#' comments skipped), cycling back to the start
+// when exhausted. It exists so the harness's synthetic NYT/Power
+// stand-ins can be swapped for the real data sets when available: dump
+// the fare / power column to a file and pass it to NewFileSource.
+type FileSource struct {
+	values []float64
+	pos    int
+}
+
+// NewFileSource loads path fully into memory (the study's data sets are
+// tens of MB). It fails on unparsable lines, reporting the line number.
+func NewFileSource(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	defer f.Close()
+	var values []float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: %s:%d: %w", path, lineNo, err)
+		}
+		values = append(values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datagen: reading %s: %w", path, err)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("datagen: %s holds no values", path)
+	}
+	return &FileSource{values: values}, nil
+}
+
+// Len reports how many values the file held.
+func (f *FileSource) Len() int { return len(f.values) }
+
+// Next implements Source, cycling through the file's values.
+func (f *FileSource) Next() float64 {
+	v := f.values[f.pos]
+	f.pos++
+	if f.pos == len(f.values) {
+		f.pos = 0
+	}
+	return v
+}
+
+// NewDatasetOrFile resolves name like NewDataset, additionally accepting
+// "file:<path>" for replaying real data.
+func NewDatasetOrFile(name string, seed uint64) (Source, error) {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		return NewFileSource(path)
+	}
+	return NewDataset(name, seed)
+}

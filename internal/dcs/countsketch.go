@@ -1,0 +1,136 @@
+// Package dcs implements the Dyadic Count Sketch (the study's Sec 5.2.3),
+// the best-performing *turnstile* quantile sketch of Luo et al.'s
+// comparison: log(u) dyadic levels over an integer universe [0, u), each
+// summarized by a Count-Sketch (Charikar, Chen, Farach-Colton) that
+// estimates how many stream items fall in each dyadic interval. Ranks
+// are answered by summing the O(log u) dyadic intervals covering [0, x];
+// quantiles by descending the dyadic tree.
+//
+// DCS is a linear sketch: it supports deletions and merges by counter
+// addition. Its costs are what the study cites for excluding it — the
+// universe must be known in advance and the footprint is an order of
+// magnitude above KLL's (KLL "outperforms DCS in terms of memory usage,
+// speed and accuracy", Sec 5.2.3) — claims the `related-turnstile`
+// experiment verifies.
+package dcs
+
+import (
+	"math/bits"
+
+	"repro/internal/datagen"
+)
+
+// CountSketch is the frequency-estimation substrate: a depth×width
+// counter matrix with pairwise-independent bucket and sign hashes per
+// row; point queries return the median of the per-row unbiased
+// estimates.
+type CountSketch struct {
+	depth  int
+	width  int // power of two
+	shift  uint
+	rowA   []uint64 // odd multipliers for bucket hashing
+	rowB   []uint64 // odd multipliers for sign hashing
+	tables [][]int64
+}
+
+// NewCountSketch returns a depth×width Count-Sketch; width is rounded up
+// to a power of two. Hash constants derive from seed.
+func NewCountSketch(depth, width int, seed uint64) *CountSketch {
+	if depth < 1 {
+		depth = 1
+	}
+	if width < 2 {
+		width = 2
+	}
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	cs := &CountSketch{
+		depth:  depth,
+		width:  w,
+		shift:  uint(64 - bits.Len(uint(w-1))),
+		rowA:   make([]uint64, depth),
+		rowB:   make([]uint64, depth),
+		tables: make([][]int64, depth),
+	}
+	s := seed
+	for i := 0; i < depth; i++ {
+		cs.rowA[i] = datagen.SplitMix64(&s) | 1
+		cs.rowB[i] = datagen.SplitMix64(&s) | 1
+		cs.tables[i] = make([]int64, w)
+	}
+	return cs
+}
+
+func (cs *CountSketch) bucket(row int, key uint64) int {
+	return int((cs.rowA[row] * key) >> cs.shift)
+}
+
+func (cs *CountSketch) sign(row int, key uint64) int64 {
+	if (cs.rowB[row]*key)>>63 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Update adds delta to key's frequency.
+func (cs *CountSketch) Update(key uint64, delta int64) {
+	for i := 0; i < cs.depth; i++ {
+		cs.tables[i][cs.bucket(i, key)] += cs.sign(i, key) * delta
+	}
+}
+
+// Estimate returns the median-of-rows frequency estimate for key.
+func (cs *CountSketch) Estimate(key uint64) int64 {
+	ests := make([]int64, cs.depth)
+	for i := 0; i < cs.depth; i++ {
+		ests[i] = cs.sign(i, key) * cs.tables[i][cs.bucket(i, key)]
+	}
+	return medianInt64(ests)
+}
+
+// Merge adds other's counters; both sketches must share dimensions and
+// seeds (enforced by the caller owning construction).
+func (cs *CountSketch) Merge(other *CountSketch) bool {
+	if other.depth != cs.depth || other.width != cs.width {
+		return false
+	}
+	for i := range cs.rowA {
+		if cs.rowA[i] != other.rowA[i] || cs.rowB[i] != other.rowB[i] {
+			return false
+		}
+	}
+	for i := range cs.tables {
+		for j := range cs.tables[i] {
+			cs.tables[i][j] += other.tables[i][j]
+		}
+	}
+	return true
+}
+
+// Counters reports the number of int64 counters held.
+func (cs *CountSketch) Counters() int { return cs.depth * cs.width }
+
+// Reset zeroes all counters.
+func (cs *CountSketch) Reset() {
+	for i := range cs.tables {
+		for j := range cs.tables[i] {
+			cs.tables[i][j] = 0
+		}
+	}
+}
+
+func medianInt64(v []int64) int64 {
+	// Insertion sort: depth is tiny (3–7).
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}

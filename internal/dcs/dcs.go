@@ -1,0 +1,206 @@
+package dcs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sketch"
+)
+
+// exactLevelThreshold: dyadic levels with at most this many blocks store
+// exact counters instead of a Count-Sketch (cheaper AND error-free — the
+// standard DCS optimization for the top of the tree).
+const exactLevelThreshold = 4096
+
+// Sketch is a Dyadic Count Sketch over the integer universe [0, 2^LogU).
+type Sketch struct {
+	logU  int
+	depth int
+	width int
+	seed  uint64
+
+	sketches []*CountSketch // per level, nil where exact
+	exact    [][]int64      // per level, nil where sketched
+	count    int64          // signed live count (inserts − deletes)
+}
+
+// New returns a DCS over [0, 2^logU) with per-level Count-Sketches of
+// the given depth×width (width rounded to a power of two).
+func New(logU, depth, width int, seed uint64) (*Sketch, error) {
+	if logU < 1 || logU > 62 {
+		return nil, fmt.Errorf("dcs: logU must be in [1,62], got %d", logU)
+	}
+	s := &Sketch{
+		logU:     logU,
+		depth:    depth,
+		width:    width,
+		seed:     seed,
+		sketches: make([]*CountSketch, logU),
+		exact:    make([][]int64, logU),
+	}
+	for lvl := 0; lvl < logU; lvl++ {
+		blocks := uint64(1) << uint(logU-lvl)
+		if blocks <= exactLevelThreshold {
+			s.exact[lvl] = make([]int64, blocks)
+		} else {
+			levelSeed := seed ^ (uint64(lvl)+1)*0x9e3779b97f4a7c15
+			s.sketches[lvl] = NewCountSketch(depth, width, levelSeed)
+		}
+	}
+	return s, nil
+}
+
+// LogU returns the configured universe size exponent.
+func (s *Sketch) LogU() int { return s.logU }
+
+// Update adds delta occurrences of x (delta = −1 deletes; DCS is a
+// turnstile sketch). Out-of-universe values are clamped.
+func (s *Sketch) Update(x uint64, delta int64) {
+	if x >= uint64(1)<<uint(s.logU) {
+		x = uint64(1)<<uint(s.logU) - 1
+	}
+	for lvl := 0; lvl < s.logU; lvl++ {
+		block := x >> uint(lvl)
+		if ex := s.exact[lvl]; ex != nil {
+			ex[block] += delta
+		} else {
+			s.sketches[lvl].Update(block, delta)
+		}
+	}
+	s.count += delta
+}
+
+// Insert adds one occurrence of x.
+func (s *Sketch) Insert(x uint64) { s.Update(x, 1) }
+
+// Delete removes one occurrence of x.
+func (s *Sketch) Delete(x uint64) { s.Update(x, -1) }
+
+// Count returns the live count.
+func (s *Sketch) Count() uint64 {
+	if s.count < 0 {
+		return 0
+	}
+	return uint64(s.count)
+}
+
+// estimate returns the estimated count of the dyadic block at level lvl.
+func (s *Sketch) estimate(lvl int, block uint64) int64 {
+	if ex := s.exact[lvl]; ex != nil {
+		return ex[block]
+	}
+	return s.sketches[lvl].Estimate(block)
+}
+
+// RankCount estimates the number of live values ≤ x by summing the
+// dyadic decomposition of [0, x].
+func (s *Sketch) RankCount(x uint64) int64 {
+	u := uint64(1) << uint(s.logU)
+	if x >= u-1 {
+		return s.count
+	}
+	n := x + 1 // size of [0, x]
+	var rank int64
+	var start uint64
+	for lvl := s.logU - 1; lvl >= 0; lvl-- {
+		if n&(uint64(1)<<uint(lvl)) == 0 {
+			continue
+		}
+		rank += s.estimate(lvl, start>>uint(lvl))
+		start += uint64(1) << uint(lvl)
+	}
+	return rank
+}
+
+// Rank returns the estimated fraction of live values ≤ x.
+func (s *Sketch) Rank(x uint64) (float64, error) {
+	if s.count <= 0 {
+		return 0, sketch.ErrEmpty
+	}
+	r := float64(s.RankCount(x)) / float64(s.count)
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r, nil
+}
+
+// Quantile estimates the q-quantile by descending the dyadic tree: at
+// each level, go left if the left child already covers the target rank.
+func (s *Sketch) Quantile(q float64) (uint64, error) {
+	if err := sketch.CheckQuantile(q); err != nil {
+		return 0, err
+	}
+	if s.count <= 0 {
+		return 0, sketch.ErrEmpty
+	}
+	target := int64(math.Ceil(q * float64(s.count)))
+	if target < 1 {
+		target = 1
+	}
+	var block uint64 // current block at the current level
+	var before int64 // estimated count strictly below current block
+	for lvl := s.logU - 1; lvl >= 0; lvl-- {
+		// Children of block at level lvl+1 are 2b and 2b+1 at level lvl.
+		left := block << 1
+		leftCount := s.estimate(lvl, left)
+		if before+leftCount >= target {
+			block = left
+		} else {
+			before += leftCount
+			block = left + 1
+		}
+	}
+	return block, nil
+}
+
+// Merge folds other into the receiver (counter addition; both must be
+// constructed with identical parameters and seed).
+func (s *Sketch) Merge(other *Sketch) error {
+	if other.logU != s.logU || other.depth != s.depth || other.width != s.width || other.seed != s.seed {
+		return fmt.Errorf("%w: dcs config mismatch", sketch.ErrIncompatible)
+	}
+	for lvl := 0; lvl < s.logU; lvl++ {
+		switch {
+		case s.exact[lvl] != nil:
+			for i, c := range other.exact[lvl] {
+				s.exact[lvl][i] += c
+			}
+		default:
+			if !s.sketches[lvl].Merge(other.sketches[lvl]) {
+				return fmt.Errorf("%w: dcs level %d mismatch", sketch.ErrIncompatible, lvl)
+			}
+		}
+	}
+	s.count += other.count
+	return nil
+}
+
+// MemoryBytes reports the structural footprint: all counters at 8 bytes.
+func (s *Sketch) MemoryBytes() int {
+	n := 4
+	for lvl := 0; lvl < s.logU; lvl++ {
+		if ex := s.exact[lvl]; ex != nil {
+			n += len(ex)
+		} else {
+			n += s.sketches[lvl].Counters()
+		}
+	}
+	return 8 * n
+}
+
+// Reset zeroes the sketch.
+func (s *Sketch) Reset() {
+	for lvl := 0; lvl < s.logU; lvl++ {
+		if ex := s.exact[lvl]; ex != nil {
+			for i := range ex {
+				ex[i] = 0
+			}
+		} else {
+			s.sketches[lvl].Reset()
+		}
+	}
+	s.count = 0
+}

@@ -1,0 +1,259 @@
+package dcs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func TestCountSketchPointQueries(t *testing.T) {
+	cs := NewCountSketch(5, 1024, 42)
+	// Heavy hitters plus noise.
+	truth := map[uint64]int64{1: 10000, 2: 5000, 3: 2500}
+	for k, c := range truth {
+		cs.Update(k, c)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 20000; i++ {
+		cs.Update(uint64(100+rng.IntN(100000)), 1)
+	}
+	for k, c := range truth {
+		est := cs.Estimate(k)
+		if math.Abs(float64(est-c)) > 0.05*float64(c)+200 {
+			t.Errorf("key %d: estimate %d, truth %d", k, est, c)
+		}
+	}
+}
+
+func TestCountSketchDeletions(t *testing.T) {
+	cs := NewCountSketch(5, 256, 7)
+	cs.Update(42, 1000)
+	cs.Update(42, -400)
+	if est := cs.Estimate(42); math.Abs(float64(est-600)) > 100 {
+		t.Errorf("after deletion: %d, want ≈ 600", est)
+	}
+}
+
+func TestCountSketchMergeLinearity(t *testing.T) {
+	a := NewCountSketch(3, 128, 9)
+	b := NewCountSketch(3, 128, 9) // same seed → mergeable
+	a.Update(5, 100)
+	b.Update(5, 50)
+	b.Update(7, 30)
+	if !a.Merge(b) {
+		t.Fatal("merge refused")
+	}
+	if est := a.Estimate(5); math.Abs(float64(est-150)) > 30 {
+		t.Errorf("merged estimate %d, want ≈ 150", est)
+	}
+	c := NewCountSketch(3, 128, 10) // different seed
+	if a.Merge(c) {
+		t.Error("different seeds must not merge")
+	}
+}
+
+func TestMedianInt64(t *testing.T) {
+	if m := medianInt64([]int64{3, 1, 2}); m != 2 {
+		t.Errorf("median = %d", m)
+	}
+	if m := medianInt64([]int64{4, 1, 3, 2}); m != 2 {
+		t.Errorf("even median = %d", m)
+	}
+	if m := medianInt64([]int64{5}); m != 5 {
+		t.Errorf("single = %d", m)
+	}
+}
+
+func TestDCSRankAndQuantileUniform(t *testing.T) {
+	s, err := New(20, 5, 4096, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 200000
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = uint64(rng.IntN(1 << 20))
+		s.Insert(data[i])
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rank error of the estimate.
+		pos := sort.Search(n, func(i int) bool { return data[i] > est })
+		rankErr := math.Abs(q - float64(pos)/float64(n))
+		if rankErr > 0.02 {
+			t.Errorf("q=%v: rank error %v", q, rankErr)
+		}
+	}
+}
+
+func TestDCSTurnstile(t *testing.T) {
+	s, err := New(16, 5, 2048, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert 0..9999, delete the evens: live data is the odds.
+	for i := 0; i < 10000; i++ {
+		s.Insert(uint64(i))
+	}
+	for i := 0; i < 10000; i += 2 {
+		s.Delete(uint64(i))
+	}
+	if got := s.Count(); got != 5000 {
+		t.Fatalf("live count %d, want 5000", got)
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(med)-5000) > 400 {
+		t.Errorf("median after deletions = %d, want ≈ 5000", med)
+	}
+}
+
+func TestDCSMerge(t *testing.T) {
+	mk := func() *Sketch {
+		s, err := New(16, 4, 1024, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 20000; i++ {
+		a.Insert(uint64(i % 30000))
+		b.Insert(uint64((i + 30000) % 60000))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 40000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	other, _ := New(16, 4, 1024, 18)
+	if err := a.Merge(other); err == nil {
+		t.Error("seed mismatch should fail")
+	}
+}
+
+func TestDCSMemoryLargerThanKLL(t *testing.T) {
+	// The study's stated reason for exclusion: DCS needs much more
+	// memory than KLL at comparable accuracy (Sec 5.2.3). KLL at the
+	// study's config is ~4 KB.
+	s, err := New(20, 5, 4096, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MemoryBytes(); got < 100*1024 {
+		t.Errorf("DCS footprint %d B — expected far above KLL's ~4 KB", got)
+	}
+}
+
+func TestFloatSketchPareto(t *testing.T) {
+	f, err := NewFloat(0.005, 1e-3, 16, 5, 4096, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1 / math.Pow(1-rng.Float64(), 1.0)
+		f.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		est, err := f.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := sort.SearchFloat64s(data, math.Nextafter(est, math.Inf(1)))
+		rankErr := math.Abs(q - float64(pos)/float64(n))
+		if rankErr > 0.03 {
+			t.Errorf("q=%v: rank error %v", q, rankErr)
+		}
+	}
+	if _, err := f.MarshalBinary(); err == nil {
+		t.Error("DCS serialization should be unsupported")
+	}
+}
+
+func TestFloatSketchEmpty(t *testing.T) {
+	f, err := NewFloat(0.01, 1, 12, 3, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := New(0, 3, 64, 1); err == nil {
+		t.Error("logU 0 should fail")
+	}
+	if _, err := New(63, 3, 64, 1); err == nil {
+		t.Error("logU 63 should fail")
+	}
+	if _, err := NewFloat(2, 1, 12, 3, 64, 1); err == nil {
+		t.Error("alpha 2 should fail")
+	}
+	if _, err := NewFloat(0.01, -1, 12, 3, 64, 1); err == nil {
+		t.Error("negative minValue should fail")
+	}
+}
+
+// Property: rank is non-decreasing in x.
+func TestQuickRankMonotone(t *testing.T) {
+	s, err := New(16, 4, 1024, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50000; i++ {
+		s.Insert(uint64(rng.IntN(1 << 16)))
+	}
+	f := func(a, b uint16) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		// Sketch estimates are noisy; allow slack of 1.5% of n.
+		return s.RankCount(x) <= s.RankCount(y)+750
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge preserves the live count exactly (linearity).
+func TestQuickMergeCount(t *testing.T) {
+	f := func(na, nb uint8) bool {
+		a, err := New(12, 3, 256, 31)
+		if err != nil {
+			return false
+		}
+		b, _ := New(12, 3, 256, 31)
+		for i := 0; i < int(na); i++ {
+			a.Insert(uint64(i))
+		}
+		for i := 0; i < int(nb); i++ {
+			b.Insert(uint64(i * 3))
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		return a.Count() == uint64(int(na)+int(nb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,402 @@
+package ddsketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sketch"
+)
+
+// Sketch is a DDSketch instance. It handles the full real line: positive
+// values go to the positive store, negative values to a mirrored negative
+// store, and exact zeros (plus positive values too small to index) to a
+// dedicated counter, as in the reference implementation.
+type Sketch struct {
+	mapping  IndexMapping
+	positive Store
+	negative Store
+	zeroCnt  int64
+	min, max float64
+	storeFn  func() Store
+	bounded  bool // collapsing store: affects serde round-trip
+	maxBkts  int
+}
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+// New returns a DDSketch with relative accuracy alpha and an unbounded
+// dense store — the configuration the study evaluates (α = 0.01,
+// γ = 1.0202). It panics on invalid alpha; use NewWithStore for checked
+// construction.
+func New(alpha float64) *Sketch {
+	s, err := NewWithStore(alpha, func() Store { return NewDenseStore() })
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewCollapsing returns a DDSketch with relative accuracy alpha and a
+// collapsing-lowest dense store bounded at maxBuckets buckets (the
+// bounded-memory variant used in the store ablation).
+func NewCollapsing(alpha float64, maxBuckets int) *Sketch {
+	s, err := NewWithStore(alpha, func() Store { return NewCollapsingLowestDenseStore(maxBuckets) })
+	if err != nil {
+		panic(err)
+	}
+	s.bounded = true
+	s.maxBkts = maxBuckets
+	return s
+}
+
+// NewWithStore returns a DDSketch with the exact logarithmic mapping,
+// using storeFn to construct its positive and negative stores.
+func NewWithStore(alpha float64, storeFn func() Store) (*Sketch, error) {
+	m, err := NewLogarithmic(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithMapping(m, storeFn)
+}
+
+// NewWithMapping returns a DDSketch with an arbitrary index mapping
+// (logarithmic, cubic or linear interpolation) and store constructor.
+func NewWithMapping(m IndexMapping, storeFn func() Store) (*Sketch, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ddsketch: nil mapping")
+	}
+	return &Sketch{
+		mapping:  m,
+		positive: storeFn(),
+		negative: storeFn(),
+		storeFn:  storeFn,
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+	}, nil
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch) Name() string { return "ddsketch" }
+
+// Alpha returns the configured relative accuracy.
+func (s *Sketch) Alpha() float64 { return s.mapping.Alpha() }
+
+// Gamma returns the bucket growth factor.
+func (s *Sketch) Gamma() float64 { return s.mapping.Gamma() }
+
+// Insert implements sketch.Sketch. NaN values are ignored.
+func (s *Sketch) Insert(x float64) { s.InsertN(x, 1) }
+
+// InsertN implements sketch.BulkInserter: n occurrences of x in O(1).
+func (s *Sketch) InsertN(x float64, n uint64) {
+	if math.IsNaN(x) || n == 0 {
+		return
+	}
+	switch {
+	case x > 0 && x >= s.mapping.MinIndexable():
+		s.positive.Add(s.mapping.Index(x), int64(n))
+	case x < 0 && -x >= s.mapping.MinIndexable():
+		s.negative.Add(s.mapping.Index(-x), int64(n))
+	default:
+		s.zeroCnt += int64(n)
+	}
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// Count implements sketch.Sketch.
+func (s *Sketch) Count() uint64 {
+	return uint64(s.positive.Total() + s.negative.Total() + s.zeroCnt)
+}
+
+// Quantile implements sketch.Sketch. The estimate for a quantile landing
+// in positive bucket i is the midpoint 2γ^i/(γ+1), guaranteeing relative
+// error at most α for values covered by the unbounded store.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if err := sketch.CheckQuantile(q); err != nil {
+		return 0, err
+	}
+	total := int64(s.Count())
+	if total == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	// Rank of the q-quantile, 1-based: ⌈qN⌉.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	negTotal := s.negative.Total()
+	switch {
+	case rank <= negTotal:
+		// Negative values in descending magnitude order: the smallest
+		// (most negative) value lives in the negative store's highest
+		// bucket index.
+		want := negTotal - rank // ranks from the top of the negative store
+		var cum int64
+		est := s.min
+		s.negative.ForEach(func(i int, c int64) bool {
+			cum += c
+			if cum > want {
+				est = -s.mapping.Value(i)
+				return false
+			}
+			return true
+		})
+		return s.clampToRange(est), nil
+	case rank <= negTotal+s.zeroCnt:
+		return 0, nil
+	default:
+		want := rank - negTotal - s.zeroCnt
+		var cum int64
+		est := s.max
+		s.positive.ForEach(func(i int, c int64) bool {
+			cum += c
+			if cum >= want {
+				est = s.mapping.Value(i)
+				return false
+			}
+			return true
+		})
+		return s.clampToRange(est), nil
+	}
+}
+
+// clampToRange keeps estimates within the observed [min, max] so bucket
+// midpoints can never fall outside the data range.
+func (s *Sketch) clampToRange(x float64) float64 {
+	if x < s.min {
+		return s.min
+	}
+	if x > s.max {
+		return s.max
+	}
+	return x
+}
+
+// Rank implements sketch.Sketch: the estimated fraction of values ≤ x.
+func (s *Sketch) Rank(x float64) (float64, error) {
+	total := int64(s.Count())
+	if total == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	var le int64
+	if x >= 0 {
+		le += s.negative.Total()
+		le += s.zeroCnt
+		if x > 0 {
+			xi := s.mapping.Index(x)
+			s.positive.ForEach(func(i int, c int64) bool {
+				if i > xi {
+					return false
+				}
+				le += c
+				return true
+			})
+		}
+	} else {
+		xi := s.mapping.Index(-x)
+		s.negative.ForEach(func(i int, c int64) bool {
+			if i >= xi {
+				le += c
+			}
+			return true
+		})
+	}
+	return float64(le) / float64(total), nil
+}
+
+// Merge implements sketch.Sketch. Sketches must share the same γ (and
+// hence α); bucket counts in the same range are added (Sec 3.3).
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into ddsketch", sketch.ErrIncompatible, other.Name())
+	}
+	if o.mapping.Name() != s.mapping.Name() || o.mapping.Gamma() != s.mapping.Gamma() {
+		return fmt.Errorf("%w: mapping mismatch %s/%v vs %s/%v", sketch.ErrIncompatible,
+			s.mapping.Name(), s.mapping.Gamma(), o.mapping.Name(), o.mapping.Gamma())
+	}
+	o.positive.ForEach(func(i int, c int64) bool {
+		s.positive.Add(i, c)
+		return true
+	})
+	o.negative.ForEach(func(i int, c int64) bool {
+		s.negative.Add(i, c)
+		return true
+	})
+	s.zeroCnt += o.zeroCnt
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	return nil
+}
+
+// MemoryBytes implements sketch.Sketch with the paper's numeric-size
+// accounting: 8 bytes per retained number.
+func (s *Sketch) MemoryBytes() int {
+	numbers := s.positive.NumbersHeld() + s.negative.NumbersHeld() + 3 // zero count, min, max
+	return 8 * numbers
+}
+
+// NonEmptyBuckets reports the number of non-empty buckets across both
+// stores (the statistic the paper tracks in Sec 4.3).
+func (s *Sketch) NonEmptyBuckets() int {
+	return s.positive.NonEmptyBuckets() + s.negative.NonEmptyBuckets()
+}
+
+// CollapseCount reports store collapses (0 with unbounded stores).
+func (s *Sketch) CollapseCount() int {
+	return s.positive.CollapseCount() + s.negative.CollapseCount()
+}
+
+// Reset implements sketch.Sketch.
+func (s *Sketch) Reset() {
+	s.positive.Reset()
+	s.negative.Reset()
+	s.zeroCnt = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	w := sketch.NewWriter(64 + 16*(s.positive.NonEmptyBuckets()+s.negative.NonEmptyBuckets()))
+	w.Header(sketch.TagDDSketch)
+	if s.bounded {
+		w.Byte(1)
+		w.U32(uint32(s.maxBkts))
+	} else {
+		w.Byte(0)
+		w.U32(0)
+	}
+	w.Byte(mappingCode(s.mapping.Name()))
+	w.F64(s.mapping.Alpha())
+	w.I64(s.zeroCnt)
+	w.F64(s.min)
+	w.F64(s.max)
+	writeStore := func(st Store) {
+		w.U32(uint32(st.NonEmptyBuckets()))
+		st.ForEach(func(i int, c int64) bool {
+			w.I64(int64(i))
+			w.I64(c)
+			return true
+		})
+	}
+	writeStore(s.positive)
+	writeStore(s.negative)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := sketch.NewReader(data)
+	if err := r.Header(sketch.TagDDSketch); err != nil {
+		return err
+	}
+	bounded := r.Byte() == 1
+	maxBkts := int(r.U32())
+	mapCode := r.Byte()
+	alpha := r.F64()
+	zero := r.I64()
+	minV := r.F64()
+	maxV := r.F64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	var ns *Sketch
+	if !(alpha > 0 && alpha < 1) {
+		return sketch.ErrCorrupt
+	}
+	m, err := mappingFromCode(mapCode, alpha)
+	if err != nil {
+		return sketch.ErrCorrupt
+	}
+	storeFn := func() Store { return NewDenseStore() }
+	if bounded {
+		if maxBkts < 2 || maxBkts > 1<<24 {
+			return sketch.ErrCorrupt
+		}
+		storeFn = func() Store { return NewCollapsingLowestDenseStore(maxBkts) }
+	}
+	ns, err = NewWithMapping(m, storeFn)
+	if err != nil {
+		return sketch.ErrCorrupt
+	}
+	ns.bounded = bounded
+	if bounded {
+		ns.maxBkts = maxBkts
+	}
+	ns.zeroCnt = zero
+	ns.min = minV
+	ns.max = maxV
+	readStore := func(st Store) error {
+		n := int(r.U32())
+		for i := 0; i < n; i++ {
+			idx := r.I64()
+			c := r.I64()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			// Indices beyond ±2^26 cannot arise from float64 inputs at any
+			// valid α and would make the dense store allocate its whole
+			// span; reject them as corruption.
+			if c < 0 || idx > 1<<26 || idx < -(1<<26) {
+				return sketch.ErrCorrupt
+			}
+			st.Add(int(idx), c)
+		}
+		return nil
+	}
+	if err := readStore(ns.positive); err != nil {
+		return err
+	}
+	if err := readStore(ns.negative); err != nil {
+		return err
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if r.Remaining() != 0 {
+		return sketch.ErrCorrupt
+	}
+	*s = *ns
+	return nil
+}
+
+// mappingCode encodes a mapping name for serialization.
+func mappingCode(name string) byte {
+	switch name {
+	case "logarithmic":
+		return 0
+	case "cubic":
+		return 1
+	case "linear":
+		return 2
+	default:
+		return 0xFF
+	}
+}
+
+// mappingFromCode reconstructs a mapping from its serialized code.
+func mappingFromCode(code byte, alpha float64) (IndexMapping, error) {
+	switch code {
+	case 0:
+		return NewLogarithmic(alpha)
+	case 1:
+		return NewCubicMapping(alpha)
+	case 2:
+		return NewLinearMapping(alpha)
+	default:
+		return nil, fmt.Errorf("ddsketch: unknown mapping code %d", code)
+	}
+}

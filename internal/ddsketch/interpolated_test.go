@@ -1,0 +1,158 @@
+package ddsketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mappings(t *testing.T, alpha float64) map[string]IndexMapping {
+	t.Helper()
+	log, err := NewLogarithmic(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubic, err := NewCubicMapping(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewLinearMapping(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]IndexMapping{"logarithmic": log, "cubic": cubic, "linear": lin}
+}
+
+// The defining property of every mapping: the representative value of a
+// value's bucket is within alpha relative error of the value itself.
+func TestMappingGuarantee(t *testing.T) {
+	for _, alpha := range []float64{0.001, 0.01, 0.05} {
+		for name, m := range mappings(t, alpha) {
+			rng := rand.New(rand.NewPCG(1, 2))
+			for i := 0; i < 20000; i++ {
+				x := math.Exp(rng.Float64()*60 - 30)
+				v := m.Value(m.Index(x))
+				if re := math.Abs(v-x) / x; re > alpha*(1+1e-6) {
+					t.Fatalf("%s alpha=%v: value %v of bucket for %v has rel err %v",
+						name, alpha, v, x, re)
+				}
+			}
+		}
+	}
+}
+
+// Index must be monotone non-decreasing in x.
+func TestMappingMonotone(t *testing.T) {
+	for name, m := range mappings(t, 0.01) {
+		rng := rand.New(rand.NewPCG(3, 4))
+		xs := make([]float64, 5000)
+		for i := range xs {
+			xs[i] = math.Exp(rng.Float64()*40 - 20)
+		}
+		sort.Float64s(xs)
+		prev := math.MinInt32
+		for _, x := range xs {
+			i := m.Index(x)
+			if i < prev {
+				t.Fatalf("%s: Index not monotone at %v", name, x)
+			}
+			prev = i
+		}
+	}
+}
+
+// Interpolated mappings may use more buckets than exact, never fewer
+// than a small factor, and the known ratios hold (~1% cubic, ~44%
+// linear).
+func TestMappingBucketOverhead(t *testing.T) {
+	ms := mappings(t, 0.01)
+	span := func(m IndexMapping) int {
+		return m.Index(1e9) - m.Index(1e-9)
+	}
+	logSpan := span(ms["logarithmic"])
+	cubicSpan := span(ms["cubic"])
+	linSpan := span(ms["linear"])
+	if cubicSpan < logSpan {
+		t.Errorf("cubic span %d < exact %d", cubicSpan, logSpan)
+	}
+	if r := float64(cubicSpan) / float64(logSpan); r > 1.05 {
+		t.Errorf("cubic overhead ratio %v, expected ≈ 1.01", r)
+	}
+	if r := float64(linSpan) / float64(logSpan); r < 1.3 || r > 1.6 {
+		t.Errorf("linear overhead ratio %v, expected ≈ 1.44", r)
+	}
+}
+
+func TestSketchWithCubicMapping(t *testing.T) {
+	m, err := NewCubicMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithMapping(m, func() Store { return NewDenseStore() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = 1 / math.Pow(1-rng.Float64(), 1.2)
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		truth := exactQuantile(data, q)
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(truth, est); re > 0.01*(1+1e-6) {
+			t.Errorf("q=%v: rel err %v > alpha with cubic mapping", q, re)
+		}
+	}
+	// Serde round-trips the mapping kind.
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Quantile(0.5)
+	b, _ := d.Quantile(0.5)
+	if a != b {
+		t.Errorf("median %v != %v after round trip", a, b)
+	}
+}
+
+func TestMappingMergeIncompatible(t *testing.T) {
+	cm, _ := NewCubicMapping(0.01)
+	a, _ := NewWithMapping(cm, func() Store { return NewDenseStore() })
+	b := New(0.01)
+	a.Insert(1)
+	b.Insert(2)
+	if err := a.Merge(b); err == nil {
+		t.Error("different mappings should not merge")
+	}
+}
+
+// Property: approxLogInverse inverts approxLog for the polynomial
+// mappings.
+func TestQuickLogInverse(t *testing.T) {
+	cm, err := NewCubicMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := cm.(*polyMapping)
+	f := func(raw uint32) bool {
+		x := math.Exp(float64(raw)/float64(math.MaxUint32)*40 - 20)
+		y := pm.approxLog(x)
+		back := pm.approxLogInverse(y)
+		return math.Abs(back-x)/x < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

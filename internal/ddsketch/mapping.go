@@ -1,0 +1,74 @@
+// Package ddsketch implements DDSketch (Masson, Rim, Lee; VLDB 2019), the
+// histogram-based deterministic quantile sketch with a relative-error
+// guarantee α: every returned quantile estimate x̂ satisfies
+// |x̂ − x| ≤ α·x for the true quantile value x.
+//
+// A value x > 0 is mapped to bucket ⌈log_γ(x)⌉ with γ = (1+α)/(1−α), so
+// bucket i covers (γ^(i−1), γ^i] and the bucket midpoint 2γ^i/(γ+1) is
+// within relative distance α of every value in the bucket. The package
+// provides the unbounded dense store the paper evaluates, plus the
+// collapsing-lowest variant (bounded bucket count, used by the store
+// ablation) and a sparse map-backed store.
+package ddsketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mapping converts between values and bucket indices for a fixed relative
+// accuracy α.
+type Mapping struct {
+	alpha    float64
+	gamma    float64
+	logGamma float64
+}
+
+// NewMapping builds the logarithmic mapping for relative accuracy alpha,
+// which must lie in (0, 1).
+func NewMapping(alpha float64) (Mapping, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return Mapping{}, fmt.Errorf("ddsketch: alpha must be in (0,1), got %v", alpha)
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return Mapping{alpha: alpha, gamma: gamma, logGamma: math.Log(gamma)}, nil
+}
+
+// Alpha returns the relative accuracy the mapping was built for.
+func (m Mapping) Alpha() float64 { return m.alpha }
+
+// Gamma returns the bucket growth factor γ = (1+α)/(1−α).
+func (m Mapping) Gamma() float64 { return m.gamma }
+
+// Index returns the bucket index for a positive value: ⌈log_γ(x)⌉.
+func (m Mapping) Index(x float64) int {
+	return int(math.Ceil(math.Log(x) / m.logGamma))
+}
+
+// Value returns the representative value of bucket i, the midpoint
+// 2γ^i/(γ+1) whose relative distance to both bucket edges is below α.
+func (m Mapping) Value(i int) float64 {
+	return 2 * math.Pow(m.gamma, float64(i)) / (m.gamma + 1)
+}
+
+// LowerBound returns the exclusive lower edge γ^(i−1) of bucket i.
+func (m Mapping) LowerBound(i int) float64 {
+	return math.Pow(m.gamma, float64(i-1))
+}
+
+// UpperBound returns the inclusive upper edge γ^i of bucket i.
+func (m Mapping) UpperBound(i int) float64 {
+	return math.Pow(m.gamma, float64(i))
+}
+
+// MinIndexableValue returns the smallest positive value that maps to a
+// representable bucket index without underflowing float64. For practical
+// α the exponential underflows, so the bound is the smallest positive
+// float64 — every positive double is indexable.
+func (m Mapping) MinIndexableValue() float64 {
+	v := math.Exp(float64(math.MinInt32+1) * m.logGamma)
+	if v < math.SmallestNonzeroFloat64 {
+		return math.SmallestNonzeroFloat64
+	}
+	return v
+}

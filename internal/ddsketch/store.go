@@ -1,0 +1,344 @@
+package ddsketch
+
+import "sort"
+
+// Store holds bucket counts keyed by integer index. DDSketch's behaviour
+// under bounded memory depends on the store implementation, and the study
+// calls those differences out explicitly (array-backed dense store vs the
+// collapsing variant, Sec 4.3), so the store is pluggable.
+type Store interface {
+	// Add increments bucket index by count (count > 0).
+	Add(index int, count int64)
+	// Total returns the sum of all bucket counts.
+	Total() int64
+	// IsEmpty reports whether the store holds no counts.
+	IsEmpty() bool
+	// MinIndex and MaxIndex return the smallest/largest non-empty bucket
+	// index; they must not be called on an empty store.
+	MinIndex() int
+	MaxIndex() int
+	// ForEach visits non-empty buckets in ascending index order, stopping
+	// early if fn returns false.
+	ForEach(fn func(index int, count int64) bool)
+	// NonEmptyBuckets returns the number of buckets holding a count.
+	NonEmptyBuckets() int
+	// NumbersHeld reports the structural size in 8-byte numbers (array
+	// slots for dense stores, map entries × 3 for the sparse store),
+	// implementing the paper's Table 3 accounting.
+	NumbersHeld() int
+	// CollapseCount reports how many bucket-collapse operations the store
+	// has performed (0 for unbounded stores).
+	CollapseCount() int
+	// Clone returns a deep copy.
+	Clone() Store
+	// Reset drops all counts, keeping configuration.
+	Reset()
+}
+
+// initialDenseBuckets matches the paper's observation that the unbounded
+// dense store "would initially create a count array of 64 buckets, and
+// expand the array based on the range of the values observed" (Sec 4.3).
+const initialDenseBuckets = 64
+
+// DenseStore is the unbounded array-backed store: a contiguous count array
+// whose first slot corresponds to bucket index `offset`. Growth re-centers
+// the array around the observed index range.
+type DenseStore struct {
+	counts []int64
+	offset int
+	total  int64
+	minIdx int
+	maxIdx int
+}
+
+// NewDenseStore returns an empty unbounded dense store.
+func NewDenseStore() *DenseStore {
+	return &DenseStore{minIdx: int(^uint(0)>>1) - 1, maxIdx: -(int(^uint(0)>>1) - 1)}
+}
+
+// Add implements Store.
+func (s *DenseStore) Add(index int, count int64) {
+	if count <= 0 {
+		return
+	}
+	s.ensure(index)
+	s.counts[index-s.offset] += count
+	s.total += count
+	if index < s.minIdx {
+		s.minIdx = index
+	}
+	if index > s.maxIdx {
+		s.maxIdx = index
+	}
+}
+
+// ensure grows the backing array to include index.
+func (s *DenseStore) ensure(index int) {
+	if len(s.counts) == 0 {
+		s.counts = make([]int64, initialDenseBuckets)
+		s.offset = index - initialDenseBuckets/2
+		return
+	}
+	pos := index - s.offset
+	if pos >= 0 && pos < len(s.counts) {
+		return
+	}
+	// Grow to cover both the current range and the new index, rounded up
+	// to the next chunk. The chunked growth (rather than doubling) keeps
+	// the array close to the actually observed index span, matching the
+	// reference implementation's space behaviour the paper measures in
+	// Sec 4.3: the range grows only logarithmically with the data, so
+	// re-allocation stays rare.
+	lo, hi := s.offset, s.offset+len(s.counts)-1
+	if index < lo {
+		lo = index
+	}
+	if index > hi {
+		hi = index
+	}
+	span := hi - lo + 1
+	n := (span + initialDenseBuckets - 1) / initialDenseBuckets * initialDenseBuckets
+	grown := make([]int64, n)
+	newOffset := lo - (n-span)/2
+	copy(grown[s.offset-newOffset:], s.counts)
+	s.counts = grown
+	s.offset = newOffset
+}
+
+// Total implements Store.
+func (s *DenseStore) Total() int64 { return s.total }
+
+// IsEmpty implements Store.
+func (s *DenseStore) IsEmpty() bool { return s.total == 0 }
+
+// MinIndex implements Store.
+func (s *DenseStore) MinIndex() int { return s.minIdx }
+
+// MaxIndex implements Store.
+func (s *DenseStore) MaxIndex() int { return s.maxIdx }
+
+// ForEach implements Store.
+func (s *DenseStore) ForEach(fn func(index int, count int64) bool) {
+	if s.total == 0 {
+		return
+	}
+	for i := s.minIdx; i <= s.maxIdx; i++ {
+		c := s.counts[i-s.offset]
+		if c != 0 {
+			if !fn(i, c) {
+				return
+			}
+		}
+	}
+}
+
+// NonEmptyBuckets implements Store.
+func (s *DenseStore) NonEmptyBuckets() int {
+	n := 0
+	s.ForEach(func(int, int64) bool { n++; return true })
+	return n
+}
+
+// NumbersHeld implements Store.
+func (s *DenseStore) NumbersHeld() int {
+	// The backing array plus offset/min/max/total bookkeeping.
+	return len(s.counts) + 4
+}
+
+// CollapseCount implements Store.
+func (s *DenseStore) CollapseCount() int { return 0 }
+
+// Clone implements Store.
+func (s *DenseStore) Clone() Store {
+	c := *s
+	c.counts = make([]int64, len(s.counts))
+	copy(c.counts, s.counts)
+	return &c
+}
+
+// Reset implements Store.
+func (s *DenseStore) Reset() {
+	*s = *NewDenseStore()
+}
+
+// CollapsingLowestDenseStore bounds the bucket count at MaxBuckets by
+// collapsing the lowest-indexed buckets into one when the range would
+// exceed the bound — DDSketch's bounded-memory variant (Sec 3.3), which
+// sacrifices the accuracy guarantee of the lowest quantiles only.
+type CollapsingLowestDenseStore struct {
+	DenseStore
+	maxBuckets int
+	collapses  int
+}
+
+// NewCollapsingLowestDenseStore returns a bounded store collapsing its
+// lowest buckets when more than maxBuckets distinct indices are needed.
+func NewCollapsingLowestDenseStore(maxBuckets int) *CollapsingLowestDenseStore {
+	if maxBuckets < 2 {
+		maxBuckets = 2
+	}
+	return &CollapsingLowestDenseStore{DenseStore: *NewDenseStore(), maxBuckets: maxBuckets}
+}
+
+// MaxBuckets returns the configured bucket bound.
+func (s *CollapsingLowestDenseStore) MaxBuckets() int { return s.maxBuckets }
+
+// Add implements Store.
+func (s *CollapsingLowestDenseStore) Add(index int, count int64) {
+	if count <= 0 {
+		return
+	}
+	if s.total == 0 {
+		s.DenseStore.Add(index, count)
+		return
+	}
+	switch {
+	case index > s.maxIdx && index-s.minIdx+1 > s.maxBuckets:
+		// New high bucket forces the low end to fold up.
+		s.collapseLowestTo(index - s.maxBuckets + 1)
+		s.DenseStore.Add(index, count)
+	case index < s.minIdx && s.maxIdx-index+1 > s.maxBuckets:
+		// Value below the representable range lands in the lowest bucket.
+		s.collapses++
+		s.DenseStore.Add(s.maxIdx-s.maxBuckets+1, count)
+	default:
+		s.DenseStore.Add(index, count)
+	}
+}
+
+// collapseLowestTo folds every bucket below newMin into bucket newMin.
+func (s *CollapsingLowestDenseStore) collapseLowestTo(newMin int) {
+	if newMin <= s.minIdx {
+		return
+	}
+	s.collapses++
+	var folded int64
+	for i := s.minIdx; i < newMin && i <= s.maxIdx; i++ {
+		pos := i - s.offset
+		folded += s.counts[pos]
+		s.counts[pos] = 0
+	}
+	if folded > 0 {
+		s.ensure(newMin)
+		s.counts[newMin-s.offset] += folded
+	}
+	if newMin > s.minIdx {
+		s.minIdx = newMin
+	}
+	if s.maxIdx < s.minIdx {
+		s.maxIdx = s.minIdx
+	}
+}
+
+// CollapseCount implements Store.
+func (s *CollapsingLowestDenseStore) CollapseCount() int { return s.collapses }
+
+// Clone implements Store.
+func (s *CollapsingLowestDenseStore) Clone() Store {
+	c := *s
+	c.counts = make([]int64, len(s.counts))
+	copy(c.counts, s.counts)
+	return &c
+}
+
+// Reset implements Store.
+func (s *CollapsingLowestDenseStore) Reset() {
+	mb := s.maxBuckets
+	*s = *NewCollapsingLowestDenseStore(mb)
+}
+
+// SparseStore keeps counts in a hash map; memory scales with non-empty
+// buckets instead of index range, at the cost of slower iteration.
+type SparseStore struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewSparseStore returns an empty sparse store.
+func NewSparseStore() *SparseStore {
+	return &SparseStore{counts: make(map[int]int64)}
+}
+
+// Add implements Store.
+func (s *SparseStore) Add(index int, count int64) {
+	if count <= 0 {
+		return
+	}
+	s.counts[index] += count
+	s.total += count
+}
+
+// Total implements Store.
+func (s *SparseStore) Total() int64 { return s.total }
+
+// IsEmpty implements Store.
+func (s *SparseStore) IsEmpty() bool { return s.total == 0 }
+
+// MinIndex implements Store.
+func (s *SparseStore) MinIndex() int {
+	first := true
+	minIdx := 0
+	for i := range s.counts {
+		if first || i < minIdx {
+			minIdx = i
+			first = false
+		}
+	}
+	return minIdx
+}
+
+// MaxIndex implements Store.
+func (s *SparseStore) MaxIndex() int {
+	first := true
+	maxIdx := 0
+	for i := range s.counts {
+		if first || i > maxIdx {
+			maxIdx = i
+			first = false
+		}
+	}
+	return maxIdx
+}
+
+// ForEach implements Store.
+func (s *SparseStore) ForEach(fn func(index int, count int64) bool) {
+	keys := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	for _, i := range keys {
+		if !fn(i, s.counts[i]) {
+			return
+		}
+	}
+}
+
+// NonEmptyBuckets implements Store.
+func (s *SparseStore) NonEmptyBuckets() int { return len(s.counts) }
+
+// NumbersHeld implements Store.
+func (s *SparseStore) NumbersHeld() int {
+	// Key + count + map bookkeeping per entry, matching the paper's
+	// three-numbers-per-bucket accounting for map-backed stores.
+	return 3*len(s.counts) + 1
+}
+
+// CollapseCount implements Store.
+func (s *SparseStore) CollapseCount() int { return 0 }
+
+// Clone implements Store.
+func (s *SparseStore) Clone() Store {
+	c := NewSparseStore()
+	c.total = s.total
+	for i, v := range s.counts {
+		c.counts[i] = v
+	}
+	return c
+}
+
+// Reset implements Store.
+func (s *SparseStore) Reset() {
+	s.counts = make(map[int]int64)
+	s.total = 0
+}

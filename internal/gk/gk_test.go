@@ -1,0 +1,179 @@
+package gk
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func exactRankOf(sorted []float64, x float64) float64 {
+	i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(sorted))
+}
+
+func TestRankErrorBound(t *testing.T) {
+	eps := 0.01
+	s := New(eps)
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 1e6
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := math.Abs(q - exactRankOf(data, est)); re > eps+1e-9 {
+			t.Errorf("q=%v: rank error %v > eps %v", q, re, eps)
+		}
+	}
+}
+
+func TestSummarySizeSubLinear(t *testing.T) {
+	s := New(0.01)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 500000; i++ {
+		s.Insert(rng.Float64())
+	}
+	// GK holds O((1/ε)·log(εn)) tuples; at ε=0.01, n=5e5 that is a few
+	// hundred to a few thousand, never anywhere near n.
+	if got := s.Tuples(); got > 20000 {
+		t.Errorf("summary holds %d tuples for 500k inserts", got)
+	}
+	t.Logf("tuples=%d memory=%dB", s.Tuples(), s.MemoryBytes())
+}
+
+func TestSortedInsertOrder(t *testing.T) {
+	// Adversarial: sorted input (worst case for naive summaries).
+	s := New(0.02)
+	n := 50000
+	for i := 0; i < n; i++ {
+		s.Insert(float64(i))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRank := q * float64(n)
+		if math.Abs(est-wantRank) > 0.03*float64(n) {
+			t.Errorf("q=%v: est %v, want ≈ %v", q, est, wantRank)
+		}
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	s := New(0.01)
+	if _, err := s.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	s.Insert(5)
+	if _, err := s.Quantile(-0.5); err == nil {
+		t.Error("Quantile(-0.5) should fail")
+	}
+	got, err := s.Quantile(1)
+	if err != nil || got != 5 {
+		t.Errorf("Quantile(1) = %v, %v", got, err)
+	}
+}
+
+func TestMergeDegradesBoundButWorks(t *testing.T) {
+	a, b := New(0.01), New(0.01)
+	rng := rand.New(rand.NewPCG(5, 6))
+	var all []float64
+	for i := 0; i < 60000; i++ {
+		x := rng.NormFloat64() * 100
+		all = append(all, x)
+		if i%2 == 0 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != uint64(len(all)) {
+		t.Fatalf("count %d, want %d", a.Count(), len(all))
+	}
+	if a.EffectiveEpsilon() <= a.Epsilon() {
+		t.Error("merge should degrade the effective bound")
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est, _ := a.Quantile(q)
+		if re := math.Abs(q - exactRankOf(all, est)); re > a.EffectiveEpsilon()+1e-9 {
+			t.Errorf("q=%v: rank error %v > effective eps %v", q, re, a.EffectiveEpsilon())
+		}
+	}
+}
+
+func TestSerdeRoundTrip(t *testing.T) {
+	s := New(0.01)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 30000; i++ {
+		s.Insert(rng.ExpFloat64())
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != s.Count() || d.Tuples() != s.Tuples() {
+		t.Fatal("state mismatch")
+	}
+	qa, _ := s.Quantile(0.5)
+	qb, _ := d.Quantile(0.5)
+	if qa != qb {
+		t.Errorf("median mismatch: %v vs %v", qa, qb)
+	}
+	if err := d.UnmarshalBinary(blob[:7]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+// Property: rank error bound holds for arbitrary positive data.
+func TestQuickRankBound(t *testing.T) {
+	f := func(vals []uint16, qFrac uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := New(0.05)
+		data := make([]float64, len(vals))
+		for i, v := range vals {
+			data[i] = float64(v)
+			s.Insert(data[i])
+		}
+		sort.Float64s(data)
+		q := (float64(qFrac) + 1) / 65537
+		est, err := s.Quantile(q)
+		if err != nil {
+			return false
+		}
+		// Discrete repeated values can push the measured rank past the
+		// target; allow the bound plus the repetition mass of the
+		// estimate's value.
+		re := math.Abs(q - exactRankOf(data, est))
+		if re <= 0.05+1e-9 {
+			return true
+		}
+		lo := sort.SearchFloat64s(data, est)
+		hi := sort.SearchFloat64s(data, math.Nextafter(est, math.Inf(1)))
+		dup := float64(hi-lo) / float64(len(data))
+		return re <= 0.05+dup+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

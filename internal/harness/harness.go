@@ -1,0 +1,224 @@
+// Package harness regenerates every table and figure of the study's
+// evaluation section. Each experiment is registered under the paper
+// artifact it reproduces (table3, fig5a, …, winsize) and emits one or
+// more text tables with the same rows/series the paper reports.
+//
+// Experiments accept a Scale factor so the full paper-sized workloads
+// (which run for tens of minutes) can be dialed down for quick runs; the
+// default CLI scale of 0.1 preserves every qualitative result. All
+// randomness is seeded, so runs are reproducible.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options control experiment size and reporting.
+type Options struct {
+	// Scale multiplies every workload size (stream length, sketch count,
+	// window size). 1.0 reproduces the paper's scale.
+	Scale float64
+	// Runs is the number of independent repetitions averaged for accuracy
+	// experiments (paper: 10).
+	Runs int
+	// Rate is the stream event rate (paper: 50,000 events/s).
+	Rate int
+	// WindowSeconds is the tumbling window length in seconds (paper: 20).
+	WindowSeconds float64
+	// Windows is the number of measured windows per run (paper: 10, after
+	// discarding the first).
+	Windows int
+	// Seed is the root seed all per-run seeds derive from.
+	Seed uint64
+	// Parallel bounds how many independent accuracy runs execute
+	// concurrently (each run is single-threaded and fully seeded, so
+	// results are identical at any parallelism). 0 or 1 = sequential.
+	Parallel int
+	// Out receives progress logging; nil silences it.
+	Out io.Writer
+}
+
+// DefaultOptions returns the paper's experimental configuration at the
+// given scale.
+func DefaultOptions(scale float64) Options {
+	return Options{
+		Scale:         scale,
+		Runs:          10,
+		Rate:          50000,
+		WindowSeconds: 20,
+		Windows:       10,
+		Seed:          0x5eedc0de,
+	}
+}
+
+// scaled returns max(1, round(n·Scale)).
+func (o Options) scaled(n int) int {
+	v := int(float64(n)*o.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// scaledRuns returns the repetition count at the current scale, at least 2
+// so confidence intervals exist.
+func (o Options) scaledRuns() int {
+	r := o.scaled(o.Runs)
+	if r < 2 {
+		r = 2
+	}
+	return r
+}
+
+// parallelism returns the worker count for per-run fan-out.
+func (o Options) parallelism() int {
+	if o.Parallel < 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
+// logf writes progress output when Out is set.
+func (o Options) logf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// Table is one rendered result artifact.
+type Table struct {
+	// Title names the artifact ("Table 3: ...", "Fig 6a: ...").
+	Title string
+	// Headers label the columns.
+	Headers []string
+	// Rows hold the cells, one slice per row.
+	Rows [][]string
+	// Notes carries caveats (scaling, substitutions) printed under the
+	// table.
+	Notes []string
+}
+
+// Render draws the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the numeric/identifier cells the harness emits).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	// ID is the registry key ("table3", "fig5a", ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Ref cites the paper artifact ("Table 3", "Fig 5a", "Sec 4.6").
+	Ref string
+	// Run executes the experiment.
+	Run func(Options) ([]Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at init time; duplicate IDs panic.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get looks up an experiment by ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// measure runs fn and returns its wall-clock duration.
+func measure(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// fmtDur renders a duration per-operation with appropriate units.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%.1f ns", float64(d.Nanoseconds()))
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3f µs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.3f ms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3f s", d.Seconds())
+	}
+}
+
+// fmtErr renders a relative error.
+func fmtErr(e float64) string { return fmt.Sprintf("%.5f", e) }
+
+// fmtErrCI renders mean ± 95% CI.
+func fmtErrCI(mean, ci float64) string { return fmt.Sprintf("%.5f ±%.5f", mean, ci) }

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// multiSketch fans every insert/merge out to one child sketch per
+// algorithm so a single engine pass (event generation, delay simulation,
+// windowing, ground-truth collection) evaluates all five algorithms on
+// exactly the same event sequence — the uniform-setting requirement of
+// the study. It is query-opaque: callers evaluate the named children.
+type multiSketch struct {
+	order    []string
+	children map[string]sketch.Sketch
+}
+
+var _ sketch.Sketch = (*multiSketch)(nil)
+
+// newMultiBuilder wraps per-algorithm builders into a single builder for
+// the stream engine.
+func newMultiBuilder(order []string, builders map[string]sketch.Builder) sketch.Builder {
+	return func() sketch.Sketch {
+		m := &multiSketch{order: order, children: make(map[string]sketch.Sketch, len(order))}
+		for _, name := range order {
+			m.children[name] = builders[name]()
+		}
+		return m
+	}
+}
+
+// child returns the named child sketch.
+func (m *multiSketch) child(name string) sketch.Sketch { return m.children[name] }
+
+// Insert implements sketch.Sketch.
+func (m *multiSketch) Insert(x float64) {
+	for _, name := range m.order {
+		m.children[name].Insert(x)
+	}
+}
+
+// Merge implements sketch.Sketch.
+func (m *multiSketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*multiSketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into multi", sketch.ErrIncompatible, other.Name())
+	}
+	for _, name := range m.order {
+		oc := o.children[name]
+		if oc == nil {
+			return fmt.Errorf("%w: missing child %s", sketch.ErrIncompatible, name)
+		}
+		if err := m.children[name].Merge(oc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quantile implements sketch.Sketch; the multiplexer is query-opaque.
+func (m *multiSketch) Quantile(float64) (float64, error) {
+	return 0, fmt.Errorf("harness: query the multi sketch's children, not the multiplexer")
+}
+
+// Rank implements sketch.Sketch; the multiplexer is query-opaque.
+func (m *multiSketch) Rank(float64) (float64, error) {
+	return 0, fmt.Errorf("harness: query the multi sketch's children, not the multiplexer")
+}
+
+// Count implements sketch.Sketch.
+func (m *multiSketch) Count() uint64 {
+	if len(m.order) == 0 {
+		return 0
+	}
+	return m.children[m.order[0]].Count()
+}
+
+// MemoryBytes implements sketch.Sketch.
+func (m *multiSketch) MemoryBytes() int {
+	total := 0
+	for _, c := range m.children {
+		total += c.MemoryBytes()
+	}
+	return total
+}
+
+// Name implements sketch.Sketch.
+func (m *multiSketch) Name() string { return "multi" }
+
+// Reset implements sketch.Sketch.
+func (m *multiSketch) Reset() {
+	for _, c := range m.children {
+		c.Reset()
+	}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler; the multiplexer is a
+// harness-internal vehicle and is not serializable.
+func (m *multiSketch) MarshalBinary() ([]byte, error) {
+	return nil, fmt.Errorf("harness: multi sketch is not serializable")
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *multiSketch) UnmarshalBinary([]byte) error {
+	return fmt.Errorf("harness: multi sketch is not serializable")
+}

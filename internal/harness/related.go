@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ddsketch"
+	"repro/internal/gk"
+	"repro/internal/mrl"
+	"repro/internal/req"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+	"repro/internal/tdigest"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "related",
+		Title: "t-digest and Greenwald-Khanna vs the five evaluated sketches",
+		Ref:   "Sec 5.1/5.2",
+		Run:   runRelated,
+	})
+	register(Experiment{
+		ID:    "ablation-store",
+		Title: "DDSketch store ablation: unbounded vs collapsing dense store",
+		Ref:   "Sec 4.3/4.5.5",
+		Run:   runStoreAblation,
+	})
+	register(Experiment{
+		ID:    "ablation-hra",
+		Title: "ReqSketch HRA vs LRA: upper- vs lower-quantile accuracy trade",
+		Ref:   "Sec 4.2/4.5.5",
+		Run:   runHRAAblation,
+	})
+}
+
+// runRelated checks the study's exclusion rationale (Sec 5.2) against
+// measurements: t-digest has no error bound and degrades under merging;
+// GK is slower per insert and not losslessly mergeable.
+func runRelated(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	builders := map[string]sketch.Builder{
+		"tdigest": func() sketch.Sketch { return tdigest.New(tdigest.DefaultCompression) },
+		"gk":      func() sketch.Sketch { return gk.New(gk.DefaultEpsilon) },
+		"mrl":     func() sketch.Sketch { return mrl.NewWithSeed(mrl.DefaultBuffers, mrl.DefaultK, opts.Seed) },
+	}
+	order := append(core.AlgorithmNames(), "tdigest", "gk", "mrl")
+	seedState := opts.Seed ^ 0x5e1a7ed
+	for _, alg := range core.AlgorithmNames() {
+		b, err := core.NewBuilder(alg, core.BuilderOptions{
+			LogTransformMoments: true, // Pareto fill below
+			Seed:                datagen.SplitMix64(&seedState),
+		})
+		if err != nil {
+			return nil, err
+		}
+		builders[alg] = b
+	}
+
+	buf := presample(minInt(n, 1_000_000), opts.Seed^0x77ee77)
+	accTbl := Table{
+		Title:   fmt.Sprintf("Related sketches: accuracy and speed on %d Pareto points", n),
+		Headers: []string{"sketch", "mid err", "upper err", "p99 err", "insert/op", "memory KB"},
+		Notes: []string{
+			"paper Sec 5.2: t-digest has no error bound (5.2.4); GK predates the five (5.1); mrl is Random, the MRL-descended ancestor KLL improved on (5.2.1)",
+		},
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = buf[i%len(buf)]
+	}
+	exact := stats.NewExactQuantiles(data)
+	for _, alg := range order {
+		sk := builders[alg]()
+		d := measure(func() { sketch.InsertAll(sk, data) })
+		wa, err := core.EvaluateAgainst(sk, exact)
+		if err != nil {
+			return nil, fmt.Errorf("related %s: %w", alg, err)
+		}
+		accTbl.Rows = append(accTbl.Rows, []string{
+			alg,
+			fmtErr(wa.Mid), fmtErr(wa.Upper), fmtErr(wa.P99),
+			fmtDur(d / time.Duration(n)),
+			fmt.Sprintf("%.2f", float64(sk.MemoryBytes())/1024),
+		})
+		opts.logf("related: %s done", alg)
+	}
+
+	// Merge-degradation check: repeated pairwise merging of t-digest and
+	// GK vs DDSketch (whose guarantee is merge-invariant).
+	mergeTbl := Table{
+		Title:   "Merge degradation: p99 rank/relative error after folding 64 sketches",
+		Headers: []string{"sketch", "single-sketch p99 err", "64-way merged p99 err"},
+	}
+	for _, alg := range []string{"ddsketch", "tdigest", "gk"} {
+		single := builders[alg]()
+		sketch.InsertAll(single, data)
+		sWA, err := core.EvaluateAgainst(single, exact)
+		if err != nil {
+			return nil, err
+		}
+		parts := 64
+		per := n / parts
+		merged := builders[alg]()
+		for p := 0; p < parts; p++ {
+			part := builders[alg]()
+			lo := p * per
+			hi := lo + per
+			if p == parts-1 {
+				hi = n
+			}
+			sketch.InsertAll(part, data[lo:hi])
+			if err := merged.Merge(part); err != nil {
+				return nil, err
+			}
+		}
+		mWA, err := core.EvaluateAgainst(merged, exact)
+		if err != nil {
+			return nil, err
+		}
+		mergeTbl.Rows = append(mergeTbl.Rows, []string{alg, fmtErr(sWA.P99), fmtErr(mWA.P99)})
+	}
+	accTbl.Notes = append(accTbl.Notes, scaleNote(opts)...)
+	return []Table{accTbl, mergeTbl}, nil
+}
+
+// runStoreAblation compares DDSketch's unbounded dense store (the study's
+// configuration) against the collapsing dense store with 1024 buckets.
+// The paper reports an average error difference of 0.14% (mid) / 0.07%
+// (upper) between the two (Sec 4.5.5).
+func runStoreAblation(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	tbl := Table{
+		Title:   "DDSketch store ablation (α = 0.01)",
+		Headers: []string{"dataset", "store", "mid err", "upper err", "p99 err", "buckets", "collapses", "memory KB"},
+		Notes: []string{
+			"paper: unbounded vs collapsing-1024 differ by 0.14% (mid) and 0.07% (upper) on average",
+		},
+	}
+	seedState := opts.Seed ^ 0xab1a7e
+	for _, ds := range datagen.DatasetNames() {
+		src, err := datagen.NewDataset(ds, datagen.SplitMix64(&seedState))
+		if err != nil {
+			return nil, err
+		}
+		data := datagen.Take(src, n)
+		exact := stats.NewExactQuantiles(data)
+		variants := []struct {
+			name string
+			sk   *ddsketch.Sketch
+		}{
+			{"unbounded", ddsketch.New(core.DDSketchAlpha)},
+			{"collapsing-1024", ddsketch.NewCollapsing(core.DDSketchAlpha, 1024)},
+			{"collapsing-128", ddsketch.NewCollapsing(core.DDSketchAlpha, 128)},
+		}
+		for _, v := range variants {
+			sketch.InsertAll(v.sk, data)
+			wa, err := core.EvaluateAgainst(v.sk, exact)
+			if err != nil {
+				return nil, err
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				ds, v.name,
+				fmtErr(wa.Mid), fmtErr(wa.Upper), fmtErr(wa.P99),
+				fmt.Sprint(v.sk.NonEmptyBuckets()),
+				fmt.Sprint(v.sk.CollapseCount()),
+				fmt.Sprintf("%.2f", float64(v.sk.MemoryBytes())/1024),
+			})
+		}
+		opts.logf("ablation-store: %s done", ds)
+	}
+	tbl.Notes = append(tbl.Notes, scaleNote(opts)...)
+	return []Table{tbl}, nil
+}
+
+// runHRAAblation quantifies the HRA trade-off the study leans on: HRA
+// sharpens upper quantiles at the cost of lower ones, and vice versa.
+func runHRAAblation(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	runs := opts.scaledRuns()
+	tbl := Table{
+		Title:   "ReqSketch HRA vs LRA on Pareto data (relative error)",
+		Headers: []string{"mode", "q=0.05", "q=0.25", "q=0.5", "q=0.95", "q=0.99"},
+		Notes: []string{
+			"paper Sec 4.2: HRA enabled because it significantly reduces upper-quantile error",
+		},
+	}
+	qs := []float64{0.05, 0.25, 0.5, 0.95, 0.99}
+	seedState := opts.Seed ^ 0x44aa44
+	for _, hra := range []bool{true, false} {
+		sums := make([]stats.Summary, len(qs))
+		for run := 0; run < runs; run++ {
+			src := datagen.NewPareto(1, 1, datagen.SplitMix64(&seedState))
+			data := datagen.Take(src, n)
+			exact := stats.NewExactQuantiles(data)
+			sk := req.NewWithSeed(core.ReqNumSections, hra, datagen.SplitMix64(&seedState))
+			sketch.InsertAll(sk, data)
+			for i, q := range qs {
+				est, err := sk.Quantile(q)
+				if err != nil {
+					return nil, err
+				}
+				sums[i].Observe(stats.RelativeError(exact.Quantile(q), est))
+			}
+		}
+		mode := "LRA"
+		if hra {
+			mode = "HRA"
+		}
+		row := []string{mode}
+		for i := range qs {
+			row = append(row, fmtErr(sums[i].Mean()))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+		opts.logf("ablation-hra: %s done", mode)
+	}
+	tbl.Notes = append(tbl.Notes, scaleNote(opts)...)
+	return []Table{tbl}, nil
+}

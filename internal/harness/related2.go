@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dcs"
+	"repro/internal/ddsketch"
+	"repro/internal/hdr"
+	"repro/internal/kll"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "related2",
+		Title: "HDR Histogram vs DDSketch and Dyadic Count Sketch vs KLL (the Sec 5.2 exclusion claims)",
+		Ref:   "Sec 5.2.2/5.2.3",
+		Run:   runRelated2,
+	})
+}
+
+// runRelated2 verifies the two remaining exclusion claims: (a) HDR is
+// comparable to DDSketch on accuracy and insertion but worse on merge
+// speed and total size (Sec 5.2.2, citing Masson et al.); (b) KLL
+// outperforms DCS on memory, speed and accuracy (Sec 5.2.3, citing Zhao
+// et al.).
+func runRelated2(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	seedState := opts.Seed ^ 0x5e1a7ed2
+
+	// --- HDR vs DDSketch, NYT-like fare data (bounded positive range,
+	// which suits HDR's fixed trackable range). Values are scaled to
+	// cents so HDR's integer recording retains precision.
+	hdrTbl := Table{
+		Title:   fmt.Sprintf("HDR Histogram vs DDSketch (%d synthetic NYT fares, recorded in cents)", n),
+		Headers: []string{"sketch", "mid err", "upper err", "p99 err", "insert/op", "merge/op", "memory KB"},
+		Notes: []string{
+			"paper Sec 5.2.2: HDR ≈ DDSketch on accuracy/insert, worse on merge speed and total sketch size",
+		},
+	}
+	src := datagen.NewSyntheticNYT(datagen.SplitMix64(&seedState))
+	fares := datagen.Take(src, n)
+	cents := make([]float64, n)
+	for i, f := range fares {
+		cents[i] = f * 100
+	}
+	exact := stats.NewExactQuantiles(cents)
+	evalGroups := func(sk sketch.Sketch) (mid, upper, p99 float64, err error) {
+		sum := func(qs []float64) (float64, error) {
+			var s float64
+			for _, q := range qs {
+				est, err := sk.Quantile(q)
+				if err != nil {
+					return 0, err
+				}
+				s += stats.RelativeError(exact.Quantile(q), est)
+			}
+			return s / float64(len(qs)), nil
+		}
+		if mid, err = sum([]float64{0.05, 0.25, 0.5, 0.75, 0.9}); err != nil {
+			return
+		}
+		if upper, err = sum([]float64{0.95, 0.98}); err != nil {
+			return
+		}
+		p99, err = sum([]float64{0.99})
+		return
+	}
+	type contender struct {
+		name string
+		make func() sketch.Sketch
+	}
+	hdrContenders := []contender{
+		{"ddsketch", func() sketch.Sketch { return ddsketch.New(0.005) }},
+		{"hdr", func() sketch.Sketch {
+			h, err := hdr.New(1, 100_000, 3) // cents: up to $1000, 3 digits ≈ same α
+			if err != nil {
+				panic(err)
+			}
+			return h
+		}},
+	}
+	for _, c := range hdrContenders {
+		sk := c.make()
+		ins := measure(func() { sketch.InsertAll(sk, cents) })
+		mid, upper, p99, err := evalGroups(sk)
+		if err != nil {
+			return nil, fmt.Errorf("related2 %s: %w", c.name, err)
+		}
+		// Merge speed: fold 64 copies.
+		part := c.make()
+		sketch.InsertAll(part, cents[:n/8])
+		acc := c.make()
+		const merges = 64
+		md := measure(func() {
+			for i := 0; i < merges; i++ {
+				if err := acc.Merge(part); err != nil {
+					panic(err)
+				}
+			}
+		})
+		hdrTbl.Rows = append(hdrTbl.Rows, []string{
+			c.name,
+			fmtErr(mid), fmtErr(upper), fmtErr(p99),
+			fmtDur(ins / time.Duration(n)),
+			fmtDur(md / merges),
+			fmt.Sprintf("%.2f", float64(sk.MemoryBytes())/1024),
+		})
+		opts.logf("related2: %s done", c.name)
+	}
+
+	// --- DCS vs KLL, uniform integer data in [0, 2^20) — DCS's home
+	// turf (known universe), where it still loses on all three axes.
+	dcsTbl := Table{
+		Title:   fmt.Sprintf("Dyadic Count Sketch vs KLL (%d uniform integers in [0, 2^20))", n),
+		Headers: []string{"sketch", "mean rank err", "insert/op", "query/op", "memory KB", "turnstile"},
+		Notes: []string{
+			"paper Sec 5.2.3: KLL outperforms DCS on memory, speed and accuracy; DCS's upside is deletion support",
+		},
+	}
+	ints := make([]float64, n)
+	u := datagen.NewUniform(0, 1<<20, datagen.SplitMix64(&seedState))
+	for i := range ints {
+		ints[i] = float64(int(u.Next()))
+	}
+	intExact := stats.NewExactQuantiles(ints)
+	qs := []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+
+	dcsContenders := []struct {
+		name      string
+		sk        sketch.Sketch
+		turnstile string
+	}{
+		{"kll", kll.NewWithSeed(kll.DefaultK, datagen.SplitMix64(&seedState)), "no"},
+	}
+	{
+		// Width chosen so DCS's footprint, while still an order of
+		// magnitude above KLL's, is as small as the accuracy target
+		// permits — the comparison the exclusion claim is about.
+		f, err := dcs.NewFloat(0.0005, 1, 21, 5, 1024, datagen.SplitMix64(&seedState))
+		if err != nil {
+			return nil, err
+		}
+		dcsContenders = append(dcsContenders, struct {
+			name      string
+			sk        sketch.Sketch
+			turnstile string
+		}{"dcs", f, "yes"})
+	}
+	for _, c := range dcsContenders {
+		ins := measure(func() { sketch.InsertAll(c.sk, ints) })
+		var rankErr float64
+		var qd time.Duration
+		for _, q := range qs {
+			var est float64
+			var err error
+			qd += measure(func() { est, err = c.sk.Quantile(q) })
+			if err != nil {
+				return nil, fmt.Errorf("related2 %s q=%v: %w", c.name, q, err)
+			}
+			rankErr += relRankErr(intExact, q, est)
+		}
+		dcsTbl.Rows = append(dcsTbl.Rows, []string{
+			c.name,
+			fmtErr(rankErr / float64(len(qs))),
+			fmtDur(ins / time.Duration(n)),
+			fmtDur(qd / time.Duration(len(qs))),
+			fmt.Sprintf("%.1f", float64(c.sk.MemoryBytes())/1024),
+			c.turnstile,
+		})
+		opts.logf("related2: %s done", c.name)
+	}
+	hdrTbl.Notes = append(hdrTbl.Notes, scaleNote(opts)...)
+	return []Table{hdrTbl, dcsTbl}, nil
+}
+
+// relRankErr is |q − NormalizedRank(estimate)|.
+func relRankErr(e *stats.ExactQuantiles, q, est float64) float64 {
+	d := q - e.NormalizedRank(est)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ddsketch"
+	"repro/internal/kll"
+	"repro/internal/req"
+	"repro/internal/stats"
+	"repro/internal/uddsketch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Final memory usage of each sketch (KB) after consuming 1M data points",
+		Ref:   "Table 3",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Histogram representations of data sets used",
+		Ref:   "Fig 4",
+		Run:   runFig4,
+	})
+}
+
+// runTable3 reproduces Table 3: fill each sketch with (scaled) 1M points
+// of each data set and report the structural memory footprint, plus the
+// Sec 4.3 structural statistics the paper quotes in prose (bucket counts,
+// retained samples).
+func runTable3(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	tbl := Table{
+		Title:   "Table 3: Final memory usage of each sketch (KB) after consuming " + fmt.Sprint(n) + " data points",
+		Headers: []string{"dataset", "REQ", "KLL", "UDDS", "DDS", "Moments"},
+		Notes: []string{
+			"paper (1M points): Pareto 16.99/4.24/27.96/5.42/0.14; Uniform 16.99/4.24/20.9/1.84/0.14",
+		},
+	}
+	detail := Table{
+		Title:   "Sec 4.3 structural detail after the Pareto fill",
+		Headers: []string{"sketch", "statistic", "value", "paper"},
+	}
+	seedState := opts.Seed
+	for _, ds := range datagen.DatasetNames() {
+		builders, err := core.BuildersForDataset(ds, datagen.SplitMix64(&seedState))
+		if err != nil {
+			return nil, err
+		}
+		row := []string{ds}
+		for _, alg := range []string{core.AlgReq, core.AlgKLL, core.AlgUDD, core.AlgDD, core.AlgMoments} {
+			src, err := datagen.NewDataset(ds, datagen.SplitMix64(&seedState))
+			if err != nil {
+				return nil, err
+			}
+			sk := builders[alg]()
+			for i := 0; i < n; i++ {
+				sk.Insert(src.Next())
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(sk.MemoryBytes())/1024))
+			if ds == datagen.DatasetPareto {
+				switch v := sk.(type) {
+				case *req.Sketch:
+					detail.Rows = append(detail.Rows, []string{"REQ", "retained items", fmt.Sprint(v.Retained()), "4177"})
+				case *kll.Sketch:
+					detail.Rows = append(detail.Rows, []string{"KLL", "retained items", fmt.Sprint(v.Retained()), "1048"})
+				case *uddsketch.Sketch:
+					detail.Rows = append(detail.Rows, []string{"UDDS", "non-empty buckets", fmt.Sprint(v.NonEmptyBuckets()), "981"})
+					detail.Rows = append(detail.Rows, []string{"UDDS", "collapses", fmt.Sprint(v.Collapses()), "~11"})
+				case *ddsketch.Sketch:
+					detail.Rows = append(detail.Rows, []string{"DDS", "non-empty buckets", fmt.Sprint(v.NonEmptyBuckets()), "~670"})
+				}
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+		opts.logf("table3: %s done", ds)
+	}
+	if opts.Scale != 1.0 {
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("scaled run: %d points per fill (use -scale 1 for the paper's 1M)", n))
+	}
+	return []Table{tbl, detail}, nil
+}
+
+// runFig4 renders the four data-set histograms and their summary
+// statistics, validating the synthetic stand-ins' defining properties
+// (top-10 value mass, kurtosis, range).
+func runFig4(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	summary := Table{
+		Title:   "Fig 4: data-set shape summary (" + fmt.Sprint(n) + " samples each)",
+		Headers: []string{"dataset", "min", "p50", "p99", "max", "kurtosis", "top-10 value mass"},
+		Notes: []string{
+			"paper: NYT top-10 mass ≈ 31.2%, Power top-10 mass ≈ 4.5% (Sec 4.5.3)",
+			"NYT and Power are synthetic stand-ins; see DESIGN.md substitutions",
+		},
+	}
+	var tables []Table
+	seedState := opts.Seed ^ 0xf19f19
+	for _, ds := range datagen.DatasetNames() {
+		src, err := datagen.NewDataset(ds, datagen.SplitMix64(&seedState))
+		if err != nil {
+			return nil, err
+		}
+		data := datagen.Take(src, n)
+		ex := stats.NewExactQuantiles(data)
+		var mom stats.Moments
+		mom.AddAll(data)
+		summary.Rows = append(summary.Rows, []string{
+			ds,
+			fmt.Sprintf("%.3g", ex.Min()),
+			fmt.Sprintf("%.4g", ex.Quantile(0.5)),
+			fmt.Sprintf("%.4g", ex.Quantile(0.99)),
+			fmt.Sprintf("%.3g", ex.Max()),
+			fmt.Sprintf("%.1f", mom.Kurtosis()),
+			fmt.Sprintf("%.1f%%", 100*stats.TopValueMass(data, 10)),
+		})
+		// Histogram over a range that keeps the shape visible (clip the
+		// extreme Pareto tail like the paper's log-scaled panels do).
+		hi := ex.Quantile(0.995)
+		h := stats.NewHistogram(data, ex.Min(), hi, 20)
+		ht := Table{
+			Title:   fmt.Sprintf("Fig 4 histogram: %s (clipped at p99.5 = %.4g)", ds, hi),
+			Headers: []string{"bin-low", "bar"},
+		}
+		var maxC int64 = 1
+		for _, c := range h.Counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for i, c := range h.Counts {
+			lo := ex.Min() + float64(i)*(hi-ex.Min())/20
+			bar := ""
+			for j := int64(0); j < 40*c/maxC; j++ {
+				bar += "#"
+			}
+			ht.Rows = append(ht.Rows, []string{fmt.Sprintf("%.4g", lo), bar})
+		}
+		tables = append(tables, ht)
+		opts.logf("fig4: %s done", ds)
+	}
+	return append([]Table{summary}, tables...), nil
+}

@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Title: "Characteristic summary of each algorithm, derived from measurements",
+		Ref:   "Table 4",
+		Run:   runTable4,
+	})
+}
+
+// sketchingApproach is static knowledge (Sec 4.8): whether the algorithm
+// retains samples or a statistical summary.
+var sketchingApproach = map[string]string{
+	core.AlgKLL:     "Sampling",
+	core.AlgMoments: "Summary",
+	core.AlgDD:      "Summary",
+	core.AlgUDD:     "Summary",
+	core.AlgReq:     "Sampling",
+}
+
+// runTable4 regenerates the paper's qualitative summary from fresh
+// measurements: speed tiers from micro-benchmarks, accuracy categories
+// from per-dataset static accuracy, adaptability from the Fig 8 workload.
+func runTable4(opts Options) ([]Table, error) {
+	n := opts.scaled(1_000_000)
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	algs := []string{core.AlgKLL, core.AlgMoments, core.AlgDD, core.AlgUDD, core.AlgReq}
+
+	// --- speed tiers ---
+	insertNS := map[string]float64{}
+	queryNS := map[string]float64{}
+	mergeNS := map[string]float64{}
+	buf := presample(minInt(n, 500_000), opts.Seed^0x1414)
+	builders, err := speedBuilders(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, alg := range algs {
+		sk := builders[alg]()
+		d := measure(func() {
+			for i := 0; i < n; i++ {
+				sk.Insert(buf[i%len(buf)])
+			}
+		})
+		insertNS[alg] = float64(d.Nanoseconds()) / float64(n)
+
+		qs := core.AllQuantiles()
+		reps := 20
+		var qd time.Duration
+		var qErr error
+		for r := 0; r < reps; r++ {
+			sk.Insert(buf[r]) // invalidate solver caches between repetitions
+			qd += measure(func() {
+				for _, q := range qs {
+					if _, err := sk.Quantile(q); err != nil && qErr == nil {
+						qErr = err
+					}
+				}
+			})
+		}
+		if qErr != nil {
+			return nil, fmt.Errorf("harness: table4 query %s: %w", alg, qErr)
+		}
+		queryNS[alg] = float64(qd.Nanoseconds()) / float64(reps)
+
+		pool := make([]sketch.Sketch, 8)
+		fill := minInt(n, 100_000)
+		for i := range pool {
+			p := builders[alg]()
+			for j := 0; j < fill; j++ {
+				p.Insert(buf[(i*fill+j)%len(buf)])
+			}
+			pool[i] = p
+		}
+		acc := builders[alg]()
+		count := 64
+		var mErr error
+		md := measure(func() {
+			for i := 0; i < count; i++ {
+				if err := acc.Merge(pool[i%len(pool)]); err != nil && mErr == nil {
+					mErr = err
+				}
+			}
+		})
+		if mErr != nil {
+			return nil, fmt.Errorf("harness: table4 merge %s: %w", alg, mErr)
+		}
+		mergeNS[alg] = float64(md.Nanoseconds()) / float64(count)
+		opts.logf("table4: speed %s done", alg)
+	}
+
+	// --- accuracy categories ---
+	type accCat struct{ tail, nontail map[string]float64 } // dataset → error
+	cats := map[string]*accCat{}
+	for _, alg := range algs {
+		cats[alg] = &accCat{tail: map[string]float64{}, nontail: map[string]float64{}}
+	}
+	seedState := opts.Seed ^ 0x4242
+	accN := minInt(n, 500_000)
+	for _, ds := range datagen.DatasetNames() {
+		src, err := datagen.NewDataset(ds, datagen.SplitMix64(&seedState))
+		if err != nil {
+			return nil, err
+		}
+		data := datagen.Take(src, accN)
+		exact := stats.NewExactQuantiles(data)
+		dsBuilders, err := core.BuildersForDataset(ds, datagen.SplitMix64(&seedState))
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range algs {
+			sk := dsBuilders[alg]()
+			sketch.InsertAll(sk, data)
+			wa, err := core.EvaluateAgainst(sk, exact)
+			if err != nil {
+				return nil, fmt.Errorf("harness: table4 accuracy %s on %s: %w", alg, ds, err)
+			}
+			cats[alg].tail[ds] = (wa.Upper*2 + wa.P99) / 3
+			cats[alg].nontail[ds] = wa.Mid
+		}
+		opts.logf("table4: accuracy %s done", ds)
+	}
+
+	// --- adaptability (Fig 8 workload, q = 0.5 vs the rest) ---
+	adapt := map[string]string{}
+	{
+		src := datagen.NewAdaptabilityWorkload(datagen.SplitMix64(&seedState), accN)
+		data := datagen.Take(src, 2*accN)
+		exact := stats.NewExactQuantiles(data)
+		for _, alg := range algs {
+			b, err := core.NewBuilder(alg, core.BuilderOptions{Seed: datagen.SplitMix64(&seedState)})
+			if err != nil {
+				return nil, err
+			}
+			sk := b()
+			sketch.InsertAll(sk, data)
+			var medErr, otherErr float64
+			var others int
+			for _, q := range core.AllQuantiles() {
+				est, err := sk.Quantile(q)
+				if err != nil {
+					return nil, err
+				}
+				re := stats.RelativeError(exact.Quantile(q), est)
+				if q == 0.5 {
+					medErr = re
+				} else {
+					otherErr += re
+					others++
+				}
+			}
+			otherErr /= float64(others)
+			switch {
+			case medErr <= 0.02 && otherErr <= 0.02:
+				adapt[alg] = "High"
+			case medErr > 0.02 && otherErr <= 0.02:
+				adapt[alg] = "Inconsistent"
+			default:
+				adapt[alg] = "Low"
+			}
+		}
+	}
+
+	classifyAcc := func(errs map[string]float64) string {
+		const thr = 0.011
+		allOK, synthOK, nonSkewOK := true, true, true
+		for ds, e := range errs {
+			ok := e <= thr
+			if !ok {
+				allOK = false
+				if ds == datagen.DatasetPareto || ds == datagen.DatasetUniform {
+					synthOK = false
+				}
+				if ds != datagen.DatasetPareto { // "non-skewed" = all but the heavy tail
+					nonSkewOK = false
+				}
+			}
+		}
+		switch {
+		case allOK:
+			return "All"
+		case synthOK:
+			return "Synthetic"
+		case nonSkewOK:
+			return "Non-Skewed"
+		default:
+			return "Limited"
+		}
+	}
+	tier := func(ns map[string]float64) map[string]string {
+		type kv struct {
+			alg string
+			v   float64
+		}
+		order := make([]kv, 0, len(ns))
+		for a, v := range ns {
+			order = append(order, kv{a, v})
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].v < order[j].v })
+		out := map[string]string{}
+		for i, e := range order {
+			switch {
+			case i < 2:
+				out[e.alg] = "High"
+			case i < 3:
+				out[e.alg] = "Medium"
+			default:
+				out[e.alg] = "Low"
+			}
+		}
+		return out
+	}
+	insTier, qryTier, mrgTier := tier(insertNS), tier(queryNS), tier(mergeNS)
+
+	cols := []string{"KLL Sketch", "Moments", "DDSketch", "UDDSketch", "ReqSketch (HRA)"}
+	tbl := Table{
+		Title:   "Table 4: algorithm characteristics (derived from this run's measurements)",
+		Headers: append([]string{"Characteristic"}, cols...),
+		Notes: []string{
+			"paper Table 4: speeds — insert H/M for DDS/KLL+Moments, L for UDDS+REQ; query H for KLL/DDS/UDDS; merge H for Moments",
+			"speed tiers here are measured ranks (top2=High, 3rd=Medium, rest=Low) and may shift ±1 tier run to run",
+		},
+	}
+	addRow := func(name string, f func(alg string) string) {
+		row := []string{name}
+		for _, alg := range algs {
+			row = append(row, f(alg))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	addRow("Sketching approach", func(a string) string { return sketchingApproach[a] })
+	addRow("High Tail Accuracy", func(a string) string { return classifyAcc(cats[a].tail) })
+	addRow("High Non-Tail Accuracy", func(a string) string { return classifyAcc(cats[a].nontail) })
+	addRow("Insertion Speed", func(a string) string { return insTier[a] })
+	addRow("Query Speed", func(a string) string { return qryTier[a] })
+	addRow("Merge Speed", func(a string) string { return mrgTier[a] })
+	addRow("Adaptability", func(a string) string { return adapt[a] })
+
+	raw := Table{
+		Title:   "Table 4 raw speed measurements",
+		Headers: []string{"sketch", "insert/op", "8-quantile query", "merge/op"},
+	}
+	for _, alg := range algs {
+		raw.Rows = append(raw.Rows, []string{
+			alg,
+			fmtDur(time.Duration(insertNS[alg])),
+			fmtDur(time.Duration(queryNS[alg])),
+			fmtDur(time.Duration(mergeNS[alg])),
+		})
+	}
+	return []Table{tbl, raw}, nil
+}

@@ -1,0 +1,182 @@
+package hdr
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q * float64(len(sorted))))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func TestPrecisionGuarantee(t *testing.T) {
+	// 3 significant digits → relative quantization error ≤ 10^-3.
+	h, err := New(1, 10_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200000; i++ {
+		v := int64(math.Exp(rng.Float64()*15) + 1)
+		h.RecordValue(v)
+		// Round-trip through the bucket structure.
+		idx := h.countsIndexFor(v)
+		lo, hi := h.valueFor(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket [%d,%d]", v, lo, hi)
+		}
+		if float64(hi-lo) > math.Max(1, float64(v))/500 {
+			t.Fatalf("bucket [%d,%d] too wide for value %d at 3 digits", lo, hi, v)
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h, err := New(1, 1_000_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 200000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Round(1/(1-rng.Float64())*100) + 1
+		h.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		truth := exactQuantile(data, q)
+		est, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := math.Abs(est-truth) / truth; re > 0.01 {
+			t.Errorf("q=%v: rel err %v at 2 significant digits", q, re)
+		}
+	}
+}
+
+func TestClampsToRange(t *testing.T) {
+	h, err := New(10, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Insert(1)     // below range → clamps to 10
+	h.Insert(99999) // above range → clamps to 1000
+	h.Insert(-5)    // negative → clamps to 10
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	lo, _ := h.Quantile(0.3)
+	hi, _ := h.Quantile(1)
+	// Near the lowest discernible value the resolution is
+	// 2^unitMagnitude (= 8 here), so the low estimate is that bucket's
+	// midpoint, not exactly 10.
+	if lo < 10 || lo > 16 {
+		t.Errorf("low clamped quantile = %v, want within 10's bucket", lo)
+	}
+	if hi != 1000 {
+		t.Errorf("high clamped quantile = %v, want 1000", hi)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(0, 100, 2); err == nil {
+		t.Error("lowest 0 should fail")
+	}
+	if _, err := New(100, 150, 2); err == nil {
+		t.Error("highest < 2*lowest should fail")
+	}
+	if _, err := New(1, 100, 0); err == nil {
+		t.Error("0 digits should fail")
+	}
+	if _, err := New(1, 100, 6); err == nil {
+		t.Error("6 digits should fail")
+	}
+}
+
+func TestMergeAndSerde(t *testing.T) {
+	mk := func() *Histogram {
+		h, err := New(1, 100000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 50000; i++ {
+		a.Insert(rng.Float64()*1000 + 1)
+		b.Insert(rng.Float64()*5000 + 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 100000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mk()
+	if err := c.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := a.Quantile(0.9)
+	qc, _ := c.Quantile(0.9)
+	if qa != qc {
+		t.Errorf("round trip: %v != %v", qa, qc)
+	}
+	if err := c.UnmarshalBinary(blob[:11]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+	other, _ := New(1, 100000, 2)
+	if err := a.Merge(other); err == nil {
+		t.Error("config mismatch should fail")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	h, _ := New(1, 1000, 2)
+	if _, err := h.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+// Property: rank is monotone and consistent with quantile.
+func TestQuickRankQuantileConsistency(t *testing.T) {
+	h, _ := New(1, 1_000_000, 3)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50000; i++ {
+		h.Insert(rng.Float64()*10000 + 1)
+	}
+	f := func(qFrac uint16) bool {
+		q := (float64(qFrac) + 1) / 65537
+		v, err := h.Quantile(q)
+		if err != nil {
+			return false
+		}
+		r, err := h.Rank(v)
+		if err != nil {
+			return false
+		}
+		// Rank of the estimate must reach q (within one bucket's mass).
+		return r >= q-0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,402 @@
+// Package kll implements the KLL sketch (Karnin, Lang, Liberty; FOCS
+// 2016) with the practical refinements of Ivkin et al. used by Apache
+// DataSketches: a hierarchy of compactors whose capacities decay
+// geometrically (factor 2/3) from the top level's k, lazy compaction, and
+// exact min/max tracking. An item retained at level h represents 2^h
+// stream items.
+//
+// Mirroring the DataSketches implementation the study evaluates (a
+// *float* sketch), samples are stored as float32; this is what produces
+// the paper's Table 3 footprint of ≈4.24 KB for k = 350 (≈1048 retained
+// samples at 4 bytes each).
+//
+// KLL answers rank queries with additive error εn with high probability;
+// returned quantile estimates are actual stream values (modulo float32
+// rounding), so on data with heavy value repetition it is frequently
+// exact (paper Sec 4.5.3).
+package kll
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"sort"
+
+	"repro/internal/sketch"
+)
+
+// DefaultK is the study's configuration: max_compactor_size = 350, giving
+// an expected rank error of ≈0.97% (Sec 4.2).
+const DefaultK = 350
+
+// minCompactorSize is the smallest capacity any level may have.
+const minCompactorSize = 2
+
+// capacityDecay is the geometric decay of compactor capacities below the
+// top level.
+const capacityDecay = 2.0 / 3.0
+
+// Sketch is a KLL quantile sketch.
+type Sketch struct {
+	k      int
+	levels [][]float32 // levels[h] holds items of weight 2^h
+	count  uint64
+	min    float64
+	max    float64
+	rng    *rand.Rand
+	seed   uint64
+	caps   []int // cached per-level capacities for the current height
+
+	// Sorted-view cache (values ascending with cumulative weights), built
+	// lazily at query time and invalidated by mutation — the same
+	// auxiliary structure DataSketches builds, and the reason KLL query
+	// times are fast and size-stable (Sec 4.4.2).
+	auxVals []float32
+	auxCum  []uint64
+}
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+// New returns a KLL sketch with max compactor size k and a fixed default
+// seed (deterministic across runs). Use NewWithSeed to vary the
+// randomization.
+func New(k int) *Sketch { return NewWithSeed(k, 0x5eed5eed5eed5eed) }
+
+// NewWithSeed returns a KLL sketch whose compaction coin flips derive
+// from seed.
+func NewWithSeed(k int, seed uint64) *Sketch {
+	if k < minCompactorSize {
+		panic(fmt.Sprintf("kll: k must be >= %d, got %d", minCompactorSize, k))
+	}
+	return &Sketch{
+		k:      k,
+		levels: [][]float32{make([]float32, 0, 8)},
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed:   seed,
+	}
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch) Name() string { return "kll" }
+
+// K returns the configured max compactor size.
+func (s *Sketch) K() int { return s.k }
+
+// capacity returns the target capacity of level h given the current
+// number of levels: ⌈k·(2/3)^(H−1−h)⌉ bounded below by 2, so the top
+// level holds k items and lower levels shrink geometrically. Capacities
+// are cached per sketch height since they are consulted on every insert.
+func (s *Sketch) capacity(h int) int {
+	if len(s.caps) != len(s.levels) {
+		s.caps = make([]int, len(s.levels))
+		for lvl := range s.caps {
+			depth := len(s.levels) - 1 - lvl
+			c := int(math.Ceil(float64(s.k) * math.Pow(capacityDecay, float64(depth))))
+			if c < minCompactorSize {
+				c = minCompactorSize
+			}
+			s.caps[lvl] = c
+		}
+	}
+	return s.caps[h]
+}
+
+// Insert implements sketch.Sketch. NaNs are ignored.
+func (s *Sketch) Insert(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.levels[0] = append(s.levels[0], float32(x))
+	s.count++
+	s.auxVals = nil
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	if len(s.levels[0]) >= s.capacity(0) {
+		s.compress()
+	}
+}
+
+// compress cascades compactions from the lowest over-full level upward
+// until every level fits its capacity.
+func (s *Sketch) compress() {
+	for h := 0; h < len(s.levels); h++ {
+		if len(s.levels[h]) >= s.capacity(h) {
+			s.compactLevel(h)
+		}
+	}
+}
+
+// compactLevel sorts level h, promotes a uniformly chosen half (odd- or
+// even-indexed items) to level h+1 and discards the rest. When the level
+// holds an odd number of items one item stays behind so total weight is
+// conserved exactly.
+func (s *Sketch) compactLevel(h int) {
+	buf := s.levels[h]
+	if len(buf) < minCompactorSize {
+		return
+	}
+	if h+1 >= len(s.levels) {
+		s.levels = append(s.levels, make([]float32, 0, s.capacity(h)+1))
+	}
+	sortFloat32(buf)
+	// Keep one leftover on odd sizes: compact items buf[start:start+2m].
+	m := len(buf) / 2
+	start := len(buf) - 2*m // 0 or 1; the smallest item stays on odd sizes
+	offset := 0
+	if s.rng.Uint64()&1 == 1 {
+		offset = 1
+	}
+	for i := 0; i < m; i++ {
+		s.levels[h+1] = append(s.levels[h+1], buf[start+2*i+offset])
+	}
+	if start == 1 {
+		s.levels[h] = append(s.levels[h][:0], buf[0])
+	} else {
+		s.levels[h] = s.levels[h][:0]
+	}
+}
+
+func sortFloat32(b []float32) { slices.Sort(b) }
+
+// Count implements sketch.Sketch.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// weighted is one retained sample with its level weight.
+type weighted struct {
+	v float32
+	w uint64
+}
+
+// samples returns all retained items with weights, sorted by value.
+func (s *Sketch) samples() []weighted {
+	total := 0
+	for _, lv := range s.levels {
+		total += len(lv)
+	}
+	out := make([]weighted, 0, total)
+	for h, lv := range s.levels {
+		w := uint64(1) << uint(h)
+		for _, v := range lv {
+			out = append(out, weighted{v, w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	return out
+}
+
+// buildAux materializes the sorted view once per mutation epoch.
+func (s *Sketch) buildAux() {
+	if s.auxVals != nil {
+		return
+	}
+	sm := s.samples()
+	s.auxVals = make([]float32, len(sm))
+	s.auxCum = make([]uint64, len(sm))
+	var cum uint64
+	for i, e := range sm {
+		cum += e.w
+		s.auxVals[i] = e.v
+		s.auxCum[i] = cum
+	}
+}
+
+// Quantile implements sketch.Sketch: the retained sample whose cumulative
+// weight first reaches ⌈qN⌉. Estimates are actual inserted values
+// (float32-rounded); q = 1 returns the exact maximum.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if err := sketch.CheckQuantile(q); err != nil {
+		return 0, err
+	}
+	if s.count == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	if q == 1 {
+		return s.max, nil
+	}
+	target := uint64(math.Ceil(q * float64(s.count)))
+	if target < 1 {
+		target = 1
+	}
+	s.buildAux()
+	// First position whose cumulative weight reaches the target rank.
+	i := sort.Search(len(s.auxCum), func(i int) bool { return s.auxCum[i] >= target })
+	if i >= len(s.auxVals) {
+		return s.max, nil
+	}
+	return clampF(float64(s.auxVals[i]), s.min, s.max), nil
+}
+
+// Rank implements sketch.Sketch.
+func (s *Sketch) Rank(x float64) (float64, error) {
+	if s.count == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	s.buildAux()
+	xf := float32(x)
+	// Last position with value ≤ x.
+	i := sort.Search(len(s.auxVals), func(i int) bool { return s.auxVals[i] > xf })
+	if i == 0 {
+		return 0, nil
+	}
+	return float64(s.auxCum[i-1]) / float64(s.count), nil
+}
+
+// Merge implements sketch.Sketch: compactors at the same height are
+// concatenated and any level exceeding the merged sketch's capacity
+// schedule is compacted (Sec 3.1).
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into kll", sketch.ErrIncompatible, other.Name())
+	}
+	if o.k != s.k {
+		return fmt.Errorf("%w: k mismatch %d vs %d", sketch.ErrIncompatible, s.k, o.k)
+	}
+	for len(s.levels) < len(o.levels) {
+		s.levels = append(s.levels, nil)
+	}
+	for h, lv := range o.levels {
+		s.levels[h] = append(s.levels[h], lv...)
+	}
+	s.count += o.count
+	s.auxVals = nil
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.compress()
+	return nil
+}
+
+// SampleValues returns the values of every retained sample (unsorted,
+// duplicates preserved) as float64s. KLL± uses them as quantile-search
+// candidates.
+func (s *Sketch) SampleValues() []float64 {
+	out := make([]float64, 0, s.Retained())
+	for _, lv := range s.levels {
+		for _, v := range lv {
+			out = append(out, float64(v))
+		}
+	}
+	return out
+}
+
+// Retained reports the total number of samples currently held.
+func (s *Sketch) Retained() int {
+	n := 0
+	for _, lv := range s.levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// NumLevels reports the current compactor count.
+func (s *Sketch) NumLevels() int { return len(s.levels) }
+
+// MemoryBytes implements sketch.Sketch: 4 bytes per allocated float32
+// slot. Like the DataSketches implementation the study measured, the
+// accounting covers the full compactor capacities (the paper's "total
+// sample size of 1048" for k = 350 is the capacity sum k·Σ(2/3)^i ≈ 3k),
+// not just their current occupancy, plus fixed bookkeeping.
+func (s *Sketch) MemoryBytes() int {
+	slots := 0
+	for h := range s.levels {
+		c := s.capacity(h)
+		if n := len(s.levels[h]); n > c {
+			c = n
+		}
+		slots += c
+	}
+	return 4*slots + 8*8
+}
+
+// Reset implements sketch.Sketch.
+func (s *Sketch) Reset() {
+	*s = *NewWithSeed(s.k, s.seed)
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	w := sketch.NewWriter(64 + 4*s.Retained())
+	w.Header(sketch.TagKLL)
+	w.U32(uint32(s.k))
+	w.U64(s.seed)
+	w.U64(s.count)
+	w.F64(s.min)
+	w.F64(s.max)
+	w.U32(uint32(len(s.levels)))
+	for _, lv := range s.levels {
+		w.U32(uint32(len(lv)))
+		for _, v := range lv {
+			w.U32(math.Float32bits(v))
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded
+// sketch re-seeds its compaction RNG from the serialized seed and current
+// count; the randomization stream differs from the original's but the
+// error guarantees are unaffected.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := sketch.NewReader(data)
+	if err := r.Header(sketch.TagKLL); err != nil {
+		return err
+	}
+	k := int(r.U32())
+	seed := r.U64()
+	count := r.U64()
+	minV := r.F64()
+	maxV := r.F64()
+	numLevels := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if k < minCompactorSize || k > 1<<24 || numLevels < 1 || numLevels > 64 {
+		return sketch.ErrCorrupt
+	}
+	ns := NewWithSeed(k, seed^count)
+	ns.seed = seed
+	ns.count = count
+	ns.min = minV
+	ns.max = maxV
+	ns.levels = make([][]float32, numLevels)
+	for h := range ns.levels {
+		n := int(r.U32())
+		if r.Err() != nil || n < 0 || n > (r.Remaining())/4 {
+			return sketch.ErrCorrupt
+		}
+		lv := make([]float32, n)
+		for i := range lv {
+			lv[i] = math.Float32frombits(r.U32())
+		}
+		ns.levels[h] = lv
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if r.Remaining() != 0 {
+		return sketch.ErrCorrupt
+	}
+	*s = *ns
+	return nil
+}

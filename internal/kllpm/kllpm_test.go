@@ -1,0 +1,172 @@
+package kllpm
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func exactRankOf(sorted []float64, x float64) float64 {
+	i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(sorted))
+}
+
+func TestInsertOnlyMatchesKLLBehaviour(t *testing.T) {
+	s := NewWithSeed(200, 1)
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 200000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 1000
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := math.Abs(q - exactRankOf(data, est)); re > 0.03 {
+			t.Errorf("q=%v: rank error %v", q, re)
+		}
+	}
+}
+
+func TestDeletionsShiftQuantiles(t *testing.T) {
+	s := NewWithSeed(200, 3)
+	// Insert 1..100000, delete the lower half: live data is 50001..100000.
+	n := 100000
+	for i := 1; i <= n; i++ {
+		s.Insert(float64(i))
+	}
+	for i := 1; i <= n/2; i++ {
+		s.Delete(float64(i))
+	}
+	if got, want := s.Count(), uint64(n/2); got != want {
+		t.Fatalf("live count %d, want %d", got, want)
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True live median is 75000; tolerance εn over ALL ops (150k).
+	if math.Abs(med-75000) > 6000 {
+		t.Errorf("median after deletions = %v, want ≈ 75000", med)
+	}
+	lo, err := s.Quantile(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 45000 {
+		t.Errorf("q0.01 = %v should sit near the deleted boundary (≈50500)", lo)
+	}
+}
+
+func TestInterleavedChurn(t *testing.T) {
+	// A sliding multiset: insert i, delete i−window. The live set is
+	// always the last `window` integers.
+	s := NewWithSeed(350, 5)
+	window := 50000
+	total := 300000
+	for i := 0; i < total; i++ {
+		s.Insert(float64(i))
+		if i >= window {
+			s.Delete(float64(i - window))
+		}
+	}
+	if got, want := s.Count(), uint64(window); got != want {
+		t.Fatalf("live count %d, want %d", got, want)
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(total - window/2)
+	// ε scales with total operations (550k), so allow a few percent.
+	if math.Abs(med-want) > 0.06*float64(total) {
+		t.Errorf("median = %v, want ≈ %v", med, want)
+	}
+}
+
+func TestEmptyAndExhausted(t *testing.T) {
+	s := New(100)
+	if _, err := s.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	s.Insert(5)
+	s.Delete(5)
+	if s.Count() != 0 {
+		t.Errorf("count = %d after cancelling ops", s.Count())
+	}
+	if _, err := s.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("exhausted err = %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewWithSeed(200, 7), NewWithSeed(200, 8)
+	for i := 1; i <= 50000; i++ {
+		a.Insert(float64(i))
+		b.Insert(float64(i + 50000))
+	}
+	for i := 1; i <= 25000; i++ {
+		b.Delete(float64(i + 50000))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Count(), uint64(75000); got != want {
+		t.Fatalf("merged live count %d, want %d", got, want)
+	}
+	c := NewWithSeed(100, 9)
+	if err := a.Merge(c); err == nil {
+		t.Error("k mismatch should fail")
+	}
+}
+
+func TestRankMonotone(t *testing.T) {
+	s := NewWithSeed(150, 11)
+	rng := rand.New(rand.NewPCG(4, 5))
+	for i := 0; i < 50000; i++ {
+		x := rng.Float64() * 100
+		s.Insert(x)
+		if rng.Float64() < 0.3 {
+			s.Delete(x)
+		}
+	}
+	prev := -1.0
+	for x := 0.0; x <= 100; x += 5 {
+		r, err := s.Rank(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev-1e-9 {
+			t.Errorf("rank not monotone at %v: %v < %v", x, r, prev)
+		}
+		prev = r
+	}
+}
+
+// Property: with deletions of a random subset, live count is exact.
+func TestQuickLiveCount(t *testing.T) {
+	f := func(n uint16, delFrac uint8) bool {
+		s := NewWithSeed(64, uint64(n)*31+uint64(delFrac))
+		dels := 0
+		for i := 0; i < int(n); i++ {
+			s.Insert(float64(i))
+			if i%7 < int(delFrac)%7 {
+				s.Delete(float64(i))
+				dels++
+			}
+		}
+		return s.Count() == uint64(int(n)-dels) &&
+			s.Operations() == uint64(int(n)+dels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

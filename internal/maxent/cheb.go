@@ -1,0 +1,91 @@
+// Package maxent solves the maximum-entropy density-estimation problem at
+// the core of the Moments Sketch (Gan et al., VLDB 2018): given the first
+// k Chebyshev moments of an unknown distribution supported on [−1, 1],
+// find the density f(t) = exp(Σ_j λ_j T_j(t)) matching those moments —
+// the unique maximum-Shannon-entropy distribution consistent with them.
+// The convex dual is minimized with damped Newton iterations on a
+// quadrature grid, using the Chebyshev product identity
+// T_i·T_j = (T_{i+j} + T_{|i−j|})/2 to assemble the Hessian cheaply.
+package maxent
+
+// ChebyshevCoefficients returns the power-basis coefficient vectors of
+// T_0..T_{k−1}: out[j][m] is the coefficient of t^m in T_j(t), from the
+// recurrence T_{j+1} = 2t·T_j − T_{j−1}.
+func ChebyshevCoefficients(k int) [][]float64 {
+	if k < 1 {
+		return nil
+	}
+	out := make([][]float64, k)
+	out[0] = []float64{1}
+	if k == 1 {
+		return out
+	}
+	out[1] = []float64{0, 1}
+	for j := 2; j < k; j++ {
+		cur := make([]float64, j+1)
+		for m, c := range out[j-1] {
+			cur[m+1] += 2 * c
+		}
+		for m, c := range out[j-2] {
+			cur[m] -= c
+		}
+		out[j] = cur
+	}
+	return out
+}
+
+// PowerToChebyshevMoments converts power moments μ_m = E[t^m], m = 0..k−1,
+// of a distribution on [−1, 1] into Chebyshev moments c_j = E[T_j(t)].
+func PowerToChebyshevMoments(mu []float64) []float64 {
+	coeffs := ChebyshevCoefficients(len(mu))
+	out := make([]float64, len(mu))
+	for j, poly := range coeffs {
+		var c float64
+		for m, a := range poly {
+			c += a * mu[m]
+		}
+		out[j] = c
+	}
+	return out
+}
+
+// ShiftPowerMoments converts raw power moments E[x^m] into power moments
+// of t = a·x + b via the binomial theorem: E[t^m] = Σ_i C(m,i)·a^i·b^(m−i)·E[x^i].
+// This is how the sketch's raw power sums are rescaled onto [−1, 1] at
+// query time (the scaling depends on the running min/max, so it cannot be
+// applied at insert time).
+func ShiftPowerMoments(raw []float64, a, b float64) []float64 {
+	k := len(raw)
+	out := make([]float64, k)
+	// binom[m][i], built row by row (Pascal's triangle).
+	binom := make([][]float64, k)
+	for m := 0; m < k; m++ {
+		binom[m] = make([]float64, m+1)
+		binom[m][0] = 1
+		for i := 1; i <= m; i++ {
+			if i == m {
+				binom[m][i] = 1
+			} else {
+				binom[m][i] = binom[m-1][i-1] + binom[m-1][i]
+			}
+		}
+	}
+	for m := 0; m < k; m++ {
+		var sum float64
+		ai := 1.0 // a^i
+		for i := 0; i <= m; i++ {
+			sum += binom[m][i] * ai * powf(b, m-i) * raw[i]
+			ai *= a
+		}
+		out[m] = sum
+	}
+	return out
+}
+
+func powf(x float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= x
+	}
+	return p
+}

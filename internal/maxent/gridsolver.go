@@ -1,0 +1,256 @@
+package maxent
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridSolver solves the max-entropy problem for an arbitrary basis
+// tabulated on a grid: find f(g) = exp(Σ_i λ_i B_i(g)) whose basis
+// moments ∫B_i·f match the targets. It generalizes Solver (whose basis
+// is the Chebyshev polynomials of one variable, with a fast
+// product-identity Hessian) to mixed bases — in particular the original
+// Moments Sketch design where standard-moment AND log-moment constraints
+// are imposed jointly. The Hessian is assembled by direct quadrature,
+// O(k²·grid) per Newton step.
+type GridSolver struct {
+	basis   [][]float64 // basis[i][g]; basis[0] must be all ones
+	weights []float64   // quadrature weight per grid cell
+}
+
+// NewGridSolver wraps basis values on a grid with per-cell quadrature
+// weights (uniform grids pass all-equal weights). The first basis row
+// must be constant 1.
+func NewGridSolver(basis [][]float64, weights []float64) (*GridSolver, error) {
+	if len(basis) < 2 {
+		return nil, fmt.Errorf("maxent: need at least 2 basis functions, got %d", len(basis))
+	}
+	g := len(weights)
+	if g < 8 {
+		return nil, fmt.Errorf("maxent: grid too small (%d)", g)
+	}
+	for i, row := range basis {
+		if len(row) != g {
+			return nil, fmt.Errorf("maxent: basis %d has %d values for a %d-cell grid", i, len(row), g)
+		}
+	}
+	for _, v := range basis[0] {
+		if v != 1 {
+			return nil, fmt.Errorf("maxent: basis[0] must be the constant 1")
+		}
+	}
+	return &GridSolver{basis: basis, weights: weights}, nil
+}
+
+// GridDensity is a solved density tabulated on the solver's grid.
+type GridDensity struct {
+	pdf []float64
+	cdf []float64
+}
+
+// Solve runs damped Newton iterations to match the target moments d
+// (len(d) = number of basis functions, d[0] = 1).
+func (s *GridSolver) Solve(d []float64) (*GridDensity, error) {
+	k := len(s.basis)
+	if len(d) != k {
+		return nil, fmt.Errorf("%w: got %d moments for %d basis functions", ErrBadMoments, len(d), k)
+	}
+	for _, v := range d {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrBadMoments
+		}
+	}
+	gs := len(s.weights)
+	lambda := make([]float64, k)
+	// Start from the maximum-entropy density with only the mass
+	// constraint: f = 1/Σw.
+	var wSum float64
+	for _, w := range s.weights {
+		wSum += w
+	}
+	lambda[0] = math.Log(1 / wSum)
+
+	f := make([]float64, gs)
+	grad := make([]float64, k)
+	hess := make([]float64, k*k)
+	step := make([]float64, k)
+	trial := make([]float64, k)
+	scratch := make([][]float64, k) // B_i weighted by f, reused per iter
+	for i := range scratch {
+		scratch[i] = make([]float64, gs)
+	}
+
+	evalDensity := func(l []float64, out []float64) {
+		for g := 0; g < gs; g++ {
+			var e float64
+			for i := 0; i < k; i++ {
+				e += l[i] * s.basis[i][g]
+			}
+			if e > maxExpArg {
+				e = maxExpArg
+			} else if e < -maxExpArg {
+				e = -maxExpArg
+			}
+			out[g] = math.Exp(e)
+		}
+	}
+	potential := func(l []float64, fv []float64) float64 {
+		var z float64
+		for g := 0; g < gs; g++ {
+			z += fv[g] * s.weights[g]
+		}
+		var lin float64
+		for i := 0; i < k; i++ {
+			lin += l[i] * d[i]
+		}
+		return z - lin
+	}
+
+	evalDensity(lambda, f)
+	p := potential(lambda, f)
+	for iter := 0; iter < maxNewtonIters; iter++ {
+		// Gradient: basis moments of f minus targets.
+		maxG := 0.0
+		for i := 0; i < k; i++ {
+			var acc float64
+			for g := 0; g < gs; g++ {
+				v := s.basis[i][g] * f[g] * s.weights[g]
+				scratch[i][g] = v
+				acc += v
+			}
+			grad[i] = acc - d[i]
+			if a := math.Abs(grad[i]); a > maxG {
+				maxG = a
+			}
+		}
+		if maxG < gradTol {
+			return s.tabulate(f), nil
+		}
+		// Hessian: H_ij = Σ_g B_i B_j f w (reuse B_i·f·w from scratch).
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				var acc float64
+				row := s.basis[j]
+				sc := scratch[i]
+				for g := 0; g < gs; g++ {
+					acc += sc[g] * row[g]
+				}
+				hess[i*k+j] = acc
+				hess[j*k+i] = acc
+			}
+		}
+		if !solveSPD(hess, grad, step, k) {
+			return nil, ErrNoConvergence
+		}
+		descent := 0.0
+		for i := 0; i < k; i++ {
+			step[i] = -step[i]
+			descent += grad[i] * step[i]
+		}
+		alpha := 1.0
+		improved := false
+		for t := 0; t < 40; t++ {
+			for i := 0; i < k; i++ {
+				trial[i] = lambda[i] + alpha*step[i]
+			}
+			evalDensity(trial, f)
+			pt := potential(trial, f)
+			if pt <= p+1e-4*alpha*descent || pt < p {
+				copy(lambda, trial)
+				p = pt
+				improved = true
+				break
+			}
+			alpha /= 2
+		}
+		if !improved {
+			if maxG < 1e-4 {
+				return s.tabulate(f), nil
+			}
+			return nil, ErrNoConvergence
+		}
+	}
+	// Loose acceptance, mirroring Solver.
+	for i := 0; i < k; i++ {
+		var acc float64
+		for g := 0; g < gs; g++ {
+			acc += s.basis[i][g] * f[g] * s.weights[g]
+		}
+		if math.Abs(acc-d[i]) > 1e-3 {
+			return nil, ErrNoConvergence
+		}
+	}
+	return s.tabulate(f), nil
+}
+
+func (s *GridSolver) tabulate(f []float64) *GridDensity {
+	pdf := append([]float64(nil), f...)
+	cdf := make([]float64, len(pdf))
+	var z, cum float64
+	for g, v := range pdf {
+		z += v * s.weights[g]
+	}
+	for g, v := range pdf {
+		cum += v * s.weights[g]
+		cdf[g] = cum / z
+	}
+	return &GridDensity{pdf: pdf, cdf: cdf}
+}
+
+// QuantileCell returns the (fractional) grid cell index where the CDF
+// reaches q; callers map it back to their value domain.
+func (dn *GridDensity) QuantileCell(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return float64(len(dn.cdf) - 1)
+	}
+	lo, hi := 0, len(dn.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if dn.cdf[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	g := lo
+	prev := 0.0
+	if g > 0 {
+		prev = dn.cdf[g-1]
+	}
+	frac := 0.5
+	if dn.cdf[g] > prev {
+		frac = (q - prev) / (dn.cdf[g] - prev)
+	}
+	return float64(g) - 0.5 + frac
+}
+
+// CDFCell returns the CDF at a (fractional) grid cell index.
+func (dn *GridDensity) CDFCell(cell float64) float64 {
+	if cell <= -0.5 {
+		return 0
+	}
+	last := float64(len(dn.cdf) - 1)
+	if cell >= last+0.5 {
+		return 1
+	}
+	pos := cell + 0.5
+	g := int(pos)
+	if g >= len(dn.cdf) {
+		g = len(dn.cdf) - 1
+	}
+	prev := 0.0
+	if g > 0 {
+		prev = dn.cdf[g-1]
+	}
+	frac := pos - float64(g)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return prev + frac*(dn.cdf[g]-prev)
+}

@@ -1,0 +1,167 @@
+package maxent
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformGridBasis builds the Chebyshev basis on a uniform [−1,1] grid,
+// the same structure Solver uses — letting us check GridSolver against
+// the specialized solver.
+func uniformGridBasis(k, gs int) (basis [][]float64, weights []float64) {
+	dt := 2 / float64(gs)
+	grid := make([]float64, gs)
+	for g := range grid {
+		grid[g] = -1 + (float64(g)+0.5)*dt
+	}
+	basis = make([][]float64, k)
+	basis[0] = make([]float64, gs)
+	for g := range basis[0] {
+		basis[0][g] = 1
+	}
+	if k > 1 {
+		basis[1] = append([]float64(nil), grid...)
+	}
+	for i := 2; i < k; i++ {
+		row := make([]float64, gs)
+		for g := range row {
+			row[g] = 2*grid[g]*basis[i-1][g] - basis[i-2][g]
+		}
+		basis[i] = row
+	}
+	weights = make([]float64, gs)
+	for g := range weights {
+		weights[g] = dt
+	}
+	return
+}
+
+func TestGridSolverMatchesChebyshevSolver(t *testing.T) {
+	k, gs := 6, 512
+	// Moments of the uniform distribution on [−1,1].
+	mu := make([]float64, k)
+	for m := 0; m < k; m++ {
+		if m%2 == 0 {
+			mu[m] = 1 / float64(m+1)
+		}
+	}
+	d := PowerToChebyshevMoments(mu)
+
+	ref := NewSolver(k, gs)
+	refDens, err := ref.Solve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis, weights := uniformGridBasis(k, gs)
+	gen, err := NewGridSolver(basis, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genDens, err := gen.Solve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		a := refDens.QuantileT(q)
+		// Map the generic solver's cell back to [−1,1].
+		cell := genDens.QuantileCell(q)
+		b := -1 + (cell+0.5)*(2/float64(gs))
+		if math.Abs(a-b) > 0.01 {
+			t.Errorf("q=%v: specialized %v vs generic %v", q, a, b)
+		}
+	}
+}
+
+func TestGridSolverValidation(t *testing.T) {
+	basis, weights := uniformGridBasis(4, 64)
+	if _, err := NewGridSolver(basis[:1], weights); err == nil {
+		t.Error("single basis function should fail")
+	}
+	if _, err := NewGridSolver(basis, weights[:4]); err == nil {
+		t.Error("tiny grid should fail")
+	}
+	short := [][]float64{basis[0], basis[1][:10]}
+	if _, err := NewGridSolver(short, weights); err == nil {
+		t.Error("ragged basis should fail")
+	}
+	notOnes := [][]float64{append([]float64(nil), basis[1]...), basis[1]}
+	if _, err := NewGridSolver(notOnes, weights); err == nil {
+		t.Error("non-constant first basis should fail")
+	}
+	s, err := NewGridSolver(basis, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve([]float64{1, 0}); err == nil {
+		t.Error("wrong moment count should fail")
+	}
+	if _, err := s.Solve([]float64{1, math.NaN(), 0, 0}); err == nil {
+		t.Error("NaN moment should fail")
+	}
+}
+
+func TestGridDensityCDFInvertsQuantile(t *testing.T) {
+	k, gs := 5, 256
+	mu := make([]float64, k)
+	for m := 0; m < k; m++ {
+		if m%2 == 0 {
+			mu[m] = 1 / float64(m+1)
+		}
+	}
+	basis, weights := uniformGridBasis(k, gs)
+	s, err := NewGridSolver(basis, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dens, err := s.Solve(PowerToChebyshevMoments(mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0.05; q < 1; q += 0.1 {
+		cell := dens.QuantileCell(q)
+		back := dens.CDFCell(cell)
+		if math.Abs(back-q) > 0.01 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, back)
+		}
+	}
+	// Edges.
+	if dens.QuantileCell(0) != 0 {
+		t.Error("q=0 should map to the first cell")
+	}
+	if dens.QuantileCell(1) != float64(gs-1) {
+		t.Error("q=1 should map to the last cell")
+	}
+	if dens.CDFCell(-10) != 0 || dens.CDFCell(float64(gs)+10) != 1 {
+		t.Error("CDF edges wrong")
+	}
+}
+
+// Non-uniform weights: the solver must respect the quadrature measure.
+// Uniform-density moments with exponential cell weights correspond to a
+// density that compensates; just assert convergence and a monotone CDF.
+func TestGridSolverNonUniformWeights(t *testing.T) {
+	k, gs := 4, 256
+	basis, weights := uniformGridBasis(k, gs)
+	for g := range weights {
+		weights[g] = weights[g] * (1 + float64(g)/float64(gs))
+	}
+	mu := []float64{1, 0, 1.0 / 3, 0}
+	s, err := NewGridSolver(basis, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dens, err := s.Solve(PowerToChebyshevMoments(mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, c := range dens.cdf {
+		if c < prev-1e-12 {
+			t.Fatal("CDF not monotone")
+		}
+		prev = c
+	}
+	if math.Abs(dens.cdf[len(dens.cdf)-1]-1) > 1e-9 {
+		t.Errorf("CDF does not end at 1: %v", prev)
+	}
+}

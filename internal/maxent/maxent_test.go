@@ -1,0 +1,239 @@
+package maxent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChebyshevCoefficients(t *testing.T) {
+	c := ChebyshevCoefficients(5)
+	want := [][]float64{
+		{1},
+		{0, 1},
+		{-1, 0, 2},
+		{0, -3, 0, 4},
+		{1, 0, -8, 0, 8},
+	}
+	for j := range want {
+		if len(c[j]) != len(want[j]) {
+			t.Fatalf("T_%d has %d coeffs, want %d", j, len(c[j]), len(want[j]))
+		}
+		for m := range want[j] {
+			if c[j][m] != want[j][m] {
+				t.Errorf("T_%d coeff %d = %v, want %v", j, m, c[j][m], want[j][m])
+			}
+		}
+	}
+}
+
+// Chebyshev values from coefficients must match the recurrence used by
+// the solver grid.
+func TestChebyshevConsistency(t *testing.T) {
+	coeffs := ChebyshevCoefficients(8)
+	for _, x := range []float64{-1, -0.5, 0, 0.3, 0.99, 1} {
+		tPrev, tCur := 1.0, x
+		for j := 0; j < 8; j++ {
+			var fromCoef float64
+			p := 1.0
+			for _, c := range coeffs[j] {
+				fromCoef += c * p
+				p *= x
+			}
+			var rec float64
+			switch j {
+			case 0:
+				rec = 1
+			case 1:
+				rec = x
+			default:
+				rec = 2*x*tCur - tPrev
+				tPrev, tCur = tCur, rec
+			}
+			if math.Abs(fromCoef-rec) > 1e-9 {
+				t.Fatalf("T_%d(%v): coeffs %v vs recurrence %v", j, x, fromCoef, rec)
+			}
+		}
+	}
+}
+
+// Also: T_j(cos θ) = cos(jθ).
+func TestChebyshevIdentity(t *testing.T) {
+	coeffs := ChebyshevCoefficients(10)
+	for theta := 0.0; theta <= math.Pi; theta += 0.1 {
+		x := math.Cos(theta)
+		for j, poly := range coeffs {
+			var v float64
+			p := 1.0
+			for _, c := range poly {
+				v += c * p
+				p *= x
+			}
+			if want := math.Cos(float64(j) * theta); math.Abs(v-want) > 1e-8 {
+				t.Fatalf("T_%d(cos %v) = %v, want %v", j, theta, v, want)
+			}
+		}
+	}
+}
+
+func TestShiftPowerMoments(t *testing.T) {
+	// Distribution: point mass at x = 3. Raw moments E[x^m] = 3^m.
+	raw := []float64{1, 3, 9, 27}
+	// t = 0.5x − 1 → point mass at t = 0.5.
+	got := ShiftPowerMoments(raw, 0.5, -1)
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("moment %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Solving with the moments of the uniform distribution on [−1,1] must
+// recover (approximately) the uniform density: E[T_0]=1, E[T_1]=0,
+// E[T_2]=∫t²/2·2−... use exact: E[t^m] = 0 for odd m, 1/(m+1) for even m.
+func TestSolveUniform(t *testing.T) {
+	k := 8
+	mu := make([]float64, k)
+	for m := 0; m < k; m++ {
+		if m%2 == 0 {
+			mu[m] = 1 / float64(m+1)
+		}
+	}
+	d := PowerToChebyshevMoments(mu)
+	s := NewSolver(k, 512)
+	dens, err := s.Solve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantiles of U(−1,1): q-quantile = 2q − 1.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := dens.QuantileT(q)
+		want := 2*q - 1
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("uniform q=%v: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+// A truncated-Gaussian-like density: feed the sample moments of a normal
+// clipped to [−1,1] and check the median comes back near its mean.
+func TestSolveGaussianLike(t *testing.T) {
+	k := 10
+	// Sample moments of N(0.2, 0.1²) — essentially fully inside [−1,1].
+	const mean, sd = 0.2, 0.1
+	mu := make([]float64, k)
+	// Use the moment recurrence for the normal distribution:
+	// E[x^m] = mean·E[x^(m−1)] + (m−1)·sd²·E[x^(m−2)].
+	mu[0] = 1
+	if k > 1 {
+		mu[1] = mean
+	}
+	for m := 2; m < k; m++ {
+		mu[m] = mean*mu[m-1] + float64(m-1)*sd*sd*mu[m-2]
+	}
+	d := PowerToChebyshevMoments(mu)
+	s := NewSolver(k, 1024)
+	dens, err := s.Solve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dens.QuantileT(0.5); math.Abs(got-mean) > 0.01 {
+		t.Errorf("median = %v, want ≈ %v", got, mean)
+	}
+	// 84th percentile ≈ mean + sd.
+	if got := dens.QuantileT(0.8413); math.Abs(got-(mean+sd)) > 0.02 {
+		t.Errorf("q=0.84 = %v, want ≈ %v", got, mean+sd)
+	}
+}
+
+func TestSolveRejectsBadMoments(t *testing.T) {
+	s := NewSolver(4, 256)
+	if _, err := s.Solve([]float64{1, math.NaN(), 0, 0}); err == nil {
+		t.Error("NaN moment should fail")
+	}
+	if _, err := s.Solve([]float64{1, 5, 0, 0}); err == nil {
+		t.Error("|c_1| > 1 should fail")
+	}
+	if _, err := s.Solve([]float64{1, 0}); err == nil {
+		t.Error("wrong moment count should fail")
+	}
+}
+
+func TestDensityCDFInvertsQuantile(t *testing.T) {
+	k := 6
+	mu := make([]float64, k)
+	for m := 0; m < k; m++ {
+		if m%2 == 0 {
+			mu[m] = 1 / float64(m+1)
+		}
+	}
+	s := NewSolver(k, 512)
+	dens, err := s.Solve(PowerToChebyshevMoments(mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0.05; q < 1; q += 0.05 {
+		tq := dens.QuantileT(q)
+		back := dens.CDFT(tq)
+		if math.Abs(back-q) > 0.01 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, back)
+		}
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// 2x2 system: [[4,2],[2,3]]·x = [2,5] → x = [−0.5, 2].
+	a := []float64{4, 2, 2, 3}
+	b := []float64{2, 5}
+	x := make([]float64, 2)
+	if !solveSPD(a, b, x, 2) {
+		t.Fatal("solve failed")
+	}
+	if math.Abs(x[0]+0.5) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [-0.5, 2]", x)
+	}
+}
+
+// Property: solveSPD solves random SPD systems A = MᵀM + I.
+func TestQuickSolveSPD(t *testing.T) {
+	f := func(seedVals [9]int8, bv [3]int8) bool {
+		n := 3
+		m := make([]float64, n*n)
+		for i := range m {
+			m[i] = float64(seedVals[i]) / 16
+		}
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for p := 0; p < n; p++ {
+					s += m[p*n+i] * m[p*n+j]
+				}
+				if i == j {
+					s += 1
+				}
+				a[i*n+j] = s
+			}
+		}
+		b := []float64{float64(bv[0]), float64(bv[1]), float64(bv[2])}
+		x := make([]float64, n)
+		if !solveSPD(a, b, x, n) {
+			return false
+		}
+		// Verify residual.
+		for i := 0; i < n; i++ {
+			var r float64
+			for j := 0; j < n; j++ {
+				r += a[i*n+j] * x[j]
+			}
+			if math.Abs(r-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+package moments
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q * float64(len(sorted))))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func relErr(truth, est float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(truth-est) / math.Abs(truth)
+}
+
+func TestUniformData(t *testing.T) {
+	s := New(DefaultK)
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 30 + 70*rng.Float64()
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatalf("q=%v: %v", q, err)
+		}
+		if re := relErr(exactQuantile(data, q), est); re > 0.01 {
+			t.Errorf("q=%v: rel err %v on uniform data (est=%v truth=%v)",
+				q, re, est, exactQuantile(data, q))
+		}
+	}
+}
+
+func TestGaussianData(t *testing.T) {
+	s := New(DefaultK)
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1000 + 50*rng.NormFloat64()
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(exactQuantile(data, q), est); re > 0.005 {
+			t.Errorf("q=%v: rel err %v on gaussian data", q, re)
+		}
+	}
+}
+
+// Pareto with a log transform: the transformed data is exponential, which
+// the max-entropy fit handles well. This mirrors the study's methodology
+// for data spanning many orders of magnitude (Sec 4.2).
+func TestParetoWithLogTransform(t *testing.T) {
+	s := NewWithTransform(DefaultK, TransformLog)
+	rng := rand.New(rand.NewPCG(7, 8))
+	n := 200000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1 / (1 - rng.Float64()) // Pareto α=1
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95, 0.98} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(exactQuantile(data, q), est); re > 0.05 {
+			t.Errorf("q=%v: rel err %v on log-transformed Pareto", q, re)
+		}
+	}
+}
+
+func TestArcsinhTransform(t *testing.T) {
+	s := NewWithTransform(DefaultK, TransformArcsinh)
+	rng := rand.New(rand.NewPCG(9, 10))
+	n := 50000
+	data := make([]float64, n)
+	for i := range data {
+		// Signed, large magnitude.
+		data[i] = rng.NormFloat64() * 1e4
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	est, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exactQuantile(data, 0.5)
+	if math.Abs(est-truth) > 500 { // |median| ≈ 0, compare absolutely vs sd=1e4
+		t.Errorf("median = %v, want ≈ %v", est, truth)
+	}
+}
+
+func TestMinCardinality(t *testing.T) {
+	s := New(DefaultK)
+	for i := 0; i < MinCardinality-1; i++ {
+		s.Insert(float64(i + 1))
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Error("expected ErrTooFewValues below the minimum cardinality")
+	}
+	s.Insert(10)
+	if _, err := s.Quantile(0.5); err != nil {
+		t.Errorf("at min cardinality: %v", err)
+	}
+}
+
+func TestAllEqualValues(t *testing.T) {
+	s := New(DefaultK)
+	for i := 0; i < 100; i++ {
+		s.Insert(42)
+	}
+	got, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-42) > 1e-9 {
+		t.Errorf("all-equal median = %v, want 42", got)
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	s := New(DefaultK)
+	if _, err := s.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	s.Insert(1)
+	if _, err := s.Quantile(0); err == nil {
+		t.Error("Quantile(0) should fail")
+	}
+}
+
+func TestLogTransformIgnoresNonPositive(t *testing.T) {
+	s := NewWithTransform(DefaultK, TransformLog)
+	s.Insert(-5)
+	s.Insert(0)
+	if s.Count() != 0 {
+		t.Errorf("non-positive values should be ignored under log transform, count=%d", s.Count())
+	}
+}
+
+// Merge must be exactly equivalent to inserting the union (power sums are
+// exactly additive — the property that makes Moments merges so fast).
+func TestMergeExactlyAdditive(t *testing.T) {
+	a, b, u := New(DefaultK), New(DefaultK), New(DefaultK)
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64()*100 + 1
+		u.Insert(x)
+		if i%2 == 0 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.powerSums {
+		if re := relErr(u.powerSums[i], a.powerSums[i]); re > 1e-12 {
+			t.Errorf("power sum %d: merged %v vs union %v", i, a.powerSums[i], u.powerSums[i])
+		}
+	}
+	if a.min != u.min || a.max != u.max {
+		t.Error("min/max mismatch after merge")
+	}
+	qa, _ := a.Quantile(0.9)
+	qu, _ := u.Quantile(0.9)
+	if relErr(qu, qa) > 1e-9 {
+		t.Errorf("merged quantile %v vs union %v", qa, qu)
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := New(10)
+	b := New(12)
+	if err := a.Merge(b); err == nil {
+		t.Error("different k should not merge")
+	}
+	c := NewWithTransform(10, TransformLog)
+	if err := a.Merge(c); err == nil {
+		t.Error("different transforms should not merge")
+	}
+}
+
+func TestRankRoundTrip(t *testing.T) {
+	s := New(DefaultK)
+	rng := rand.New(rand.NewPCG(13, 14))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = 500 + 100*rng.NormFloat64()
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		x := exactQuantile(data, q)
+		r, err := s.Rank(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r-q) > 0.01 {
+			t.Errorf("Rank(%v) = %v, want ≈ %v", x, r, q)
+		}
+	}
+}
+
+func TestMemoryTiny(t *testing.T) {
+	s := New(DefaultK)
+	for i := 0; i < 1000000; i++ {
+		s.Insert(float64(i%1000) + 1)
+	}
+	// Table 3: 0.14 KB regardless of stream size.
+	if got := s.MemoryBytes(); got > 200 {
+		t.Errorf("MemoryBytes = %d, want < 200", got)
+	}
+}
+
+func TestSerdeRoundTrip(t *testing.T) {
+	s := NewWithTransform(DefaultK, TransformLog)
+	rng := rand.New(rand.NewPCG(15, 16))
+	for i := 0; i < 10000; i++ {
+		s.Insert(1 + rng.Float64()*1e6)
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != s.Count() || d.Transform() != s.Transform() || d.K() != s.K() {
+		t.Fatal("state mismatch")
+	}
+	qa, _ := s.Quantile(0.9)
+	qb, _ := d.Quantile(0.9)
+	if qa != qb {
+		t.Errorf("quantile mismatch after round trip: %v vs %v", qa, qb)
+	}
+	if err := d.UnmarshalBinary(blob[:6]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+// Property: the solver cache is invalidated correctly — query, insert
+// more, query again must reflect the new data.
+func TestCacheInvalidation(t *testing.T) {
+	s := New(8)
+	for i := 1; i <= 1000; i++ {
+		s.Insert(float64(i))
+	}
+	med1, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1001; i <= 10000; i++ {
+		s.Insert(float64(i))
+	}
+	med2, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med2 <= med1 {
+		t.Errorf("median should have moved up: %v → %v", med1, med2)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	s := New(10)
+	rng := rand.New(rand.NewPCG(20, 21))
+	for i := 0; i < 20000; i++ {
+		s.Insert(100 + 10*rng.NormFloat64())
+	}
+	f := func(a, b uint16) bool {
+		qa := (float64(a) + 1) / 65537
+		qb := (float64(b) + 1) / 65537
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, err1 := s.Quantile(qa)
+		vb, err2 := s.Quantile(qb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return va <= vb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The bimodality weakness (Fig 6d): on a strongly bimodal distribution
+// the mid-quantile error should be clearly worse than on a unimodal one.
+func TestBimodalWeakness(t *testing.T) {
+	uni := New(DefaultK)
+	bim := New(DefaultK)
+	rng := rand.New(rand.NewPCG(30, 31))
+	var uniData, bimData []float64
+	for i := 0; i < 100000; i++ {
+		u := 100 + 10*rng.NormFloat64()
+		uni.Insert(u)
+		uniData = append(uniData, u)
+		var b float64
+		if rng.Float64() < 0.5 {
+			b = 20 + 2*rng.NormFloat64()
+		} else {
+			b = 180 + 2*rng.NormFloat64()
+		}
+		bim.Insert(b)
+		bimData = append(bimData, b)
+	}
+	sort.Float64s(uniData)
+	sort.Float64s(bimData)
+	eUni, err := uni.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBim, err := bim.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniErr := relErr(exactQuantile(uniData, 0.5), eUni)
+	bimErr := relErr(exactQuantile(bimData, 0.5), eBim)
+	t.Logf("median rel err: unimodal=%v bimodal=%v", uniErr, bimErr)
+	if bimErr < uniErr {
+		t.Errorf("expected bimodal (%v) to be harder than unimodal (%v)", bimErr, uniErr)
+	}
+}

@@ -1,0 +1,184 @@
+package mrl
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func exactRankOf(sorted []float64, x float64) float64 {
+	i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(sorted))
+}
+
+func TestSmallStreamExact(t *testing.T) {
+	s := New(DefaultBuffers, DefaultK)
+	data := []float64{3, 8, 11, 16, 30, 51, 55, 61, 75, 100}
+	for _, x := range data {
+		s.Insert(x)
+	}
+	for i, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := data[int(math.Ceil(q*10))-1]
+		_ = i
+		if got != want {
+			t.Errorf("q=%v: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestRankErrorUniform(t *testing.T) {
+	s := NewWithSeed(DefaultBuffers, DefaultK, 7)
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 500000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 1e6
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := math.Abs(q - exactRankOf(data, est)); re > 0.03 {
+			t.Errorf("q=%v: rank error %v", q, re)
+		}
+	}
+}
+
+func TestBufferBudget(t *testing.T) {
+	s := NewWithSeed(8, 100, 3)
+	for i := 0; i < 1000000; i++ {
+		s.Insert(float64(i % 9973))
+	}
+	if len(s.buffers) > 8 {
+		t.Errorf("holds %d buffers, budget 8", len(s.buffers))
+	}
+	if got := s.Retained(); got > 8*100 {
+		t.Errorf("retained %d > b*k", got)
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	s := New(4, 16)
+	if _, err := s.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	s.Insert(1)
+	if _, err := s.Quantile(0); err == nil {
+		t.Error("Quantile(0) should fail")
+	}
+	v, err := s.Quantile(1)
+	if err != nil || v != 1 {
+		t.Errorf("Quantile(1) = %v, %v", v, err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewWithSeed(10, 200, 1)
+	b := NewWithSeed(10, 200, 2)
+	rng := rand.New(rand.NewPCG(3, 4))
+	var all []float64
+	for i := 0; i < 100000; i++ {
+		x := rng.NormFloat64()*50 + 500
+		all = append(all, x)
+		if i%2 == 0 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != uint64(len(all)) {
+		t.Fatalf("count %d, want %d", a.Count(), len(all))
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		est, _ := a.Quantile(q)
+		if re := math.Abs(q - exactRankOf(all, est)); re > 0.05 {
+			t.Errorf("q=%v: rank error %v after merge", q, re)
+		}
+	}
+	c := New(5, 200)
+	if err := a.Merge(c); err == nil {
+		t.Error("config mismatch should fail")
+	}
+}
+
+func TestSerde(t *testing.T) {
+	s := NewWithSeed(10, 100, 5)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 50000; i++ {
+		s.Insert(rng.ExpFloat64())
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != s.Count() || d.Retained() != s.Retained() {
+		t.Fatal("state mismatch")
+	}
+	qa, _ := s.Quantile(0.9)
+	qb, _ := d.Quantile(0.9)
+	if qa != qb {
+		t.Errorf("round trip: %v != %v", qa, qb)
+	}
+	if err := d.UnmarshalBinary(blob[:13]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+// Property: total sample weight stays within one collapse-rounding of
+// the true count.
+func TestQuickWeightNearCount(t *testing.T) {
+	f := func(n uint16, seed uint64) bool {
+		s := NewWithSeed(6, 32, seed)
+		for i := 0; i < int(n); i++ {
+			s.Insert(float64(i % 131))
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		var totalW uint64
+		for _, b := range s.buffers {
+			totalW += b.weight * uint64(len(b.items))
+		}
+		// Collapses with integer weight division can shed up to one
+		// output-weight of mass per collapse; allow 15% drift.
+		diff := math.Abs(float64(totalW) - float64(s.Count()))
+		return diff <= 0.15*float64(s.Count())+float64(s.k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := NewWithSeed(10, 100, 99)
+		rng := rand.New(rand.NewPCG(1, 1))
+		for i := 0; i < 100000; i++ {
+			s.Insert(rng.Float64())
+		}
+		v, _ := s.Quantile(0.5)
+		return v
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}

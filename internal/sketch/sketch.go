@@ -1,0 +1,131 @@
+// Package sketch defines the common interface implemented by every
+// quantile sketch in this repository, together with shared error values
+// and small helpers used by more than one implementation.
+//
+// The interface mirrors the operations the EDBT 2023 study measures:
+// Insert (stream consumption), Quantile and Rank (queries), Merge
+// (distributed aggregation), and MemoryBytes (the structural space
+// accounting of the paper's Table 3).
+package sketch
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by sketch operations.
+var (
+	// ErrEmpty is returned when querying a sketch that has consumed no data.
+	ErrEmpty = errors.New("sketch: empty sketch")
+	// ErrInvalidQuantile is returned when q is outside (0, 1].
+	ErrInvalidQuantile = errors.New("sketch: quantile must be in (0, 1]")
+	// ErrIncompatible is returned when merging sketches whose types or
+	// parameters do not permit a lossless merge.
+	ErrIncompatible = errors.New("sketch: incompatible sketches")
+	// ErrUnsupportedValue is returned when a sketch cannot represent an
+	// inserted value (for example NaN, or a non-positive value in a
+	// log-mapped sketch configured for positive data only).
+	ErrUnsupportedValue = errors.New("sketch: unsupported value")
+	// ErrCorrupt is returned when deserializing malformed bytes.
+	ErrCorrupt = errors.New("sketch: corrupt serialized data")
+)
+
+// Sketch is the uniform interface over all quantile sketches evaluated in
+// the study. Implementations are single-writer: callers must provide
+// external synchronization to share one sketch across goroutines.
+type Sketch interface {
+	// Insert adds one observation to the sketch.
+	Insert(x float64)
+
+	// Quantile returns an estimate of the q-quantile of the inserted data
+	// for q in (0, 1]. It returns ErrEmpty if nothing was inserted and
+	// ErrInvalidQuantile for out-of-range q.
+	Quantile(q float64) (float64, error)
+
+	// Rank returns an estimate of the fraction of inserted values that are
+	// less than or equal to x. It returns ErrEmpty on an empty sketch.
+	Rank(x float64) (float64, error)
+
+	// Merge folds other into the receiver so that the receiver summarizes
+	// the union of both input streams. Implementations return
+	// ErrIncompatible when other has a different concrete type or
+	// incompatible parameters. other is not modified.
+	Merge(other Sketch) error
+
+	// Count reports the number of values inserted (including via merges).
+	Count() uint64
+
+	// MemoryBytes reports the structural size of the sketch: the number of
+	// numbers (counters, samples, moments) retained, at 8 bytes each, plus
+	// fixed per-structure overhead. It deliberately measures what the
+	// paper's Table 3 measures rather than process RSS.
+	MemoryBytes() int
+
+	// Name returns a short stable identifier ("kll", "ddsketch", ...).
+	Name() string
+
+	// Reset restores the sketch to its freshly-constructed state,
+	// preserving configuration parameters.
+	Reset()
+
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// CheckQuantile validates q, returning ErrInvalidQuantile when q lies
+// outside (0, 1]. Shared by all implementations so the boundary behaviour
+// is identical across sketches.
+func CheckQuantile(q float64) error {
+	if !(q > 0 && q <= 1) {
+		return fmt.Errorf("%w: got %v", ErrInvalidQuantile, q)
+	}
+	return nil
+}
+
+// Builder constructs a fresh sketch with fixed configuration. The harness
+// uses builders so every window/run starts from an identically configured
+// empty sketch.
+type Builder func() Sketch
+
+// Quantiles evaluates s at each q in qs, returning estimates in the same
+// order. It stops at the first error.
+func Quantiles(s Sketch, qs []float64) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, fmt.Errorf("quantile %v: %w", q, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// InsertAll inserts every value of xs into s.
+func InsertAll(s Sketch, xs []float64) {
+	for _, x := range xs {
+		s.Insert(x)
+	}
+}
+
+// BulkInserter is implemented by sketches that can absorb n identical
+// observations in O(1) — the histogram and moment sketches. Sampling
+// sketches (KLL, REQ) cannot, since their guarantees depend on seeing
+// items individually; use a loop there.
+type BulkInserter interface {
+	// InsertN adds n occurrences of x.
+	InsertN(x float64, n uint64)
+}
+
+// InsertRepeated adds n occurrences of x to any sketch, using the O(1)
+// path when the sketch supports it.
+func InsertRepeated(s Sketch, x float64, n uint64) {
+	if b, ok := s.(BulkInserter); ok {
+		b.InsertN(x, n)
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Insert(x)
+	}
+}

@@ -1,0 +1,179 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckQuantile(t *testing.T) {
+	for _, q := range []float64{1e-9, 0.5, 1} {
+		if err := CheckQuantile(q); err != nil {
+			t.Errorf("CheckQuantile(%v) = %v", q, err)
+		}
+	}
+	for _, q := range []float64{0, -0.5, 1.0001, math.NaN(), math.Inf(1)} {
+		if err := CheckQuantile(q); err == nil {
+			t.Errorf("CheckQuantile(%v) should fail", q)
+		}
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Header(TagKLL)
+	w.Byte(0xAB)
+	w.U32(12345)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.F64(math.Pi)
+	w.F64s([]float64{1.5, -2.5, math.Inf(1)})
+	w.I64s([]int64{-1, 0, 1})
+
+	r := NewReader(w.Bytes())
+	if err := r.Header(TagKLL); err != nil {
+		t.Fatal(err)
+	}
+	if r.Byte() != 0xAB {
+		t.Error("byte mismatch")
+	}
+	if r.U32() != 12345 {
+		t.Error("u32 mismatch")
+	}
+	if r.U64() != 1<<60 {
+		t.Error("u64 mismatch")
+	}
+	if r.I64() != -42 {
+		t.Error("i64 mismatch")
+	}
+	if r.F64() != math.Pi {
+		t.Error("f64 mismatch")
+	}
+	fs := r.F64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || !math.IsInf(fs[2], 1) {
+		t.Errorf("f64s = %v", fs)
+	}
+	is := r.I64s()
+	if len(is) != 3 || is[0] != -1 || is[2] != 1 {
+		t.Errorf("i64s = %v", is)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderUnderflow(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Error("underflow should set Err")
+	}
+	// Subsequent reads stay failed and return zero values.
+	if r.F64() != 0 || r.Err() == nil {
+		t.Error("failed reader should stay failed")
+	}
+}
+
+func TestReaderWrongHeader(t *testing.T) {
+	w := NewWriter(8)
+	w.Header(TagKLL)
+	r := NewReader(w.Bytes())
+	if err := r.Header(TagMoments); err == nil {
+		t.Error("wrong tag should fail")
+	}
+	// Wrong version.
+	blob := append([]byte(nil), w.Bytes()...)
+	blob[1] = 0xFF
+	r = NewReader(blob)
+	if err := r.Header(TagKLL); err == nil {
+		t.Error("wrong version should fail")
+	}
+}
+
+func TestSliceLengthLying(t *testing.T) {
+	// A length prefix larger than the remaining bytes must be rejected,
+	// not cause a huge allocation.
+	w := NewWriter(8)
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if vs := r.F64s(); vs != nil || r.Err() == nil {
+		t.Error("lying length prefix should fail")
+	}
+	r2 := NewReader(w.Bytes())
+	if vs := r2.I64s(); vs != nil || r2.Err() == nil {
+		t.Error("lying length prefix should fail for I64s")
+	}
+}
+
+// Property: arbitrary f64 slices round-trip exactly.
+func TestQuickF64sRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		w := NewWriter(8 * len(vals))
+		w.F64s(vals)
+		r := NewReader(w.Bytes())
+		got := r.F64s()
+		if r.Err() != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilesHelper(t *testing.T) {
+	// A stub sketch to exercise the helpers without a real implementation.
+	s := &stubSketch{}
+	for i := 0; i < 10; i++ {
+		s.Insert(float64(i))
+	}
+	vs, err := Quantiles(s, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d values", len(vs))
+	}
+	if _, err := Quantiles(s, []float64{2}); err == nil {
+		t.Error("invalid quantile should fail")
+	}
+	InsertAll(s, []float64{1, 2, 3})
+	if s.Count() != 13 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+// stubSketch is a minimal Sketch used to test the package helpers.
+type stubSketch struct {
+	vals []float64
+}
+
+func (s *stubSketch) Insert(x float64) { s.vals = append(s.vals, x) }
+func (s *stubSketch) Quantile(q float64) (float64, error) {
+	if err := CheckQuantile(q); err != nil {
+		return 0, err
+	}
+	if len(s.vals) == 0 {
+		return 0, ErrEmpty
+	}
+	return s.vals[0], nil
+}
+func (s *stubSketch) Rank(float64) (float64, error) { return 0, nil }
+func (s *stubSketch) Merge(Sketch) error            { return nil }
+func (s *stubSketch) Count() uint64                 { return uint64(len(s.vals)) }
+func (s *stubSketch) MemoryBytes() int              { return 8 * len(s.vals) }
+func (s *stubSketch) Name() string                  { return "stub" }
+func (s *stubSketch) Reset()                        { s.vals = nil }
+func (s *stubSketch) MarshalBinary() ([]byte, error) {
+	return nil, nil
+}
+func (s *stubSketch) UnmarshalBinary([]byte) error { return nil }

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin-count equi-width histogram used by the harness
+// to render the data-set shape panels of Fig 4 as text, and by tests to
+// validate that the synthetic stand-ins for the NYT and Power data sets
+// have the documented shapes (repetition mass, bimodality, tail weight).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	total    int64
+	width    float64
+}
+
+// NewHistogram builds a histogram of data with bins equi-width bins over
+// [lo, hi]. Values outside the range clamp to the first/last bin.
+func NewHistogram(data []float64, lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h := &Histogram{Min: lo, Max: hi, Counts: make([]int64, bins), width: (hi - lo) / float64(bins)}
+	for _, x := range data {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Min) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Density returns the fraction of values in bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// PeakBins returns the indices of local maxima whose count is at least
+// minFrac of the total; tests use it to assert bimodality of the Power
+// stand-in.
+func (h *Histogram) PeakBins(minFrac float64) []int {
+	var peaks []int
+	for i := range h.Counts {
+		c := h.Counts[i]
+		if float64(c) < minFrac*float64(h.total) {
+			continue
+		}
+		leftOK := i == 0 || h.Counts[i-1] <= c
+		rightOK := i == len(h.Counts)-1 || h.Counts[i+1] < c
+		if leftOK && rightOK {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+// Render draws the histogram as rows of '#' bars, one row per bin, scaled
+// so the largest bin spans width characters. The harness prints this for
+// experiment fig4.
+func (h *Histogram) Render(width int) string {
+	var b strings.Builder
+	var maxC int64 = 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*h.width
+		bar := int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		fmt.Fprintf(&b, "%12.4g | %-*s %d\n", lo, width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// TopValueMass returns the combined fraction of the data mass held by the
+// k most frequent *distinct* values. The paper uses this statistic to
+// characterize the NYT (top-10 ≈ 31.2%) and Power (top-10 ≈ 4.5%) data
+// sets; the synthetic stand-ins are validated against it.
+func TopValueMass(data []float64, k int) float64 {
+	if len(data) == 0 || k <= 0 {
+		return 0
+	}
+	freq := make(map[float64]int, 1024)
+	for _, x := range data {
+		freq[x]++
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	// Partial selection of the k largest counts.
+	topSum := 0
+	for i := 0; i < k && len(counts) > 0; i++ {
+		best, bi := -1, -1
+		for j, c := range counts {
+			if c > best {
+				best, bi = c, j
+			}
+		}
+		topSum += best
+		counts[bi] = counts[len(counts)-1]
+		counts = counts[:len(counts)-1]
+	}
+	return float64(topSum) / float64(len(data))
+}

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Window identifies one event-time window [Start, End).
+type Window struct {
+	Start, End time.Duration
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
+
+func (w Window) String() string {
+	return fmt.Sprintf("[%v,%v)", w.Start, w.End)
+}
+
+// Assigner maps an event's generation time to the window(s) it belongs
+// to — the three time-based window types of paper Sec 2.5. Tumbling and
+// sliding windows are fixed; session windows grow and merge, which the
+// generic engine handles via MergesWindows.
+type Assigner interface {
+	// Assign returns every window the event-time t belongs to.
+	Assign(t time.Duration) []Window
+	// MergesWindows reports whether assigned windows can merge with
+	// existing ones (true only for session windows).
+	MergesWindows() bool
+}
+
+// TumblingAssigner produces fixed, non-overlapping windows of Size: the
+// paper's configuration ("time-based fixed windows", Sec 2.5).
+type TumblingAssigner struct {
+	Size time.Duration
+}
+
+// Assign implements Assigner.
+func (a TumblingAssigner) Assign(t time.Duration) []Window {
+	start := t / a.Size * a.Size
+	return []Window{{Start: start, End: start + a.Size}}
+}
+
+// MergesWindows implements Assigner.
+func (TumblingAssigner) MergesWindows() bool { return false }
+
+// SlidingAssigner produces overlapping windows of Size, starting every
+// Slide: "a sliding window of the same length and a period of 1 s would
+// create a group from time t to t+10s, another from t+1s to t+11s, and
+// so on" (Sec 2.5). Each event belongs to ⌈Size/Slide⌉ windows.
+type SlidingAssigner struct {
+	Size, Slide time.Duration
+}
+
+// Assign implements Assigner.
+func (a SlidingAssigner) Assign(t time.Duration) []Window {
+	if a.Slide <= 0 || a.Size < a.Slide {
+		panic("stream: sliding window needs 0 < Slide <= Size")
+	}
+	var out []Window
+	// The most recent window containing t starts at the slide boundary
+	// at or before t; earlier ones follow at -Slide steps while t still
+	// falls inside.
+	lastStart := t / a.Slide * a.Slide
+	for start := lastStart; start > t-a.Size; start -= a.Slide {
+		if start < 0 {
+			break
+		}
+		out = append(out, Window{Start: start, End: start + a.Size})
+	}
+	return out
+}
+
+// MergesWindows implements Assigner.
+func (SlidingAssigner) MergesWindows() bool { return false }
+
+// SessionAssigner produces per-event proto-windows [t, t+Gap) that the
+// engine merges whenever they overlap: "a session window with a timeout
+// of 10 s would start grouping events at time t and keep collecting
+// events until a period of inactivity for 10 s" (Sec 2.5).
+type SessionAssigner struct {
+	Gap time.Duration
+}
+
+// Assign implements Assigner.
+func (a SessionAssigner) Assign(t time.Duration) []Window {
+	return []Window{{Start: t, End: t + a.Gap}}
+}
+
+// MergesWindows implements Assigner.
+func (SessionAssigner) MergesWindows() bool { return true }

@@ -1,0 +1,292 @@
+package stream
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/sketch"
+)
+
+// Config describes one streaming run: a source emitting Rate events/s for
+// the run's duration, tumbling event-time windows of WindowSize, and a
+// sketch under test.
+type Config struct {
+	// WindowSize is the tumbling window length (the study uses 20 s, with
+	// 5 s and 10 s in the sensitivity analysis, Sec 4.7).
+	WindowSize time.Duration
+	// Rate is the source's event rate in events per second (study: 50,000).
+	Rate int
+	// NumWindows is how many complete windows to run. The engine emits
+	// exactly this many results; the source runs long enough to close the
+	// final window.
+	NumWindows int
+	// Partitions is the number of partition-local sketches the stream is
+	// split across; they are merged when a window fires. 1 disables
+	// partitioning (a single sketch per window).
+	Partitions int
+	// Values supplies the event payloads in generation order.
+	Values datagen.Source
+	// Delay is the network-delay model; nil means ZeroDelay.
+	Delay DelayModel
+	// Builder constructs the sketch under test; one (per partition) per
+	// window.
+	Builder sketch.Builder
+	// CollectValues materializes each window's accepted events in
+	// WindowResult.Values so callers can compute exact ground truth.
+	CollectValues bool
+}
+
+// WindowResult is the outcome of one fired tumbling window.
+type WindowResult struct {
+	// Index is the zero-based window sequence number.
+	Index int
+	// Start and End delimit the window's event-time range [Start, End).
+	Start, End time.Duration
+	// Sketch summarizes every accepted event (partition sketches merged).
+	Sketch sketch.Sketch
+	// Values holds the accepted events' payloads when
+	// Config.CollectValues is set; nil otherwise.
+	Values []float64
+	// Accepted is the number of events included in the window.
+	Accepted int64
+	// DroppedLate is the number of events belonging to this window that
+	// arrived after it fired and were discarded (Sec 2.6). Late events by
+	// definition show up after the window has been emitted, so this field
+	// is only populated by RunCollect (which patches results after the
+	// run); streaming Run callbacks always see 0.
+	DroppedLate int64
+}
+
+// Stats aggregates engine-level counters over one run.
+type Stats struct {
+	// Generated is the total number of events produced by the source.
+	Generated int64
+	// Accepted is the total number of events included in fired windows.
+	Accepted int64
+	// DroppedLate is the total number of late-dropped events.
+	DroppedLate int64
+}
+
+// LossRate returns the fraction of generated events dropped as late.
+func (s Stats) LossRate() float64 {
+	if s.Generated == 0 {
+		return 0
+	}
+	return float64(s.DroppedLate) / float64(s.Generated)
+}
+
+// arrivalHeap orders in-flight events by arrival time, breaking ties by
+// generation time so replay is deterministic.
+type arrivalHeap []Event
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].Arrival != h[j].Arrival {
+		return h[i].Arrival < h[j].Arrival
+	}
+	return h[i].GenTime < h[j].GenTime
+}
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// windowState accumulates one open window.
+type windowState struct {
+	index    int
+	partials []sketch.Sketch
+	values   []float64
+	accepted int64
+}
+
+// Engine runs a configured streaming job.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine validates cfg and returns a runnable engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.WindowSize <= 0 {
+		return nil, errors.New("stream: WindowSize must be positive")
+	}
+	if cfg.Rate <= 0 {
+		return nil, errors.New("stream: Rate must be positive")
+	}
+	if cfg.NumWindows <= 0 {
+		return nil, errors.New("stream: NumWindows must be positive")
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.Values == nil {
+		return nil, errors.New("stream: Values source is required")
+	}
+	if cfg.Builder == nil {
+		return nil, errors.New("stream: Builder is required")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = ZeroDelay{}
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Run executes the job, invoking emit for each fired window in order.
+// Returns aggregate stats. The run generates events a little past the
+// final window boundary so late stragglers of the last window are
+// accounted and the window always fires.
+func (e *Engine) Run(emit func(WindowResult)) (Stats, error) {
+	stats, _, err := e.run(emit)
+	return stats, err
+}
+
+func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
+	cfg := e.cfg
+	interval := time.Second / time.Duration(cfg.Rate)
+	if interval <= 0 {
+		return Stats{}, nil, fmt.Errorf("stream: rate %d too high for ns resolution", cfg.Rate)
+	}
+	runEnd := cfg.WindowSize * time.Duration(cfg.NumWindows)
+	// Grace period past the end so the final watermark passes runEnd:
+	// one window of extra events (discarded, they belong to window
+	// NumWindows) is plenty for realistic delay tails.
+	genEnd := runEnd + cfg.WindowSize
+
+	var (
+		stats     Stats
+		inFlight  arrivalHeap
+		open                    = map[int]*windowState{}
+		watermark time.Duration = -1
+		nextFire  int           // next window index to fire
+	)
+
+	fire := func(w *windowState) error {
+		merged := cfg.Builder()
+		for _, p := range w.partials {
+			if p == nil {
+				continue
+			}
+			if err := merged.Merge(p); err != nil {
+				return fmt.Errorf("stream: window merge: %w", err)
+			}
+		}
+		emit(WindowResult{
+			Index:    w.index,
+			Start:    cfg.WindowSize * time.Duration(w.index),
+			End:      cfg.WindowSize * time.Duration(w.index+1),
+			Sketch:   merged,
+			Values:   w.values,
+			Accepted: w.accepted,
+		})
+		return nil
+	}
+
+	lateOf := map[int]int64{} // window index → late drops (post-fire arrivals)
+
+	process := func(ev Event) error {
+		wi := int(ev.GenTime / cfg.WindowSize)
+		if wi < nextFire {
+			// Window already fired: late event, dropped.
+			if wi >= 0 && wi < cfg.NumWindows {
+				lateOf[wi]++
+				stats.DroppedLate++
+			}
+			return nil
+		}
+		if wi < cfg.NumWindows {
+			w := open[wi]
+			if w == nil {
+				w = &windowState{index: wi, partials: make([]sketch.Sketch, cfg.Partitions)}
+				open[wi] = w
+			}
+			p := ev.Partition % cfg.Partitions
+			if w.partials[p] == nil {
+				w.partials[p] = cfg.Builder()
+			}
+			w.partials[p].Insert(ev.Value)
+			w.accepted++
+			stats.Accepted++
+			if cfg.CollectValues {
+				w.values = append(w.values, ev.Value)
+			}
+		}
+		if ev.GenTime > watermark {
+			watermark = ev.GenTime
+			// Fire every window whose end the watermark has passed.
+			for nextFire < cfg.NumWindows {
+				end := cfg.WindowSize * time.Duration(nextFire+1)
+				if watermark < end {
+					break
+				}
+				w := open[nextFire]
+				if w == nil {
+					w = &windowState{index: nextFire, partials: make([]sketch.Sketch, cfg.Partitions)}
+				}
+				delete(open, nextFire)
+				// Late counts accrue after firing; attach the state so the
+				// final accounting can pick them up via lateOf.
+				if err := fire(w); err != nil {
+					return err
+				}
+				nextFire++
+			}
+		}
+		return nil
+	}
+
+	part := 0
+	for gen := time.Duration(0); gen < genEnd; gen += interval {
+		v := cfg.Values.Next()
+		d := cfg.Delay.Delay()
+		stats.Generated++
+		heap.Push(&inFlight, Event{GenTime: gen, Arrival: gen + d, Value: v, Partition: part})
+		part++
+		if part == cfg.Partitions {
+			part = 0
+		}
+		// Any event generated later arrives at ≥ its own gen time ≥ gen,
+		// so everything in flight with arrival ≤ gen is safe to process.
+		for len(inFlight) > 0 && inFlight[0].Arrival <= gen {
+			if err := process(heap.Pop(&inFlight).(Event)); err != nil {
+				return stats, lateOf, err
+			}
+		}
+	}
+	for len(inFlight) > 0 {
+		if err := process(heap.Pop(&inFlight).(Event)); err != nil {
+			return stats, lateOf, err
+		}
+	}
+	// Fire any windows still open (source exhausted before watermark
+	// passed their end — only possible for the final window on extreme
+	// delays).
+	for ; nextFire < cfg.NumWindows; nextFire++ {
+		w := open[nextFire]
+		if w == nil {
+			w = &windowState{index: nextFire, partials: make([]sketch.Sketch, cfg.Partitions)}
+		}
+		delete(open, nextFire)
+		if err := fire(w); err != nil {
+			return stats, lateOf, err
+		}
+	}
+	return stats, lateOf, nil
+}
+
+// RunCollect is Run but returning the window results as a slice, with
+// per-window late-drop counts filled in after the run completes.
+func (e *Engine) RunCollect() ([]WindowResult, Stats, error) {
+	var out []WindowResult
+	stats, lateOf, err := e.run(func(r WindowResult) { out = append(out, r) })
+	for i := range out {
+		out[i].DroppedLate = lateOf[out[i].Index]
+	}
+	return out, stats, err
+}

@@ -1,0 +1,276 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/ddsketch"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+func ddBuilder() sketch.Sketch { return ddsketch.New(0.01) }
+
+func TestNoDelayNoDrops(t *testing.T) {
+	eng, err := NewEngine(Config{
+		WindowSize:    time.Second,
+		Rate:          1000,
+		NumWindows:    5,
+		Partitions:    4,
+		Values:        datagen.NewUniform(1, 100, 7),
+		Builder:       ddBuilder,
+		CollectValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedLate != 0 {
+		t.Errorf("dropped %d events with zero delay", st.DroppedLate)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d windows, want 5", len(results))
+	}
+	for _, r := range results {
+		// 1000 events/s × 1 s windows.
+		if r.Accepted != 1000 {
+			t.Errorf("window %d accepted %d events, want 1000", r.Index, r.Accepted)
+		}
+		if int64(len(r.Values)) != r.Accepted {
+			t.Errorf("window %d: %d values vs %d accepted", r.Index, len(r.Values), r.Accepted)
+		}
+		if got := r.Sketch.Count(); got != uint64(r.Accepted) {
+			t.Errorf("window %d: sketch count %d vs accepted %d", r.Index, got, r.Accepted)
+		}
+		if r.DroppedLate != 0 {
+			t.Errorf("window %d: dropped %d with zero delay", r.Index, r.DroppedLate)
+		}
+	}
+}
+
+// The merged partition sketches must answer as accurately as a single
+// sketch over the window (mergeability in anger).
+func TestPartitionedAccuracy(t *testing.T) {
+	eng, err := NewEngine(Config{
+		WindowSize:    time.Second,
+		Rate:          10000,
+		NumWindows:    3,
+		Partitions:    8,
+		Values:        datagen.NewPareto(1, 1, 11),
+		Builder:       ddBuilder,
+		CollectValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		ex := stats.NewExactQuantiles(r.Values)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			est, err := r.Sketch.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re := stats.RelativeError(ex.Quantile(q), est); re > 0.01*(1+1e-9) {
+				t.Errorf("window %d q=%v: rel err %v > alpha", r.Index, q, re)
+			}
+		}
+	}
+}
+
+func TestConstantDelayShiftsButDropsNothing(t *testing.T) {
+	eng, err := NewEngine(Config{
+		WindowSize: time.Second,
+		Rate:       1000,
+		NumWindows: 3,
+		Values:     datagen.NewUniform(1, 2, 3),
+		Delay:      ConstantDelay{D: 100 * time.Millisecond},
+		Builder:    ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedLate != 0 {
+		t.Errorf("constant delay dropped %d events", st.DroppedLate)
+	}
+}
+
+// Exponential delay must drop a small share of events — and only events
+// near window boundaries. The expected loss is
+// (mean/W)·(1 − e^(−W/mean)) ≈ mean/W for W ≫ mean.
+func TestExponentialDelayDropsTail(t *testing.T) {
+	window := time.Second
+	mean := 50 * time.Millisecond
+	eng, err := NewEngine(Config{
+		WindowSize: window,
+		Rate:       20000,
+		NumWindows: 10,
+		Values:     datagen.NewUniform(1, 2, 5),
+		Delay:      NewExponentialDelay(mean, 99),
+		Builder:    ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedLate == 0 {
+		t.Fatal("expected late drops with exponential delay")
+	}
+	loss := st.LossRate()
+	approx := float64(mean) / float64(window) // ≈ 5%
+	if loss < approx/3 || loss > approx*3 {
+		t.Errorf("loss rate %v, expected around %v", loss, approx)
+	}
+	var perWindow int64
+	for _, r := range results {
+		perWindow += r.DroppedLate
+	}
+	// Total per-window drops ≈ total drops (a few may fall past the last
+	// tracked window).
+	if perWindow == 0 {
+		t.Error("per-window late counts not populated")
+	}
+}
+
+func TestWindowsArriveInOrder(t *testing.T) {
+	eng, err := NewEngine(Config{
+		WindowSize: 500 * time.Millisecond,
+		Rate:       2000,
+		NumWindows: 8,
+		Values:     datagen.NewNormal(10, 1, 1),
+		Delay:      NewExponentialDelay(30*time.Millisecond, 2),
+		Builder:    ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -1
+	_, err = func() (Stats, error) {
+		return eng.Run(func(r WindowResult) {
+			if r.Index != last+1 {
+				t.Errorf("window %d fired after %d", r.Index, last)
+			}
+			last = r.Index
+		})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 7 {
+		t.Errorf("last window %d, want 7", last)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (float64, int64) {
+		eng, err := NewEngine(Config{
+			WindowSize: time.Second,
+			Rate:       5000,
+			NumWindows: 3,
+			Partitions: 2,
+			Values:     datagen.NewPareto(1, 1, 42),
+			Delay:      NewExponentialDelay(20*time.Millisecond, 43),
+			Builder:    ddBuilder,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, st, err := eng.RunCollect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := results[2].Sketch.Quantile(0.99)
+		return v, st.DroppedLate
+	}
+	v1, d1 := run()
+	v2, d2 := run()
+	if v1 != v2 || d1 != d2 {
+		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", v1, d1, v2, d2)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{
+		WindowSize: time.Second,
+		Rate:       100,
+		NumWindows: 1,
+		Values:     datagen.NewUniform(0, 1, 1),
+		Builder:    ddBuilder,
+	}
+	bad := base
+	bad.WindowSize = 0
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("zero WindowSize should fail")
+	}
+	bad = base
+	bad.Rate = 0
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("zero Rate should fail")
+	}
+	bad = base
+	bad.Values = nil
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("nil Values should fail")
+	}
+	bad = base
+	bad.Builder = nil
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("nil Builder should fail")
+	}
+	bad = base
+	bad.NumWindows = 0
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("zero NumWindows should fail")
+	}
+}
+
+// Without partitioning the sketch must see exactly the collected values —
+// a cross-check between the sketch path and the ground-truth path.
+func TestSketchMatchesValuesExactly(t *testing.T) {
+	eng, err := NewEngine(Config{
+		WindowSize:    time.Second,
+		Rate:          1000,
+		NumWindows:    2,
+		Values:        datagen.NewUniform(10, 20, 21),
+		Delay:         NewExponentialDelay(100*time.Millisecond, 22),
+		Builder:       ddBuilder,
+		CollectValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if got, want := r.Sketch.Count(), uint64(len(r.Values)); got != want {
+			t.Errorf("window %d: sketch saw %d, values hold %d", r.Index, got, want)
+		}
+		var sum float64
+		for _, v := range r.Values {
+			sum += v
+		}
+		if len(r.Values) > 0 {
+			mean := sum / float64(len(r.Values))
+			if math.Abs(mean-15) > 1 {
+				t.Errorf("window %d: mean %v implausible for U(10,20)", r.Index, mean)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/sketch"
+)
+
+// GenericConfig describes a streaming job over an arbitrary window
+// assigner (tumbling, sliding or session). The tumbling-specialized
+// Engine remains the harness's fast path; GenericEngine trades some
+// speed for the full windowing semantics of paper Sec 2.5.
+type GenericConfig struct {
+	// Assigner maps event times to windows.
+	Assigner Assigner
+	// Rate is the source's event rate in events per second.
+	Rate int
+	// RunLength is how long the source generates events (event time).
+	RunLength time.Duration
+	// AllowedLateness keeps a window open for this long (in watermark
+	// time) past its end before firing, re-admitting mildly late events —
+	// Flink's allowedLateness. Zero reproduces the paper's
+	// drop-everything-late behaviour.
+	AllowedLateness time.Duration
+	// UseIngestionTime assigns windows by arrival time instead of
+	// generation time (the alternative grouping of paper Sec 2.5). With
+	// ingestion time nothing is ever late, at the cost of windows no
+	// longer corresponding to when events actually happened.
+	UseIngestionTime bool
+	// WatermarkLag holds the watermark this far behind the max observed
+	// event time (Flink's bounded-out-of-orderness watermarks): windows
+	// fire later, so events up to WatermarkLag late are still admitted.
+	// Unlike AllowedLateness it delays ALL firings rather than keeping
+	// fired windows open.
+	WatermarkLag time.Duration
+	// Values supplies event payloads in generation order.
+	Values datagen.Source
+	// Delay is the network-delay model; nil means ZeroDelay.
+	Delay DelayModel
+	// Builder constructs the per-window sketch.
+	Builder sketch.Builder
+	// CollectValues materializes accepted events per window.
+	CollectValues bool
+}
+
+// GenericResult is one fired window from the generic engine.
+type GenericResult struct {
+	// Window is the event-time span (for sessions: after all merges).
+	Window Window
+	// Sketch summarizes the accepted events.
+	Sketch sketch.Sketch
+	// Values holds accepted payloads when CollectValues is set.
+	Values []float64
+	// Accepted counts the events included.
+	Accepted int64
+}
+
+// GenericEngine runs jobs with sliding or session windows (and tumbling,
+// for parity testing against the specialized Engine).
+type GenericEngine struct {
+	cfg GenericConfig
+}
+
+// NewGenericEngine validates cfg.
+func NewGenericEngine(cfg GenericConfig) (*GenericEngine, error) {
+	if cfg.Assigner == nil {
+		return nil, errors.New("stream: Assigner is required")
+	}
+	if cfg.Rate <= 0 {
+		return nil, errors.New("stream: Rate must be positive")
+	}
+	if cfg.RunLength <= 0 {
+		return nil, errors.New("stream: RunLength must be positive")
+	}
+	if cfg.Values == nil {
+		return nil, errors.New("stream: Values source is required")
+	}
+	if cfg.Builder == nil {
+		return nil, errors.New("stream: Builder is required")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = ZeroDelay{}
+	}
+	return &GenericEngine{cfg: cfg}, nil
+}
+
+// genWindowState is one open window in the generic engine.
+type genWindowState struct {
+	win      Window
+	sk       sketch.Sketch
+	values   []float64
+	accepted int64
+}
+
+// Run executes the job, emitting windows ordered by (End, Start). It
+// returns engine stats; late events (arriving after their window fired,
+// beyond AllowedLateness) are dropped and counted.
+func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
+	cfg := e.cfg
+	interval := time.Second / time.Duration(cfg.Rate)
+	if interval <= 0 {
+		return Stats{}, fmt.Errorf("stream: rate %d too high for ns resolution", cfg.Rate)
+	}
+
+	var (
+		stats     Stats
+		inFlight  arrivalHeap
+		open                    = map[Window]*genWindowState{}
+		watermark time.Duration = -1
+		firedMax  time.Duration = -1 // max end among fired windows
+	)
+
+	fire := func(w *genWindowState) {
+		emit(GenericResult{Window: w.win, Sketch: w.sk, Values: w.values, Accepted: w.accepted})
+		if w.win.End > firedMax {
+			firedMax = w.win.End
+		}
+	}
+
+	// fireReady fires every open window whose end (+lateness) the
+	// watermark has passed, in deterministic (End, Start) order.
+	fireReady := func() {
+		var ready []*genWindowState
+		for win, w := range open {
+			if watermark >= win.End+cfg.AllowedLateness {
+				ready = append(ready, w)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			if ready[i].win.End != ready[j].win.End {
+				return ready[i].win.End < ready[j].win.End
+			}
+			return ready[i].win.Start < ready[j].win.Start
+		})
+		for _, w := range ready {
+			delete(open, w.win)
+			fire(w)
+		}
+	}
+
+	process := func(ev Event) {
+		eventTime := ev.GenTime
+		if cfg.UseIngestionTime {
+			eventTime = ev.Arrival
+		}
+		wins := cfg.Assigner.Assign(eventTime)
+		if cfg.Assigner.MergesWindows() {
+			wins = e.mergeSessions(open, wins[0])
+		}
+		accepted := false
+		for _, win := range wins {
+			// A window that already fired (its end passed the fired
+			// horizon and it is no longer open) rejects the event.
+			if watermark >= win.End+cfg.AllowedLateness && open[win] == nil {
+				continue
+			}
+			w := open[win]
+			if w == nil {
+				w = &genWindowState{win: win, sk: cfg.Builder()}
+				open[win] = w
+			}
+			w.sk.Insert(ev.Value)
+			w.accepted++
+			if cfg.CollectValues {
+				w.values = append(w.values, ev.Value)
+			}
+			accepted = true
+		}
+		if accepted {
+			stats.Accepted++
+		} else {
+			stats.DroppedLate++
+		}
+		if wm := eventTime - cfg.WatermarkLag; wm > watermark {
+			watermark = wm
+			fireReady()
+		}
+	}
+
+	genEnd := cfg.RunLength
+	for gen := time.Duration(0); gen < genEnd; gen += interval {
+		v := cfg.Values.Next()
+		d := cfg.Delay.Delay()
+		stats.Generated++
+		heap.Push(&inFlight, Event{GenTime: gen, Arrival: gen + d, Value: v})
+		for len(inFlight) > 0 && inFlight[0].Arrival <= gen {
+			process(heap.Pop(&inFlight).(Event))
+		}
+	}
+	for len(inFlight) > 0 {
+		process(heap.Pop(&inFlight).(Event))
+	}
+	// Source exhausted: advance the watermark to +∞ and flush.
+	watermark = 1 << 62
+	fireReady()
+	return stats, nil
+}
+
+// mergeSessions folds the proto-window into any overlapping open session
+// windows, transferring their state into the union window. It returns
+// the single resulting window.
+func (e *GenericEngine) mergeSessions(open map[Window]*genWindowState, proto Window) []Window {
+	union := proto
+	var absorbed []*genWindowState
+	for win, w := range open {
+		if win.Start < union.End && union.Start < win.End { // overlap
+			if win.Start < union.Start {
+				union.Start = win.Start
+			}
+			if win.End > union.End {
+				union.End = win.End
+			}
+			absorbed = append(absorbed, w)
+		}
+	}
+	if len(absorbed) == 0 {
+		return []Window{union}
+	}
+	if len(absorbed) == 1 && absorbed[0].win == union {
+		return []Window{union}
+	}
+	// Deterministic merge order.
+	sort.Slice(absorbed, func(i, j int) bool { return absorbed[i].win.Start < absorbed[j].win.Start })
+	merged := &genWindowState{win: union, sk: e.cfg.Builder()}
+	for _, w := range absorbed {
+		delete(open, w.win)
+		if err := merged.sk.Merge(w.sk); err != nil {
+			// Same-builder sketches always merge; a failure here is a
+			// programming error worth failing loudly on.
+			panic(fmt.Sprintf("stream: session merge: %v", err))
+		}
+		merged.accepted += w.accepted
+		merged.values = append(merged.values, w.values...)
+	}
+	open[union] = merged
+	return []Window{union}
+}

@@ -1,0 +1,373 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+func TestTumblingAssigner(t *testing.T) {
+	a := TumblingAssigner{Size: 10 * time.Second}
+	wins := a.Assign(25 * time.Second)
+	if len(wins) != 1 {
+		t.Fatalf("%d windows", len(wins))
+	}
+	if wins[0].Start != 20*time.Second || wins[0].End != 30*time.Second {
+		t.Errorf("window %v", wins[0])
+	}
+	if a.MergesWindows() {
+		t.Error("tumbling does not merge")
+	}
+}
+
+func TestSlidingAssigner(t *testing.T) {
+	// Size 10s, slide 2s: each event belongs to 5 windows.
+	a := SlidingAssigner{Size: 10 * time.Second, Slide: 2 * time.Second}
+	wins := a.Assign(21 * time.Second)
+	if len(wins) != 5 {
+		t.Fatalf("%d windows, want 5", len(wins))
+	}
+	for _, w := range wins {
+		if !w.Contains(21 * time.Second) {
+			t.Errorf("window %v does not contain the event", w)
+		}
+		if w.End-w.Start != 10*time.Second {
+			t.Errorf("window %v has wrong size", w)
+		}
+		if w.Start%(2*time.Second) != 0 {
+			t.Errorf("window %v not slide-aligned", w)
+		}
+	}
+	// Near stream start, early windows are clipped away (no negative
+	// starts).
+	wins = a.Assign(3 * time.Second)
+	for _, w := range wins {
+		if w.Start < 0 {
+			t.Errorf("negative window start %v", w)
+		}
+	}
+}
+
+func TestSessionAssigner(t *testing.T) {
+	a := SessionAssigner{Gap: 10 * time.Second}
+	wins := a.Assign(5 * time.Second)
+	if len(wins) != 1 || wins[0].Start != 5*time.Second || wins[0].End != 15*time.Second {
+		t.Errorf("windows %v", wins)
+	}
+	if !a.MergesWindows() {
+		t.Error("session windows merge")
+	}
+}
+
+func TestGenericTumblingMatchesEngine(t *testing.T) {
+	// The generic engine with a tumbling assigner must accept exactly
+	// the same events as the specialized Engine.
+	mk := func() (int64, int64) {
+		eng, err := NewGenericEngine(GenericConfig{
+			Assigner:  TumblingAssigner{Size: time.Second},
+			Rate:      2000,
+			RunLength: 5 * time.Second,
+			Values:    datagen.NewUniform(0, 1, 3),
+			Delay:     NewExponentialDelay(40*time.Millisecond, 4),
+			Builder:   ddBuilder,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted int64
+		st, err := eng.Run(func(r GenericResult) { accepted += r.Accepted })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return accepted, st.DroppedLate
+	}
+	acc, dropped := mk()
+	if dropped == 0 {
+		t.Error("expected some drops under exponential delay")
+	}
+	if acc+dropped != 10000 {
+		t.Errorf("accounting: %d accepted + %d dropped != 10000", acc, dropped)
+	}
+}
+
+func TestGenericSlidingCoverage(t *testing.T) {
+	// With size=2s slide=1s every event (after warmup) lands in exactly
+	// 2 windows; window event counts must be ≈ 2× the tumbling count.
+	eng, err := NewGenericEngine(GenericConfig{
+		Assigner:  SlidingAssigner{Size: 2 * time.Second, Slide: time.Second},
+		Rate:      1000,
+		RunLength: 6 * time.Second,
+		Values:    datagen.NewUniform(0, 1, 5),
+		Builder:   ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []GenericResult
+	if _, err := eng.Run(func(r GenericResult) { results = append(results, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 5 {
+		t.Fatalf("%d windows", len(results))
+	}
+	// Interior full windows hold 2000 events (2 s × 1000/s).
+	full := 0
+	for _, r := range results {
+		if r.Window.Start >= time.Second && r.Window.End <= 5*time.Second {
+			if r.Accepted != 2000 {
+				t.Errorf("window %v holds %d events, want 2000", r.Window, r.Accepted)
+			}
+			full++
+		}
+	}
+	if full == 0 {
+		t.Error("no interior windows checked")
+	}
+	// Windows fire in end order.
+	for i := 1; i < len(results); i++ {
+		if results[i].Window.End < results[i-1].Window.End {
+			t.Error("windows fired out of order")
+		}
+	}
+}
+
+func TestGenericSessionMerging(t *testing.T) {
+	// A bursty source: events at 0–1s, silence until 5s, events 5–6s.
+	// With a 2s gap this is exactly two sessions.
+	type ev struct {
+		t time.Duration
+		v float64
+	}
+	// Drive sessions through a custom value source + constant rate: the
+	// engine generates continuously, so emulate bursts by a value source
+	// and assigner over a thinned rate. Instead, test mergeSessions
+	// directly through a small run with gaps injected via delay: simpler
+	// to validate the merging math on a handcrafted sequence.
+	eng, err := NewGenericEngine(GenericConfig{
+		Assigner:  SessionAssigner{Gap: 2 * time.Second},
+		Rate:      10,
+		RunLength: 3 * time.Second,
+		Values:    datagen.NewUniform(0, 1, 6),
+		Builder:   ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []GenericResult
+	if _, err := eng.Run(func(r GenericResult) { results = append(results, r) }); err != nil {
+		t.Fatal(err)
+	}
+	// Continuous events 100ms apart with a 2s gap: one big session.
+	if len(results) != 1 {
+		t.Fatalf("%d sessions, want 1 (continuous stream)", len(results))
+	}
+	r := results[0]
+	if r.Accepted != 30 {
+		t.Errorf("session holds %d events, want 30", r.Accepted)
+	}
+	if r.Window.Start != 0 {
+		t.Errorf("session start %v", r.Window.Start)
+	}
+	// End = last event time + gap.
+	if r.Window.End != 2900*time.Millisecond+2*time.Second {
+		t.Errorf("session end %v, want last event + gap", r.Window.End)
+	}
+	_ = ev{}
+}
+
+func TestGenericSessionSplit(t *testing.T) {
+	// A value source is irrelevant; create bursts via a sparse rate and
+	// a gap smaller than the inter-event spacing: every event becomes
+	// its own session.
+	eng, err := NewGenericEngine(GenericConfig{
+		Assigner:  SessionAssigner{Gap: 50 * time.Millisecond},
+		Rate:      10, // events every 100ms > gap
+		RunLength: time.Second,
+		Values:    datagen.NewUniform(0, 1, 7),
+		Builder:   ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := eng.Run(func(r GenericResult) {
+		count++
+		if r.Accepted != 1 {
+			t.Errorf("session holds %d events, want 1", r.Accepted)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("%d sessions, want 10", count)
+	}
+}
+
+func TestAllowedLatenessReadmits(t *testing.T) {
+	run := func(lateness time.Duration) int64 {
+		eng, err := NewGenericEngine(GenericConfig{
+			Assigner:        TumblingAssigner{Size: time.Second},
+			Rate:            5000,
+			RunLength:       5 * time.Second,
+			AllowedLateness: lateness,
+			Values:          datagen.NewUniform(0, 1, 8),
+			Delay:           NewExponentialDelay(60*time.Millisecond, 9),
+			Builder:         ddBuilder,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Run(func(GenericResult) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.DroppedLate
+	}
+	strict := run(0)
+	lenient := run(500 * time.Millisecond)
+	if strict == 0 {
+		t.Fatal("expected drops without lateness allowance")
+	}
+	if lenient >= strict {
+		t.Errorf("allowed lateness should reduce drops: %d -> %d", strict, lenient)
+	}
+}
+
+func TestGenericConfigValidation(t *testing.T) {
+	base := GenericConfig{
+		Assigner:  TumblingAssigner{Size: time.Second},
+		Rate:      10,
+		RunLength: time.Second,
+		Values:    datagen.NewUniform(0, 1, 1),
+		Builder:   ddBuilder,
+	}
+	for _, mut := range []func(*GenericConfig){
+		func(c *GenericConfig) { c.Assigner = nil },
+		func(c *GenericConfig) { c.Rate = 0 },
+		func(c *GenericConfig) { c.RunLength = 0 },
+		func(c *GenericConfig) { c.Values = nil },
+		func(c *GenericConfig) { c.Builder = nil },
+	} {
+		bad := base
+		mut(&bad)
+		if _, err := NewGenericEngine(bad); err == nil {
+			t.Error("invalid config accepted")
+		}
+	}
+}
+
+// Ingestion-time windows never drop events: arrival order is watermark
+// order, so lateness cannot occur (the Sec 2.5 trade-off).
+func TestIngestionTimeNeverLate(t *testing.T) {
+	eng, err := NewGenericEngine(GenericConfig{
+		Assigner:         TumblingAssigner{Size: time.Second},
+		Rate:             2000,
+		RunLength:        4 * time.Second,
+		UseIngestionTime: true,
+		Values:           datagen.NewUniform(0, 1, 11),
+		Delay:            NewExponentialDelay(80*time.Millisecond, 12),
+		Builder:          ddBuilder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted int64
+	st, err := eng.Run(func(r GenericResult) { accepted += r.Accepted })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedLate != 0 {
+		t.Errorf("ingestion time dropped %d events", st.DroppedLate)
+	}
+	if accepted != st.Generated {
+		t.Errorf("accepted %d of %d generated", accepted, st.Generated)
+	}
+}
+
+// A watermark lag ≥ the delay tail eliminates drops by firing late.
+func TestWatermarkLagReducesDrops(t *testing.T) {
+	run := func(lag time.Duration) int64 {
+		eng, err := NewGenericEngine(GenericConfig{
+			Assigner:     TumblingAssigner{Size: time.Second},
+			Rate:         5000,
+			RunLength:    5 * time.Second,
+			WatermarkLag: lag,
+			Values:       datagen.NewUniform(0, 1, 13),
+			Delay:        NewExponentialDelay(60*time.Millisecond, 14),
+			Builder:      ddBuilder,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Run(func(GenericResult) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.DroppedLate
+	}
+	noLag := run(0)
+	withLag := run(800 * time.Millisecond)
+	if noLag == 0 {
+		t.Fatal("expected drops without watermark lag")
+	}
+	if withLag >= noLag/2 {
+		t.Errorf("watermark lag should cut drops sharply: %d -> %d", noLag, withLag)
+	}
+}
+
+// With zero delay and a tumbling assigner, the generic and specialized
+// engines must produce identical window populations (counts per window
+// and sketch answers).
+func TestEnginesEquivalentOnTumbling(t *testing.T) {
+	const (
+		rate    = 3000
+		windows = 4
+	)
+	spec, err := NewEngine(Config{
+		WindowSize:    time.Second,
+		Rate:          rate,
+		NumWindows:    windows,
+		Values:        datagen.NewUniform(10, 20, 42),
+		Builder:       ddBuilder,
+		CollectValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specResults, _, err := spec.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenericEngine(GenericConfig{
+		Assigner:      TumblingAssigner{Size: time.Second},
+		Rate:          rate,
+		RunLength:     windows * time.Second,
+		Values:        datagen.NewUniform(10, 20, 42),
+		Builder:       ddBuilder,
+		CollectValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var genResults []GenericResult
+	if _, err := gen.Run(func(r GenericResult) { genResults = append(genResults, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(genResults) < windows {
+		t.Fatalf("generic emitted %d windows, want >= %d", len(genResults), windows)
+	}
+	for i, sr := range specResults {
+		gr := genResults[i]
+		if sr.Accepted != gr.Accepted {
+			t.Errorf("window %d: specialized %d events vs generic %d", i, sr.Accepted, gr.Accepted)
+		}
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			a, _ := sr.Sketch.Quantile(q)
+			b, _ := gr.Sketch.Quantile(q)
+			if a != b {
+				t.Errorf("window %d q=%v: %v vs %v", i, q, a, b)
+			}
+		}
+	}
+}

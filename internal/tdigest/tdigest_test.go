@@ -1,0 +1,219 @@
+package tdigest
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+)
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q * float64(len(sorted))))
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func exactRankOf(sorted []float64, x float64) float64 {
+	i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(sorted))
+}
+
+func TestUniformAccuracy(t *testing.T) {
+	s := New(DefaultCompression)
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 200000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 1000
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rankErr := math.Abs(q - exactRankOf(data, est))
+		// t-digest with δ=100 should stay well under 1% rank error, and
+		// far tighter at the tails.
+		bound := 0.01
+		if q <= 0.05 || q >= 0.95 {
+			bound = 0.003
+		}
+		if rankErr > bound {
+			t.Errorf("q=%v: rank error %v > %v", q, rankErr, bound)
+		}
+	}
+}
+
+func TestTailsAreTighter(t *testing.T) {
+	s := New(DefaultCompression)
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 300000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.ExpFloat64()
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	tailErr := 0.0
+	for _, q := range []float64{0.99, 0.995, 0.999} {
+		est, _ := s.Quantile(q)
+		tailErr += math.Abs(q - exactRankOf(data, est))
+	}
+	midErr := 0.0
+	for _, q := range []float64{0.4, 0.5, 0.6} {
+		est, _ := s.Quantile(q)
+		midErr += math.Abs(q - exactRankOf(data, est))
+	}
+	t.Logf("tail rank err sum=%v mid rank err sum=%v", tailErr, midErr)
+	if tailErr > midErr+0.005 {
+		t.Errorf("tails (%v) should not be looser than mid (%v)", tailErr, midErr)
+	}
+}
+
+func TestCentroidCountBounded(t *testing.T) {
+	s := New(100)
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 1000000; i++ {
+		s.Insert(rng.NormFloat64())
+	}
+	if c := s.Centroids(); c > 200 {
+		t.Errorf("centroid count %d, want ≤ ~2δ", c)
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	s := New(100)
+	if _, err := s.Quantile(0.5); err != sketch.ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	s.Insert(1)
+	if _, err := s.Quantile(0); err == nil {
+		t.Error("Quantile(0) should fail")
+	}
+	v, err := s.Quantile(1)
+	if err != nil || v != 1 {
+		t.Errorf("Quantile(1) = %v, %v", v, err)
+	}
+}
+
+func TestMergeAccuracy(t *testing.T) {
+	a, b := New(100), New(100)
+	rng := rand.New(rand.NewPCG(11, 12))
+	var all []float64
+	for i := 0; i < 100000; i++ {
+		x := rng.NormFloat64()*10 + 100
+		all = append(all, x)
+		if i%2 == 0 {
+			a.Insert(x)
+		} else {
+			b.Insert(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != uint64(len(all)) {
+		t.Fatalf("count %d, want %d", a.Count(), len(all))
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est, _ := a.Quantile(q)
+		if re := math.Abs(q - exactRankOf(all, est)); re > 0.02 {
+			t.Errorf("q=%v: rank error %v after merge", q, re)
+		}
+	}
+}
+
+func TestSerdeRoundTrip(t *testing.T) {
+	s := New(100)
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 50000; i++ {
+		s.Insert(rng.Float64())
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != s.Count() {
+		t.Fatal("count mismatch")
+	}
+	qa, _ := s.Quantile(0.9)
+	qb, _ := d.Quantile(0.9)
+	if qa != qb {
+		t.Errorf("quantile mismatch: %v vs %v", qa, qb)
+	}
+	if err := d.UnmarshalBinary(blob[:9]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+// Property: count is conserved through any insert/merge sequence.
+func TestQuickCountConserved(t *testing.T) {
+	f := func(a, b []float32) bool {
+		s1, s2 := New(50), New(50)
+		for _, v := range a {
+			s1.Insert(float64(v))
+		}
+		for _, v := range b {
+			s2.Insert(float64(v))
+		}
+		want := s1.Count() + s2.Count()
+		if err := s1.Merge(s2); err != nil {
+			return false
+		}
+		return s1.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile estimates stay within [min, max].
+func TestQuickEstimatesInRange(t *testing.T) {
+	f := func(vals []float32, qFrac uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := New(50)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			x := float64(v)
+			if math.IsNaN(x) {
+				continue
+			}
+			s.Insert(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		q := (float64(qFrac) + 1) / 65537
+		est, err := s.Quantile(q)
+		if err != nil {
+			return false
+		}
+		return est >= lo && est <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package uddsketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestArrayMatchesMapSketch(t *testing.T) {
+	// Same algorithm, different store: on the same stream, the array and
+	// map variants must report identical collapse counts and (for
+	// positive data) identical quantile estimates.
+	m, err := NewWithBudget(0.01, 512, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArrayWithBudget(0.01, 512, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200000; i++ {
+		x := math.Exp(rng.Float64()*20 - 10)
+		m.Insert(x)
+		a.Insert(x)
+	}
+	if m.Collapses() != a.Collapses() {
+		t.Fatalf("collapses: map %d vs array %d", m.Collapses(), a.Collapses())
+	}
+	if math.Abs(m.Alpha()-a.Alpha()) > 1e-15 {
+		t.Fatalf("alpha: map %v vs array %v", m.Alpha(), a.Alpha())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		vm, err1 := m.Quantile(q)
+		va, err2 := a.Quantile(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("q=%v: %v / %v", q, err1, err2)
+		}
+		if vm != va {
+			t.Errorf("q=%v: map %v vs array %v", q, vm, va)
+		}
+	}
+}
+
+func TestArrayGuarantee(t *testing.T) {
+	s, err := NewArrayWithBudget(0.01, 1024, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 200000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1 / math.Pow(1-rng.Float64(), 1.0)
+		s.Insert(data[i])
+	}
+	sort.Float64s(data)
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		est, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(exactQuantile(data, q), est); re > s.Alpha()*(1+1e-9) {
+			t.Errorf("q=%v: rel err %v > alpha %v", q, re, s.Alpha())
+		}
+	}
+}
+
+func TestArrayBucketBudget(t *testing.T) {
+	s, err := NewArray(1e-4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 100000; i++ {
+		s.Insert(math.Exp(rng.Float64()*40 - 20))
+	}
+	if s.NonEmptyBuckets() > 64 {
+		t.Errorf("%d buckets, budget 64", s.NonEmptyBuckets())
+	}
+	if s.Collapses() == 0 {
+		t.Error("expected collapses")
+	}
+}
+
+func TestArrayMergeAligns(t *testing.T) {
+	a, _ := NewArray(1e-4, 128)
+	b, _ := NewArray(1e-4, 128)
+	rng := rand.New(rand.NewPCG(7, 8))
+	var all []float64
+	for i := 0; i < 50000; i++ {
+		x := math.Exp(rng.Float64()*30 - 15)
+		all = append(all, x)
+		a.Insert(x)
+	}
+	for i := 0; i < 1000; i++ {
+		x := 1 + 0.02*rng.Float64()
+		all = append(all, x)
+		b.Insert(x)
+	}
+	if a.Collapses() == 0 || b.Collapses() != 0 {
+		t.Fatalf("setup: a=%d b=%d collapses", a.Collapses(), b.Collapses())
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != uint64(len(all)) {
+		t.Fatalf("count %d, want %d", a.Count(), len(all))
+	}
+	sort.Float64s(all)
+	alpha := a.Alpha()
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est, _ := a.Quantile(q)
+		if re := relErr(exactQuantile(all, q), est); re > alpha*(1+1e-9) {
+			t.Errorf("q=%v: rel err %v > alpha after merge", q, re)
+		}
+	}
+}
+
+func TestArrayZeroAndNegative(t *testing.T) {
+	s, _ := NewArray(0.01, 256)
+	s.Insert(0)
+	s.Insert(-5)
+	s.Insert(10)
+	if s.Count() != 3 {
+		t.Fatalf("count %d", s.Count())
+	}
+	lo, err := s.Quantile(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -5 { // zero bucket reports min when negatives were folded in
+		t.Errorf("q=0.3 = %v, want -5", lo)
+	}
+}
+
+func TestArraySerde(t *testing.T) {
+	s, _ := NewArrayWithBudget(0.01, 512, 12)
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := 0; i < 50000; i++ {
+		s.Insert(math.Exp(rng.Float64() * 10))
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d ArraySketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != s.Count() || d.Collapses() != s.Collapses() {
+		t.Fatal("state mismatch")
+	}
+	qa, _ := s.Quantile(0.9)
+	qb, _ := d.Quantile(0.9)
+	if qa != qb {
+		t.Errorf("round trip: %v != %v", qa, qb)
+	}
+	if err := d.UnmarshalBinary(blob[:11]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}

@@ -1,0 +1,107 @@
+package uddsketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRankNegativeAndZero(t *testing.T) {
+	s := New(0.01, 2048)
+	for i := 1; i <= 1000; i++ {
+		s.Insert(-float64(i))
+		s.Insert(float64(i))
+	}
+	s.Insert(0)
+	r, err := s.Rank(-500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.25) > 0.02 {
+		t.Errorf("Rank(-500) = %v, want ≈ 0.25", r)
+	}
+	r, _ = s.Rank(0)
+	if math.Abs(r-0.5) > 0.02 {
+		t.Errorf("Rank(0) = %v", r)
+	}
+	r, _ = s.Rank(2000)
+	if r != 1 {
+		t.Errorf("Rank(max) = %v, want 1", r)
+	}
+	// Negative quantile path.
+	est, err := s.Quantile(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(-800, est); re > 0.02 {
+		t.Errorf("q=0.1 = %v, want ≈ -800", est)
+	}
+}
+
+func TestInsertNTriggersCollapse(t *testing.T) {
+	s := New(1e-4, 32)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100; i++ {
+		s.InsertN(math.Exp(rng.Float64()*20-10), 100)
+	}
+	if s.NonEmptyBuckets() > 32 {
+		t.Errorf("bulk inserts exceeded bucket budget: %d", s.NonEmptyBuckets())
+	}
+	if s.Count() != 10000 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestGammaSquaresPerCollapse(t *testing.T) {
+	s := New(0.001, 4)
+	g0 := s.Gamma()
+	for i := 0; i < 10000; i++ {
+		s.Insert(math.Exp(float64(i%40) - 20))
+	}
+	if s.Collapses() == 0 {
+		t.Fatal("expected collapses")
+	}
+	want := g0
+	for i := 0; i < s.Collapses(); i++ {
+		want = want * want
+	}
+	if math.Abs(s.Gamma()-want) > 1e-9*want {
+		t.Errorf("gamma = %v, want %v after %d collapses", s.Gamma(), want, s.Collapses())
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	a := New(0.01, 1024)
+	b := New(0.01, 1024)
+	for i := 1; i <= 100; i++ {
+		b.Insert(float64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 100 {
+		t.Errorf("count = %d", a.Count())
+	}
+	med, err := a.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(50, med); re > 0.01 {
+		t.Errorf("median = %v", med)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	if _, err := NewChecked(0, 10); err == nil {
+		t.Error("alpha 0 should fail")
+	}
+	if _, err := NewChecked(0.01, 1); err == nil {
+		t.Error("1 bucket should fail")
+	}
+	if _, err := NewWithBudget(1.5, 10, 3); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	if _, err := NewWithBudget(0.01, 10, 0); err == nil {
+		t.Error("0 collapses should fail")
+	}
+}

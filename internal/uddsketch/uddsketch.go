@@ -1,0 +1,447 @@
+// Package uddsketch implements UDDSketch (Epicoco et al., IEEE Access
+// 2020), the uniform-collapse variant of DDSketch. Like DDSketch it is a
+// log-bucketed histogram, but when the bucket budget is exhausted it
+// collapses *every* adjacent bucket pair (i, i+1), i odd, into bucket
+// ⌈i/2⌉ — squaring γ and degrading the relative-error guarantee uniformly
+// to α' = 2α/(1+α²) instead of sacrificing the lowest quantiles.
+//
+// Because atanh(α') = 2·atanh(α) under that recurrence, the initial
+// accuracy needed to guarantee a final accuracy α_k after k−1 collapses is
+// α₀ = tanh(atanh(α_k)/2^(k−1)), which NewWithBudget computes (paper
+// Sec 3.4 and 4.2).
+//
+// Mirroring the study's methodology, the store is a Go map — the paper's
+// UDDSketch deliberately keeps the map-backed bucket store of the original
+// C implementation, and attributes its slower insert/merge times to it.
+package uddsketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sketch"
+)
+
+// Sketch is a UDDSketch instance covering the full real line (positive
+// map store, mirrored negative map store, and an exact-zero counter).
+type Sketch struct {
+	initAlpha  float64
+	alpha      float64
+	gamma      float64
+	logGamma   float64
+	maxBuckets int
+	collapses  int
+
+	positive map[int]int64
+	negative map[int]int64
+	zeroCnt  int64
+	count    int64
+	min, max float64
+}
+
+var _ sketch.Sketch = (*Sketch)(nil)
+
+// New returns a UDDSketch with initial relative accuracy alpha0 and a
+// bucket budget of maxBuckets (counting positive and negative buckets
+// together). It panics on invalid parameters; use NewChecked for errors.
+func New(alpha0 float64, maxBuckets int) *Sketch {
+	s, err := NewChecked(alpha0, maxBuckets)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewChecked is New with error reporting instead of panicking.
+func NewChecked(alpha0 float64, maxBuckets int) (*Sketch, error) {
+	if !(alpha0 > 0 && alpha0 < 1) {
+		return nil, fmt.Errorf("uddsketch: alpha must be in (0,1), got %v", alpha0)
+	}
+	if maxBuckets < 2 {
+		return nil, fmt.Errorf("uddsketch: need at least 2 buckets, got %d", maxBuckets)
+	}
+	s := &Sketch{
+		initAlpha:  alpha0,
+		maxBuckets: maxBuckets,
+		positive:   make(map[int]int64),
+		negative:   make(map[int]int64),
+		min:        math.Inf(1),
+		max:        math.Inf(-1),
+	}
+	s.setAlpha(alpha0)
+	return s, nil
+}
+
+// NewWithBudget returns a UDDSketch whose *final* relative accuracy is
+// still alphaK after numCollapses−1 uniform collapses, by starting from
+// α₀ = tanh(atanh(alphaK)/2^(numCollapses−1)). This reproduces the study's
+// configuration: alphaK = 0.01, maxBuckets = 1024, numCollapses = 12.
+func NewWithBudget(alphaK float64, maxBuckets, numCollapses int) (*Sketch, error) {
+	if !(alphaK > 0 && alphaK < 1) {
+		return nil, fmt.Errorf("uddsketch: alpha must be in (0,1), got %v", alphaK)
+	}
+	if numCollapses < 1 {
+		return nil, fmt.Errorf("uddsketch: numCollapses must be >= 1, got %d", numCollapses)
+	}
+	alpha0 := math.Tanh(math.Atanh(alphaK) / math.Pow(2, float64(numCollapses-1)))
+	return NewChecked(alpha0, maxBuckets)
+}
+
+func (s *Sketch) setAlpha(alpha float64) {
+	s.alpha = alpha
+	s.gamma = (1 + alpha) / (1 - alpha)
+	s.logGamma = math.Log(s.gamma)
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch) Name() string { return "uddsketch" }
+
+// Alpha returns the *current* relative-error guarantee (grows with each
+// collapse).
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// InitialAlpha returns the α₀ the sketch started from.
+func (s *Sketch) InitialAlpha() float64 { return s.initAlpha }
+
+// Gamma returns the current bucket growth factor.
+func (s *Sketch) Gamma() float64 { return s.gamma }
+
+// Collapses reports how many uniform collapse operations have run.
+func (s *Sketch) Collapses() int { return s.collapses }
+
+// MaxBuckets returns the configured bucket budget.
+func (s *Sketch) MaxBuckets() int { return s.maxBuckets }
+
+// minIndexable is the smallest magnitude this sketch can bucket without
+// float underflow in the index computation.
+func (s *Sketch) minIndexable() float64 {
+	return math.Exp(float64(math.MinInt32+1) * s.logGamma)
+}
+
+func (s *Sketch) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / s.logGamma))
+}
+
+func (s *Sketch) value(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Insert implements sketch.Sketch. NaNs are ignored; zeros and values too
+// small to index are counted exactly.
+func (s *Sketch) Insert(x float64) { s.InsertN(x, 1) }
+
+// InsertN implements sketch.BulkInserter: n occurrences of x in O(1).
+func (s *Sketch) InsertN(x float64, n uint64) {
+	if math.IsNaN(x) || n == 0 {
+		return
+	}
+	switch {
+	case x > 0 && x >= s.minIndexable():
+		s.positive[s.index(x)] += int64(n)
+	case x < 0 && -x >= s.minIndexable():
+		s.negative[s.index(-x)] += int64(n)
+	default:
+		s.zeroCnt += int64(n)
+	}
+	s.count += int64(n)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	for len(s.positive)+len(s.negative) > s.maxBuckets {
+		s.uniformCollapse()
+	}
+}
+
+// ceilDiv2 computes ⌈i/2⌉ for signed i.
+func ceilDiv2(i int) int {
+	if i > 0 {
+		return (i + 1) / 2
+	}
+	return i / 2 // Go truncation toward zero == ceil for negatives
+}
+
+// uniformCollapse merges every adjacent (odd, even) index pair into
+// ⌈i/2⌉, squares γ, and updates the error guarantee α ← 2α/(1+α²).
+func (s *Sketch) uniformCollapse() {
+	collapse := func(old map[int]int64) map[int]int64 {
+		neu := make(map[int]int64, (len(old)+1)/2)
+		for i, c := range old {
+			neu[ceilDiv2(i)] += c
+		}
+		return neu
+	}
+	s.positive = collapse(s.positive)
+	s.negative = collapse(s.negative)
+	s.setAlpha(2 * s.alpha / (1 + s.alpha*s.alpha))
+	s.collapses++
+}
+
+// Count implements sketch.Sketch.
+func (s *Sketch) Count() uint64 { return uint64(s.count) }
+
+func sortedKeys(m map[int]int64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Quantile implements sketch.Sketch.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if err := sketch.CheckQuantile(q); err != nil {
+		return 0, err
+	}
+	if s.count == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	rank := int64(math.Ceil(q * float64(s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.count {
+		rank = s.count
+	}
+	var negTotal int64
+	for _, c := range s.negative {
+		negTotal += c
+	}
+	switch {
+	case rank <= negTotal:
+		want := negTotal - rank
+		var cum int64
+		keys := sortedKeys(s.negative)
+		for _, i := range keys {
+			cum += s.negative[i]
+			if cum > want {
+				return s.clamp(-s.value(i)), nil
+			}
+		}
+		return s.clamp(s.min), nil
+	case rank <= negTotal+s.zeroCnt:
+		return 0, nil
+	default:
+		want := rank - negTotal - s.zeroCnt
+		var cum int64
+		keys := sortedKeys(s.positive)
+		for _, i := range keys {
+			cum += s.positive[i]
+			if cum >= want {
+				return s.clamp(s.value(i)), nil
+			}
+		}
+		return s.clamp(s.max), nil
+	}
+}
+
+func (s *Sketch) clamp(x float64) float64 {
+	if x < s.min {
+		return s.min
+	}
+	if x > s.max {
+		return s.max
+	}
+	return x
+}
+
+// Rank implements sketch.Sketch.
+func (s *Sketch) Rank(x float64) (float64, error) {
+	if s.count == 0 {
+		return 0, sketch.ErrEmpty
+	}
+	var le int64
+	if x >= 0 {
+		for _, c := range s.negative {
+			le += c
+		}
+		le += s.zeroCnt
+		if x > 0 {
+			xi := s.index(x)
+			for i, c := range s.positive {
+				if i <= xi {
+					le += c
+				}
+			}
+		}
+	} else {
+		xi := s.index(-x)
+		for i, c := range s.negative {
+			if i >= xi {
+				le += c
+			}
+		}
+	}
+	return float64(le) / float64(s.count), nil
+}
+
+// Merge implements sketch.Sketch (the fusion algorithm of Cafaro et al.):
+// the less-collapsed sketch's buckets are collapsed until both share γ,
+// the aligned bucket counts are added, and a final uniform collapse runs
+// if the bucket budget is exceeded.
+func (s *Sketch) Merge(other sketch.Sketch) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into uddsketch", sketch.ErrIncompatible, other.Name())
+	}
+	if math.Abs(o.initAlpha-s.initAlpha) > 1e-15 {
+		return fmt.Errorf("%w: initial alpha mismatch %v vs %v", sketch.ErrIncompatible, s.initAlpha, o.initAlpha)
+	}
+	// Work on a private copy of the more-refined side so `other` is not
+	// mutated while aligning γ.
+	src := o
+	if o.collapses != s.collapses {
+		if o.collapses < s.collapses {
+			src = o.clone()
+			for src.collapses < s.collapses {
+				src.uniformCollapse()
+			}
+		} else {
+			for s.collapses < o.collapses {
+				s.uniformCollapse()
+			}
+		}
+	}
+	for i, c := range src.positive {
+		s.positive[i] += c
+	}
+	for i, c := range src.negative {
+		s.negative[i] += c
+	}
+	s.zeroCnt += src.zeroCnt
+	s.count += src.count
+	if src.min < s.min {
+		s.min = src.min
+	}
+	if src.max > s.max {
+		s.max = src.max
+	}
+	for len(s.positive)+len(s.negative) > s.maxBuckets {
+		s.uniformCollapse()
+	}
+	return nil
+}
+
+func (s *Sketch) clone() *Sketch {
+	c := *s
+	c.positive = make(map[int]int64, len(s.positive))
+	for i, v := range s.positive {
+		c.positive[i] = v
+	}
+	c.negative = make(map[int]int64, len(s.negative))
+	for i, v := range s.negative {
+		c.negative[i] = v
+	}
+	return &c
+}
+
+// NonEmptyBuckets reports the live bucket count across both stores.
+func (s *Sketch) NonEmptyBuckets() int { return len(s.positive) + len(s.negative) }
+
+// MemoryBytes implements sketch.Sketch using the paper's accounting for a
+// map-backed store: a map index, a bucket index and a count per bucket
+// (Sec 4.3), plus fixed bookkeeping.
+func (s *Sketch) MemoryBytes() int {
+	numbers := 3*(len(s.positive)+len(s.negative)) + 8
+	return 8 * numbers
+}
+
+// Reset implements sketch.Sketch.
+func (s *Sketch) Reset() {
+	ns, err := NewChecked(s.initAlpha, s.maxBuckets)
+	if err != nil {
+		panic(err)
+	}
+	*s = *ns
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	w := sketch.NewWriter(64 + 16*(len(s.positive)+len(s.negative)))
+	w.Header(sketch.TagUDDSketch)
+	w.F64(s.initAlpha)
+	w.U32(uint32(s.maxBuckets))
+	w.U32(uint32(s.collapses))
+	w.I64(s.zeroCnt)
+	w.I64(s.count)
+	w.F64(s.min)
+	w.F64(s.max)
+	writeMap := func(m map[int]int64) {
+		w.U32(uint32(len(m)))
+		for _, i := range sortedKeys(m) {
+			w.I64(int64(i))
+			w.I64(m[i])
+		}
+	}
+	writeMap(s.positive)
+	writeMap(s.negative)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	r := sketch.NewReader(data)
+	if err := r.Header(sketch.TagUDDSketch); err != nil {
+		return err
+	}
+	initAlpha := r.F64()
+	maxBuckets := int(r.U32())
+	collapses := int(r.U32())
+	zeroCnt := r.I64()
+	count := r.I64()
+	minV := r.F64()
+	maxV := r.F64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	// Bound decoded parameters: α saturates after ~60 collapses, and the
+	// bucket budget never exceeds a few thousand in any valid sketch.
+	if collapses < 0 || collapses > 4096 || maxBuckets > 1<<24 {
+		return sketch.ErrCorrupt
+	}
+	ns, err := NewChecked(initAlpha, maxBuckets)
+	if err != nil {
+		return sketch.ErrCorrupt
+	}
+	for i := 0; i < collapses; i++ {
+		ns.setAlpha(2 * ns.alpha / (1 + ns.alpha*ns.alpha))
+	}
+	ns.collapses = collapses
+	ns.zeroCnt = zeroCnt
+	ns.count = count
+	ns.min = minV
+	ns.max = maxV
+	readMap := func(m map[int]int64) error {
+		n := int(r.U32())
+		for i := 0; i < n; i++ {
+			idx := r.I64()
+			c := r.I64()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if c < 0 {
+				return sketch.ErrCorrupt
+			}
+			m[int(idx)] += c
+		}
+		return nil
+	}
+	if err := readMap(ns.positive); err != nil {
+		return err
+	}
+	if err := readMap(ns.negative); err != nil {
+		return err
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if r.Remaining() != 0 {
+		return sketch.ErrCorrupt
+	}
+	*s = *ns
+	return nil
+}

@@ -1,0 +1,163 @@
+package quantiles_test
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	quantiles "repro"
+	"repro/internal/datagen"
+)
+
+// constructors returns one instance of every public sketch type.
+func constructors(t *testing.T) map[string]func() quantiles.Sketch {
+	t.Helper()
+	return map[string]func() quantiles.Sketch{
+		"ddsketch": func() quantiles.Sketch { return quantiles.NewDDSketch(0.01) },
+		"ddsketch-collapsing": func() quantiles.Sketch {
+			return quantiles.NewDDSketchCollapsing(0.01, 1024)
+		},
+		"uddsketch": func() quantiles.Sketch {
+			s, err := quantiles.NewUDDSketchWithBudget(0.01, 1024, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"kll": func() quantiles.Sketch { return quantiles.NewKLLWithSeed(350, 7) },
+		"req": func() quantiles.Sketch { return quantiles.NewReqSketchWithSeed(30, true, 7) },
+		"moments": func() quantiles.Sketch {
+			return quantiles.NewMomentsWithTransform(12, quantiles.MomentsLog)
+		},
+	}
+}
+
+// TestConformance exercises the full Sketch contract through the public
+// API for every sketch type: empty behaviour, insert/query accuracy,
+// merge count preservation, serialization round-trip, and reset.
+func TestConformance(t *testing.T) {
+	for name, make := range constructors(t) {
+		t.Run(name, func(t *testing.T) {
+			sk := make()
+
+			// Empty sketch behaviour.
+			if _, err := sk.Quantile(0.5); !errors.Is(err, quantiles.ErrEmpty) {
+				t.Errorf("empty Quantile err = %v, want ErrEmpty", err)
+			}
+			if sk.Count() != 0 {
+				t.Errorf("empty Count = %d", sk.Count())
+			}
+
+			// Invalid quantiles.
+			sk.Insert(1)
+			for _, q := range []float64{0, -1, 1.00001, math.NaN()} {
+				if _, err := sk.Quantile(q); !errors.Is(err, quantiles.ErrInvalidQuantile) {
+					t.Errorf("Quantile(%v) err = %v, want ErrInvalidQuantile", q, err)
+				}
+			}
+			sk.Reset()
+
+			// Accuracy on a lognormal stream.
+			src := datagen.NewLogNormal(3, 1, 99)
+			data := datagen.Take(src, 100_000)
+			quantiles.InsertAll(sk, data)
+			if sk.Count() != uint64(len(data)) {
+				t.Fatalf("Count = %d, want %d", sk.Count(), len(data))
+			}
+			sorted := append([]float64(nil), data...)
+			sort.Float64s(sorted)
+			for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+				est, err := sk.Quantile(q)
+				if err != nil {
+					t.Fatalf("q=%v: %v", q, err)
+				}
+				truth := sorted[int(math.Ceil(q*float64(len(sorted))))-1]
+				if re := math.Abs(est-truth) / truth; re > 0.05 {
+					t.Errorf("q=%v: rel err %v (est=%v truth=%v)", q, re, est, truth)
+				}
+			}
+
+			// Rank is consistent with Quantile.
+			med, _ := sk.Quantile(0.5)
+			r, err := sk.Rank(med)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(r-0.5) > 0.05 {
+				t.Errorf("Rank(median) = %v", r)
+			}
+
+			// Merge preserves counts and incompatible types are rejected.
+			other := make()
+			quantiles.InsertAll(other, data[:1000])
+			if err := sk.Merge(other); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			if sk.Count() != uint64(len(data)+1000) {
+				t.Errorf("merged Count = %d", sk.Count())
+			}
+			foreign := quantiles.NewKLL(10)
+			if name != "kll" {
+				if err := sk.Merge(foreign); !errors.Is(err, quantiles.ErrIncompatible) {
+					t.Errorf("cross-type merge err = %v, want ErrIncompatible", err)
+				}
+			}
+
+			// Serialization round-trip preserves answers.
+			blob, err := sk.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make()
+			if err := dst.UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []float64{0.25, 0.75} {
+				a, _ := sk.Quantile(q)
+				b, _ := dst.Quantile(q)
+				if a != b {
+					t.Errorf("q=%v differs after round trip: %v vs %v", q, a, b)
+				}
+			}
+			if err := dst.UnmarshalBinary([]byte{0xde, 0xad}); !errors.Is(err, quantiles.ErrCorrupt) {
+				t.Errorf("corrupt decode err = %v, want ErrCorrupt", err)
+			}
+
+			// Reset restores the empty state.
+			sk.Reset()
+			if sk.Count() != 0 {
+				t.Errorf("Count after Reset = %d", sk.Count())
+			}
+			if _, err := sk.Quantile(0.5); !errors.Is(err, quantiles.ErrEmpty) {
+				t.Errorf("Quantile after Reset err = %v", err)
+			}
+
+			// MemoryBytes is positive and small.
+			quantiles.InsertAll(sk, data[:10_000])
+			if m := sk.MemoryBytes(); m <= 0 || m > 1<<20 {
+				t.Errorf("MemoryBytes = %d", m)
+			}
+		})
+	}
+}
+
+func TestQuantilesHelper(t *testing.T) {
+	sk := quantiles.NewDDSketch(0.01)
+	for i := 1; i <= 1000; i++ {
+		sk.Insert(float64(i))
+	}
+	got, err := quantiles.Quantiles(sk, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 500, 900}
+	for i := range want {
+		if re := math.Abs(got[i]-want[i]) / want[i]; re > 0.01 {
+			t.Errorf("q[%d] = %v, want ≈ %v", i, got[i], want[i])
+		}
+	}
+	if _, err := quantiles.Quantiles(sk, []float64{0.5, -1}); err == nil {
+		t.Error("invalid quantile in set should fail")
+	}
+}

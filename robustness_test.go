@@ -1,0 +1,201 @@
+package quantiles_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	quantiles "repro"
+	"repro/internal/datagen"
+	"repro/internal/gk"
+	"repro/internal/hdr"
+	"repro/internal/mrl"
+)
+
+// deterministicSketches are insertion-order-sensitive only in rounding
+// (histograms, moments) or fully order-free; for these, any permutation
+// of the same multiset must yield identical quantile answers.
+func deterministicSketches(t *testing.T) map[string]func() quantiles.Sketch {
+	t.Helper()
+	return map[string]func() quantiles.Sketch{
+		"ddsketch": func() quantiles.Sketch { return quantiles.NewDDSketch(0.01) },
+		"moments":  func() quantiles.Sketch { return quantiles.NewMoments(10) },
+		"hdr": func() quantiles.Sketch {
+			h, err := hdr.New(1, 1_000_000, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		},
+	}
+}
+
+// TestPermutationInvariance: deterministic summary sketches must answer
+// identically regardless of insertion order.
+func TestPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = math.Round(rng.Float64()*100000) + 1
+	}
+	shuffled := append([]float64(nil), data...)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	for name, mk := range deterministicSketches(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(), mk()
+			quantiles.InsertAll(a, data)
+			quantiles.InsertAll(b, shuffled)
+			for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+				va, err1 := a.Quantile(q)
+				vb, err2 := b.Quantile(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("q=%v: %v / %v", q, err1, err2)
+				}
+				// Moments accumulates floating point sums whose rounding is
+				// order-dependent; allow relative slack 1e-9 there, exact
+				// equality for the histogram sketches.
+				if name == "moments" {
+					if math.Abs(va-vb) > 1e-9*(1+math.Abs(va)) {
+						t.Errorf("q=%v: %v != %v across permutations", q, va, vb)
+					}
+				} else if va != vb {
+					t.Errorf("q=%v: %v != %v across permutations", q, va, vb)
+				}
+			}
+		})
+	}
+}
+
+// TestUnionViaMergeEqualsDirect: for linear sketches, merging partitions
+// equals direct insertion exactly.
+func TestUnionViaMergeEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = rng.ExpFloat64()*100 + 1
+	}
+	for name, mk := range deterministicSketches(t) {
+		t.Run(name, func(t *testing.T) {
+			direct, merged := mk(), mk()
+			quantiles.InsertAll(direct, data)
+			for p := 0; p < 5; p++ {
+				part := mk()
+				lo, hi := p*6000, (p+1)*6000
+				quantiles.InsertAll(part, data[lo:hi])
+				if err := merged.Merge(part); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, q := range []float64{0.1, 0.5, 0.9} {
+				va, _ := direct.Quantile(q)
+				vb, _ := merged.Quantile(q)
+				slack := 0.0
+				if name == "moments" {
+					slack = 1e-6 * (1 + math.Abs(va))
+				}
+				if math.Abs(va-vb) > slack {
+					t.Errorf("q=%v: direct %v vs merged %v", q, va, vb)
+				}
+			}
+		})
+	}
+}
+
+// allSerializables lists every sketch with a binary codec.
+func allSerializables(t *testing.T) map[string]func() quantiles.Sketch {
+	t.Helper()
+	out := map[string]func() quantiles.Sketch{
+		"tdigest": func() quantiles.Sketch { return quantiles.NewTDigest(100) },
+		"gk":      func() quantiles.Sketch { return gk.New(0.01) },
+		"mrl":     func() quantiles.Sketch { return mrl.New(8, 64) },
+	}
+	for name, mk := range deterministicSketches(t) {
+		out[name] = mk
+	}
+	out["kll"] = func() quantiles.Sketch { return quantiles.NewKLL(64) }
+	out["req"] = func() quantiles.Sketch { return quantiles.NewReqSketch(8, true) }
+	out["uddsketch"] = func() quantiles.Sketch {
+		s, err := quantiles.NewUDDSketch(0.01, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return out
+}
+
+// TestFuzzDeserializeNeverPanics: feeding arbitrary bytes (random blobs,
+// bit-flipped valid blobs, truncations) to UnmarshalBinary must error or
+// succeed — never panic or hang.
+func TestFuzzDeserializeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for name, mk := range allSerializables(t) {
+		t.Run(name, func(t *testing.T) {
+			// A valid blob to mutate.
+			src := mk()
+			vals := datagen.Take(datagen.NewUniform(1, 1000, 7), 2000)
+			quantiles.InsertAll(src, vals)
+			valid, err := src.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			try := func(blob []byte) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %d-byte blob: %v", len(blob), r)
+					}
+				}()
+				dst := mk()
+				if err := dst.UnmarshalBinary(blob); err == nil {
+					// Decoded fine: it must then answer queries without
+					// panicking too.
+					if dst.Count() > 0 {
+						_, _ = dst.Quantile(0.5)
+						_, _ = dst.Rank(1)
+					}
+				}
+			}
+			// Random blobs.
+			for i := 0; i < 200; i++ {
+				blob := make([]byte, rng.IntN(200))
+				for j := range blob {
+					blob[j] = byte(rng.Uint64())
+				}
+				try(blob)
+			}
+			// Truncations of a valid blob.
+			for cut := 0; cut < len(valid) && cut < 128; cut++ {
+				try(valid[:cut])
+			}
+			// Single-bit corruptions.
+			for i := 0; i < 200; i++ {
+				blob := append([]byte(nil), valid...)
+				pos := rng.IntN(len(blob))
+				blob[pos] ^= 1 << uint(rng.IntN(8))
+				try(blob)
+			}
+		})
+	}
+}
+
+// TestNaNAndInfInputs: pathological inputs must not corrupt any sketch.
+func TestNaNAndInfInputs(t *testing.T) {
+	for name, mk := range allSerializables(t) {
+		t.Run(name, func(t *testing.T) {
+			sk := mk()
+			sk.Insert(math.NaN()) // ignored or clamped, never fatal
+			for i := 1; i <= 100; i++ {
+				sk.Insert(float64(i))
+			}
+			v, err := sk.Quantile(0.5)
+			if err != nil {
+				t.Fatalf("median: %v", err)
+			}
+			if math.IsNaN(v) {
+				t.Error("NaN leaked into estimates")
+			}
+		})
+	}
+}

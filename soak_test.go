@@ -1,0 +1,133 @@
+package quantiles_test
+
+import (
+	"math"
+	"testing"
+
+	quantiles "repro"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+// TestSoakAgainstOracle runs every sketch against the exact oracle over
+// a mixed workload of inserts, merges, serialization round-trips and
+// resets, checking the documented accuracy property at every checkpoint.
+// This is the repository's long-form invariant test: if any state
+// transition corrupts a sketch, some later checkpoint catches it.
+func TestSoakAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	type contender struct {
+		mk func() quantiles.Sketch
+		// check returns an error bound appropriate to the sketch's
+		// guarantee for the given oracle and quantile.
+		tolerance func(exact *stats.ExactQuantiles, q, est float64) float64
+	}
+	relTol := func(bound float64) func(*stats.ExactQuantiles, float64, float64) float64 {
+		return func(exact *stats.ExactQuantiles, q, est float64) float64 {
+			return stats.RelativeError(exact.Quantile(q), est) - bound
+		}
+	}
+	rankTol := func(bound float64) func(*stats.ExactQuantiles, float64, float64) float64 {
+		return func(exact *stats.ExactQuantiles, q, est float64) float64 {
+			return stats.RankError(exact, q, est) - bound
+		}
+	}
+	contenders := map[string]contender{
+		"ddsketch": {
+			mk:        func() quantiles.Sketch { return quantiles.NewDDSketch(0.01) },
+			tolerance: relTol(0.0101),
+		},
+		"uddsketch": {
+			mk: func() quantiles.Sketch {
+				s, err := quantiles.NewUDDSketchWithBudget(0.01, 1024, 12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			tolerance: relTol(0.0101),
+		},
+		"kll": {
+			mk:        func() quantiles.Sketch { return quantiles.NewKLLWithSeed(350, 11) },
+			tolerance: rankTol(0.03),
+		},
+		"req": {
+			mk:        func() quantiles.Sketch { return quantiles.NewReqSketchWithSeed(30, true, 12) },
+			tolerance: rankTol(0.03),
+		},
+	}
+	for name, c := range contenders {
+		t.Run(name, func(t *testing.T) {
+			main := c.mk()
+			src := datagen.NewPareto(1.2, 1, 77)
+			var all []float64
+			phaseLen := 40000
+
+			checkpoint := func(phase string) {
+				exact := stats.NewExactQuantiles(all)
+				for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+					est, err := main.Quantile(q)
+					if err != nil {
+						t.Fatalf("%s q=%v: %v", phase, q, err)
+					}
+					if over := c.tolerance(exact, q, est); over > 0 {
+						t.Errorf("%s q=%v: bound exceeded by %v", phase, q, over)
+					}
+				}
+				if main.Count() != uint64(len(all)) {
+					t.Fatalf("%s: count %d, oracle %d", phase, main.Count(), len(all))
+				}
+			}
+
+			// Phase 1: plain inserts.
+			for i := 0; i < phaseLen; i++ {
+				x := src.Next()
+				all = append(all, x)
+				main.Insert(x)
+			}
+			checkpoint("insert")
+
+			// Phase 2: merge a separately built partition in.
+			part := c.mk()
+			for i := 0; i < phaseLen; i++ {
+				x := src.Next()
+				all = append(all, x)
+				part.Insert(x)
+			}
+			if err := main.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+			checkpoint("merge")
+
+			// Phase 3: serialization round trip, then continue inserting
+			// into the decoded sketch.
+			blob, err := main.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded := c.mk()
+			if err := decoded.UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			main = decoded
+			for i := 0; i < phaseLen; i++ {
+				x := src.Next()
+				all = append(all, x)
+				main.Insert(x)
+			}
+			checkpoint("serde+insert")
+
+			// Phase 4: reset and rebuild from scratch.
+			main.Reset()
+			all = all[:0]
+			for i := 0; i < phaseLen; i++ {
+				x := math.Abs(src.Next())
+				all = append(all, x)
+				main.Insert(x)
+			}
+			checkpoint("reset+rebuild")
+		})
+	}
+}
