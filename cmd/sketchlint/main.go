@@ -1,0 +1,149 @@
+// Command sketchlint is this repository's custom static analyzer. It
+// enforces the correctness contracts that go vet cannot see:
+//
+//	unchecked-err  errors from Quantile/Rank/Merge/UnmarshalBinary must
+//	               not be discarded in non-test code
+//	float-eq       no == / != between non-constant floats (use an
+//	               epsilon, math.Float64bits, or math.IsNaN)
+//	global-rand    internal/ packages must use seeded generators
+//	               (internal/datagen), never the global math/rand
+//	panic          sketch packages may panic only in invariant files or
+//	               functions whose doc comment documents the panic
+//
+// Usage:
+//
+//	go run ./cmd/sketchlint ./...          # whole module
+//	go run ./cmd/sketchlint ./internal/kll # specific packages
+//
+// It exits 1 when findings are reported, 2 on analysis failure. Built
+// only on the standard library (go/parser, go/types); see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		rules = flag.String("rules", "", "comma-separated rule names to enable (default: all)")
+		quiet = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sketchlint [flags] [./... | packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(2)
+	}
+	// Validate -rules up front: a typo'd rule name must not silently
+	// filter every finding and report a clean tree.
+	if *rules != "" {
+		for _, r := range strings.Split(*rules, ",") {
+			if !lint.KnownRule(strings.TrimSpace(r)) {
+				fmt.Fprintf(os.Stderr, "sketchlint: unknown rule %q (known: %s)\n",
+					strings.TrimSpace(r), strings.Join(lint.Rules(), ", "))
+				os.Exit(2)
+			}
+		}
+	}
+	findings, err := run(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(2)
+	}
+	if *rules != "" {
+		enabled := make(map[string]bool)
+		for _, r := range strings.Split(*rules, ",") {
+			enabled[strings.TrimSpace(r)] = true
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if enabled[f.Rule] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(findings) > 0 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sketchlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// run loads and checks the requested packages. With no arguments or a
+// "./..." pattern it checks the whole module.
+func run(root string, args []string) ([]lint.Finding, error) {
+	cfg := lint.DefaultConfig()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var findings []lint.Finding
+	seen := make(map[string]bool)
+	check := func(pkg *lint.Package) {
+		if pkg == nil || seen[pkg.ImportPath] {
+			return
+		}
+		seen[pkg.ImportPath] = true
+		findings = append(findings, lint.Check(pkg, cfg)...)
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "all" {
+			pkgs, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				check(p)
+			}
+			continue
+		}
+		pkg, err := loader.LoadDir(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arg, err)
+		}
+		check(pkg)
+	}
+	return findings, nil
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

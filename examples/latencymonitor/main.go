@@ -71,8 +71,14 @@ func main() {
 	fmt.Printf("monitoring p99 against SLO of %.0f ms (5s windows, %d req/s)\n\n", sloP99, rate)
 	fmt.Println("window   requests   p50(ms)   p99(ms)   mean-ish p50 would say")
 	_, err = eng.Run(func(r stream.WindowResult) {
-		p50, _ := r.Sketch.Quantile(0.5)
-		p99, _ := r.Sketch.Quantile(0.99)
+		p50, err := r.Sketch.Quantile(0.5)
+		if err != nil {
+			panic(err)
+		}
+		p99, err := r.Sketch.Quantile(0.99)
+		if err != nil {
+			panic(err)
+		}
 		status := "ok"
 		if p99 > sloP99 {
 			status = "ALERT: p99 SLO breach"

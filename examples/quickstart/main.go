@@ -52,6 +52,9 @@ func main() {
 	}
 
 	// Rank queries answer "what fraction of requests finished within X?"
-	r, _ := sk.Rank(100)
+	r, err := sk.Rank(100)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nrequests within 100ms: %.2f%%\n", r*100)
 }

@@ -54,7 +54,10 @@ func main() {
 				return
 			}
 			count++
-			p95, _ := r.Sketch.Quantile(0.95)
+			p95, err := r.Sketch.Quantile(0.95)
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("  window [%5.1fs, %5.1fs)  events=%5d  p95=%.1fms\n",
 				r.Window.Start.Seconds(), r.Window.End.Seconds(), r.Accepted, p95)
 		})

@@ -45,8 +45,14 @@ func main() {
 	}
 	for _, r := range results {
 		exact := stats.NewExactQuantiles(r.Values)
-		p50, _ := r.Sketch.Quantile(0.5)
-		p99, _ := r.Sketch.Quantile(0.99)
+		p50, err := r.Sketch.Quantile(0.5)
+		if err != nil {
+			panic(err)
+		}
+		p99, err := r.Sketch.Quantile(0.99)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("  %2d     %8d   %12d   $%6.2f / $%6.2f    $%6.2f / $%6.2f\n",
 			r.Index, r.Accepted, r.DroppedLate,
 			p50, exact.Quantile(0.5), p99, exact.Quantile(0.99))

@@ -132,7 +132,7 @@ func (f *FloatSketch) Merge(other sketch.Sketch) error {
 	if !ok {
 		return fmt.Errorf("%w: cannot merge %s into dcs", sketch.ErrIncompatible, other.Name())
 	}
-	if o.alpha != f.alpha || o.offset != f.offset {
+	if math.Float64bits(o.alpha) != math.Float64bits(f.alpha) || o.offset != f.offset {
 		return fmt.Errorf("%w: dcs quantizer mismatch", sketch.ErrIncompatible)
 	}
 	if err := f.dcs.Merge(o.dcs); err != nil {

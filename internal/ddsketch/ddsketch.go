@@ -38,7 +38,8 @@ func New(alpha float64) *Sketch {
 
 // NewCollapsing returns a DDSketch with relative accuracy alpha and a
 // collapsing-lowest dense store bounded at maxBuckets buckets (the
-// bounded-memory variant used in the store ablation).
+// bounded-memory variant used in the store ablation). It panics on
+// invalid alpha; use NewWithStore for checked construction.
 func NewCollapsing(alpha float64, maxBuckets int) *Sketch {
 	s, err := NewWithStore(alpha, func() Store { return NewCollapsingLowestDenseStore(maxBuckets) })
 	if err != nil {
@@ -219,10 +220,12 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if !ok {
 		return fmt.Errorf("%w: cannot merge %s into ddsketch", sketch.ErrIncompatible, other.Name())
 	}
-	if o.mapping.Name() != s.mapping.Name() || o.mapping.Gamma() != s.mapping.Gamma() {
+	if o.mapping.Name() != s.mapping.Name() ||
+		math.Float64bits(o.mapping.Gamma()) != math.Float64bits(s.mapping.Gamma()) {
 		return fmt.Errorf("%w: mapping mismatch %s/%v vs %s/%v", sketch.ErrIncompatible,
 			s.mapping.Name(), s.mapping.Gamma(), o.mapping.Name(), o.mapping.Gamma())
 	}
+	mergedCount := s.Count() + o.Count()
 	o.positive.ForEach(func(i int, c int64) bool {
 		s.positive.Add(i, c)
 		return true
@@ -238,6 +241,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if o.max > s.max {
 		s.max = o.max
 	}
+	s.assertCount("merge", mergedCount)
 	return nil
 }
 
@@ -313,6 +317,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
+	if zero < 0 || math.IsNaN(minV) || math.IsNaN(maxV) {
+		return sketch.ErrCorrupt
+	}
 	var ns *Sketch
 	if !(alpha > 0 && alpha < 1) {
 		return sketch.ErrCorrupt
@@ -369,6 +376,11 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if r.Remaining() != 0 {
 		return sketch.ErrCorrupt
 	}
+	// Structural validation: a non-empty sketch needs ordered bounds.
+	if ns.Count() > 0 && !(ns.min <= ns.max) {
+		return sketch.ErrCorrupt
+	}
+	ns.assertInvariants("unmarshal")
 	*s = *ns
 	return nil
 }

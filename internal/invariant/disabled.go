@@ -1,0 +1,6 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether the binary was built with the invariants tag.
+const Enabled = false

@@ -1,0 +1,28 @@
+// Package invariant gates the repository's structural assertion hooks.
+//
+// Sketch packages keep their invariant checks in files named
+// invariants.go behind the `invariants` build tag; without the tag the
+// hooks compile to empty inlined functions and the sketches run at full
+// speed. With
+//
+//	go test -tags invariants ./internal/...
+//
+// every compaction, merge, and deserialization re-verifies the
+// structural contracts the estimators depend on (weight conservation in
+// KLL, bin-count/Count() agreement in DDSketch and UDDSketch, finite
+// power sums in Moments, count conservation across every merge path).
+//
+// The constant Enabled mirrors the build tag so ordinary code can guard
+// more expensive bookkeeping with `if invariant.Enabled { ... }` and
+// have the compiler delete the branch in normal builds.
+package invariant
+
+import "fmt"
+
+// Violationf reports a broken structural invariant and panics. A
+// violation means sketch state is corrupt — every estimate derived from
+// it is suspect — so continuing would silently skew experiment tables;
+// failing loudly is the point of the build tag.
+func Violationf(name, op, format string, args ...any) {
+	panic(fmt.Sprintf("invariant violation [%s.%s]: %s", name, op, fmt.Sprintf(format, args...)))
+}

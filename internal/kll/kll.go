@@ -64,7 +64,7 @@ var _ sketch.Sketch = (*Sketch)(nil)
 func New(k int) *Sketch { return NewWithSeed(k, 0x5eed5eed5eed5eed) }
 
 // NewWithSeed returns a KLL sketch whose compaction coin flips derive
-// from seed.
+// from seed. It panics if k < 2.
 func NewWithSeed(k int, seed uint64) *Sketch {
 	if k < minCompactorSize {
 		panic(fmt.Sprintf("kll: k must be >= %d, got %d", minCompactorSize, k))
@@ -131,6 +131,7 @@ func (s *Sketch) compress() {
 			s.compactLevel(h)
 		}
 	}
+	s.assertInvariants("compress")
 }
 
 // compactLevel sorts level h, promotes a uniformly chosen half (odd- or
@@ -259,6 +260,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if o.k != s.k {
 		return fmt.Errorf("%w: k mismatch %d vs %d", sketch.ErrIncompatible, s.k, o.k)
 	}
+	mergedCount := s.count + o.count
 	for len(s.levels) < len(o.levels) {
 		s.levels = append(s.levels, nil)
 	}
@@ -274,6 +276,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 		s.max = o.max
 	}
 	s.compress()
+	s.assertCount("merge", mergedCount)
 	return nil
 }
 
@@ -397,6 +400,25 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if r.Remaining() != 0 {
 		return sketch.ErrCorrupt
 	}
+	// Structural validation: a blob that decodes but breaks the sketch's
+	// invariants (weight conservation, ordered bounds, NaN samples) is
+	// corrupt, even if every field parsed.
+	var weight uint64
+	for h, lv := range ns.levels {
+		weight += uint64(len(lv)) << uint(h)
+		for _, v := range lv {
+			if math.IsNaN(float64(v)) {
+				return sketch.ErrCorrupt
+			}
+		}
+	}
+	if weight != ns.count {
+		return sketch.ErrCorrupt
+	}
+	if ns.count > 0 && !(ns.min <= ns.max) {
+		return sketch.ErrCorrupt
+	}
+	ns.assertInvariants("unmarshal")
 	*s = *ns
 	return nil
 }

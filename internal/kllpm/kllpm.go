@@ -136,7 +136,7 @@ func (s *Sketch) candidates() []float64 {
 	out := vals[:0]
 	prev := math.Inf(-1)
 	for _, v := range vals {
-		if v != prev {
+		if math.Float64bits(v) != math.Float64bits(prev) {
 			out = append(out, v)
 			prev = v
 		}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig mirrors DefaultConfig but targets the fixture module
+// under testdata/src.
+func fixtureConfig() Config {
+	return Config{
+		CheckedMethods:    []string{"Quantile", "Rank", "Merge", "UnmarshalBinary"},
+		SketchPackages:    []string{"internal/sketchimpl"},
+		GlobalRandScopes:  []string{"internal"},
+		FloatEqAllowFiles: []string{"internal/floats/allowed.go"},
+	}
+}
+
+// wantMarkers scans every fixture source file for "want <rule>" line
+// comments and returns the expected findings keyed "file:line:rule"
+// (file relative to root).
+func wantMarkers(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, _ := filepath.Rel(root, path)
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			i := strings.Index(text, "// want ")
+			if i < 0 {
+				continue
+			}
+			for _, rule := range strings.Fields(text[i+len("// want "):]) {
+				want[fmt.Sprintf("%s:%d:%s", rel, line, rule)] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtureFindings loads the fixture module and checks that the
+// analyzer reports exactly the marked lines: every rule must fire on
+// its violation and stay silent everywhere else.
+func TestFixtureFindings(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	findings, err := CheckAll(root, fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, f := range findings {
+		rel, err := filepath.Rel(absRoot, f.Pos.Filename)
+		if err != nil {
+			t.Fatalf("finding outside fixture root: %v", f)
+		}
+		key := fmt.Sprintf("%s:%d:%s", rel, f.Pos.Line, f.Rule)
+		if got[key] {
+			t.Errorf("duplicate finding %s", key)
+		}
+		got[key] = true
+	}
+	want := wantMarkers(t, root)
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing expected finding %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding %s", key)
+		}
+	}
+	// Sanity: the fixture exercises every rule at least once.
+	rules := map[string]bool{}
+	for _, f := range findings {
+		rules[f.Rule] = true
+	}
+	for _, r := range []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic} {
+		if !rules[r] {
+			t.Errorf("rule %s never fired on the fixtures", r)
+		}
+	}
+}
+
+// TestLoaderTypeChecks ensures the fixture packages type-check cleanly;
+// rules run best-effort on broken code, but the fixtures themselves
+// must be valid so the expectations are trustworthy.
+func TestLoaderTypeChecks(t *testing.T) {
+	l, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 4 {
+		t.Fatalf("loaded %d fixture packages, want >= 4", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.ImportPath, terr)
+		}
+	}
+}
+
+// TestSelfCheck runs the default configuration over this repository:
+// the tree must stay sketchlint-clean (the same gate scripts/verify.sh
+// enforces).
+func TestSelfCheck(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	findings, err := CheckAll(root, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

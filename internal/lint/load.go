@@ -1,0 +1,308 @@
+// Package lint implements sketchlint, a repo-specific static analyzer
+// for the quantile-sketch codebase. It is built only on the standard
+// library (go/parser, go/ast, go/types): packages are loaded from
+// source, type-checked with a module-aware importer, and then walked by
+// a fixed set of rules that encode this repository's correctness
+// contracts (see rules.go).
+//
+// The analyzer exists because the experiment harness silently trusts
+// the sketches: an unchecked Quantile error, an accidental float ==, or
+// a nondeterministically seeded RNG skews every regenerated table
+// without failing a single test. sketchlint turns those contracts into
+// machine-checked build gates (scripts/verify.sh).
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for rule checks.
+type Package struct {
+	// ImportPath is the full import path ("repro/internal/kll").
+	ImportPath string
+	// RelPath is the module-relative path ("internal/kll", "" for root).
+	RelPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset positions every AST node of the module.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files.
+	Files []*ast.File
+	// Types is the type-checked package object (possibly incomplete if
+	// TypeErrors is non-empty).
+	Types *types.Package
+	// Info carries the type-checker's expression facts.
+	Info *types.Info
+	// TypeErrors collects type-checking problems; rules still run
+	// best-effort when it is non-empty.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks the packages of a single module from
+// source. Imports within the module resolve recursively; everything
+// else (the standard library) resolves through go/importer's source
+// importer, so no compiled export data is needed.
+type Loader struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// ModulePath is the module's import-path prefix ("repro").
+	ModulePath string
+
+	fset     *token.FileSet
+	pkgs     map[string]*Package // by import path
+	loading  map[string]bool     // cycle detection
+	fallback types.ImporterFrom
+}
+
+// NewLoader returns a Loader for the module rooted at dir, reading the
+// module path from dir/go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       abs,
+		ModulePath: modPath,
+		fset:       fset,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		fallback:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: cannot read %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// LoadAll walks the module tree and loads every package it finds,
+// returning them sorted by import path. Directories named testdata,
+// hidden directories, and nested modules are skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isLintableFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLintableFile reports whether name is a non-test Go source file.
+func isLintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// buildTagsSatisfied evaluates a file's //go:build line (if any)
+// against the lint build configuration: the host GOOS/GOARCH plus the
+// repository's `invariants` tag, so the build-tag-gated assertion hooks
+// are linted and their mutually exclusive no-op stubs are skipped.
+func buildTagsSatisfied(src []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == "invariants" || tag == runtime.GOOS || tag == runtime.GOARCH ||
+				tag == "unix" || strings.HasPrefix(tag, "go1")
+		})
+	}
+	return true
+}
+
+// LoadDir loads the package in a single directory (non-test files
+// only). It returns nil if the directory holds no lintable files.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	imp := l.ModulePath
+	if rel != "." {
+		imp = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(imp)
+}
+
+// load type-checks the package with import path imp (which must lie
+// inside the module), memoized.
+func (l *Loader) load(imp string) (*Package, error) {
+	if p, ok := l.pkgs[imp]; ok {
+		return p, nil
+	}
+	if l.loading[imp] {
+		return nil, fmt.Errorf("lint: import cycle through %s", imp)
+	}
+	l.loading[imp] = true
+	defer delete(l.loading, imp)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(imp, l.ModulePath), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isLintableFile(e.Name()) {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !buildTagsSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg := &Package{
+		ImportPath: imp,
+		RelPath:    strings.TrimPrefix(strings.TrimPrefix(imp, l.ModulePath), "/"),
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tp, err := conf.Check(imp, l.fset, files, pkg.Info)
+	if err != nil && tp == nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", imp, err)
+	}
+	pkg.Types = tp
+	l.pkgs[imp] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves module-internal imports from source through
+// the Loader and delegates everything else to the stdlib source
+// importer.
+type moduleImporter Loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.fallback.ImportFrom(path, srcDir, mode)
+}

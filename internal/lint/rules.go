@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule names, used in findings and for enabling/disabling.
+const (
+	// RuleUncheckedErr flags discarded errors from the sketch contract
+	// methods (Quantile, Rank, Merge, UnmarshalBinary).
+	RuleUncheckedErr = "unchecked-err"
+	// RuleFloatEq flags == / != between non-constant float operands.
+	RuleFloatEq = "float-eq"
+	// RuleGlobalRand flags the global math/rand source inside internal/.
+	RuleGlobalRand = "global-rand"
+	// RulePanic flags panic in sketch packages outside invariant files
+	// and functions that do not document the panic.
+	RulePanic = "panic"
+)
+
+// Rules lists every rule name, in reporting order.
+func Rules() []string {
+	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic}
+}
+
+// KnownRule reports whether name is a recognized rule.
+func KnownRule(name string) bool {
+	for _, r := range Rules() {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Config tunes the rules to a repository layout.
+type Config struct {
+	// CheckedMethods are the method names whose error results must not
+	// be discarded in non-test code.
+	CheckedMethods []string
+	// SketchPackages are module-relative package paths subject to the
+	// panic rule.
+	SketchPackages []string
+	// GlobalRandScopes are module-relative path prefixes under which
+	// the global-rand rule applies.
+	GlobalRandScopes []string
+	// FloatEqAllowFiles are module-relative file paths exempt from the
+	// float-eq rule (for deliberate, documented exact comparisons).
+	FloatEqAllowFiles []string
+}
+
+// DefaultConfig returns the configuration used for this repository.
+func DefaultConfig() Config {
+	return Config{
+		CheckedMethods: []string{"Quantile", "Rank", "Merge", "UnmarshalBinary"},
+		SketchPackages: []string{
+			"internal/sketch",
+			"internal/kll",
+			"internal/kllpm",
+			"internal/req",
+			"internal/gk",
+			"internal/ddsketch",
+			"internal/uddsketch",
+			"internal/moments",
+			"internal/maxent",
+			"internal/tdigest",
+			"internal/hdr",
+			"internal/mrl",
+			"internal/dcs",
+		},
+		GlobalRandScopes:  []string{"internal"},
+		FloatEqAllowFiles: nil,
+	}
+}
+
+// Check runs every rule over one loaded package and returns the
+// findings sorted by position.
+func Check(pkg *Package, cfg Config) []Finding {
+	var out []Finding
+	out = append(out, checkUncheckedErr(pkg, cfg)...)
+	out = append(out, checkFloatEq(pkg, cfg)...)
+	out = append(out, checkGlobalRand(pkg, cfg)...)
+	out = append(out, checkPanic(pkg, cfg)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// CheckAll loads every package under root and runs the rules.
+func CheckAll(root string, cfg Config) ([]Finding, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, Check(pkg, cfg)...)
+	}
+	return out, nil
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// errResultIndex reports which result of a call is the error, or -1 if
+// the call returns no error.
+func errResultIndex(pkg *Package, call *ast.CallExpr) int {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return i
+			}
+		}
+	default:
+		if types.Identical(t, errorType) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// checkedCall returns the method name if call is a selector call to one
+// of the contract methods that returns an error.
+func checkedCall(pkg *Package, cfg Config, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	found := false
+	for _, m := range cfg.CheckedMethods {
+		if m == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return "", false
+	}
+	// Only method calls count: a selector into a package (rand.Merge)
+	// is not a sketch contract call.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+			return "", false
+		}
+	}
+	if errResultIndex(pkg, call) < 0 {
+		return "", false
+	}
+	return name, true
+}
+
+// checkUncheckedErr flags contract-method calls whose error result is
+// discarded: expression statements, go/defer statements, and blank
+// assignments.
+func checkUncheckedErr(pkg *Package, cfg Config) []Finding {
+	var out []Finding
+	flag := func(call *ast.CallExpr, name string) {
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: RuleUncheckedErr,
+			Msg:  fmt.Sprintf("error returned by %s is discarded; handle it or assign it to a named variable", name),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, ok := checkedCall(pkg, cfg, call); ok {
+						flag(call, name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := checkedCall(pkg, cfg, st.Call); ok {
+					flag(st.Call, name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := checkedCall(pkg, cfg, st.Call); ok {
+					flag(st.Call, name)
+				}
+			case *ast.AssignStmt:
+				out = append(out, checkAssignedBlank(pkg, cfg, st)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkAssignedBlank flags assignments that bind a contract method's
+// error result to the blank identifier.
+func checkAssignedBlank(pkg *Package, cfg Config, st *ast.AssignStmt) []Finding {
+	var out []Finding
+	flagIfBlank := func(lhs ast.Expr, call *ast.CallExpr, name string) {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(call.Pos()),
+				Rule: RuleUncheckedErr,
+				Msg:  fmt.Sprintf("error returned by %s is assigned to _; handle it instead", name),
+			})
+		}
+	}
+	if len(st.Rhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			name, isChecked := checkedCall(pkg, cfg, call)
+			if !isChecked {
+				return nil
+			}
+			idx := errResultIndex(pkg, call)
+			if idx >= 0 && idx < len(st.Lhs) {
+				flagIfBlank(st.Lhs[idx], call, name)
+			}
+			return out
+		}
+	}
+	// Parallel assignment: a, b = f(), g() — each RHS yields one value.
+	if len(st.Rhs) == len(st.Lhs) {
+		for i, rhs := range st.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if name, isChecked := checkedCall(pkg, cfg, call); isChecked {
+					flagIfBlank(st.Lhs[i], call, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isFloatOperand reports whether e has (non-constant) floating-point
+// type. Constant operands are the rule's allowlist: comparisons against
+// literals like q == 1 or scale == 1.0 are deliberate sentinels.
+func isFloatOperand(pkg *Package, e ast.Expr) (isFloat, isConst bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false, false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false, false
+	}
+	return true, tv.Value != nil
+}
+
+// checkFloatEq flags == and != where both operands are non-constant
+// floats. Exact float equality is almost never what a rank or merge
+// comparison wants; the fix is math.Abs(a-b) < eps for tolerances,
+// math.Float64bits for exact-representation identity, or math.IsNaN.
+func checkFloatEq(pkg *Package, cfg Config) []Finding {
+	allow := make(map[string]bool, len(cfg.FloatEqAllowFiles))
+	for _, f := range cfg.FloatEqAllowFiles {
+		allow[f] = true
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		base := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		rel := base
+		if pkg.RelPath != "" {
+			rel = pkg.RelPath + "/" + base
+		}
+		if allow[rel] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xf, xc := isFloatOperand(pkg, be.X)
+			yf, yc := isFloatOperand(pkg, be.Y)
+			if xf && yf && !xc && !yc {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(be.OpPos),
+					Rule: RuleFloatEq,
+					Msg:  "direct float equality; use math.Abs(a-b) < eps, math.Float64bits for exact identity, or math.IsNaN",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// globalRandAllowed are math/rand selectors that do not touch the
+// package-global generator: constructors and type names.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewSource": true,
+	"NewZipf": true, "Rand": true, "Source": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}
+
+// checkGlobalRand flags uses of the global math/rand generator inside
+// the configured scopes. Experiments must be reproducible from an
+// explicit seed, so internal packages go through a seeded *rand.Rand
+// (internal/datagen.NewRand / SplitMix64), never the process-global
+// source.
+func checkGlobalRand(pkg *Package, cfg Config) []Finding {
+	inScope := false
+	for _, scope := range cfg.GlobalRandScopes {
+		if pkg.RelPath == scope || strings.HasPrefix(pkg.RelPath, scope+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			p := pn.Imported().Path()
+			if p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Rule: RuleGlobalRand,
+				Msg: fmt.Sprintf("%s.%s uses the process-global generator; use a seeded *rand.Rand (internal/datagen.NewRand) for reproducibility",
+					pn.Imported().Name(), sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// checkPanic flags panic calls in sketch packages. Allowed escapes:
+// files whose name contains "invariant" (the build-tag-gated assertion
+// hooks), and functions whose doc comment documents the panic.
+func checkPanic(pkg *Package, cfg Config) []Finding {
+	isSketchPkg := false
+	for _, p := range cfg.SketchPackages {
+		if pkg.RelPath == p {
+			isSketchPkg = true
+			break
+		}
+	}
+	if !isSketchPkg {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		base := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		if strings.Contains(base, "invariant") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "panic") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: RulePanic,
+					Msg:  fmt.Sprintf("panic in sketch package (func %s): return an error, move the check to an invariant file, or document the panic in the doc comment", fn.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

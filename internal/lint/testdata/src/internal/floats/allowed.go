@@ -1,0 +1,8 @@
+// Package floats is a lint fixture for the float-eq file allowlist.
+package floats
+
+// SameBits compares floats exactly; this file is on the allowlist, so
+// the comparison must not be reported.
+func SameBits(a, b float64) bool {
+	return a == b // allowlisted file: no finding
+}

@@ -1,0 +1,20 @@
+// Package randuse is a lint fixture for the global-rand rule.
+package randuse
+
+import "math/rand/v2"
+
+// Roll draws from the process-global generator: not reproducible.
+func Roll() float64 {
+	return rand.Float64() // want global-rand
+}
+
+// Pick also touches the global generator.
+func Pick(n int) int {
+	return rand.IntN(n) // want global-rand
+}
+
+// Seeded uses an explicit seeded generator: allowed.
+func Seeded(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return r.Float64()
+}

@@ -1,0 +1,10 @@
+package randuse
+
+import oldrand "math/rand"
+
+// OldShuffle uses the legacy math/rand global generator.
+func OldShuffle(xs []int) {
+	oldrand.Shuffle(len(xs), func(i, j int) { // want global-rand
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

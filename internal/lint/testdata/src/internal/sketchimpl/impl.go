@@ -1,0 +1,72 @@
+// Package sketchimpl is a lint fixture standing in for a sketch
+// implementation package. Lines carrying a "want <rule>" comment are
+// expected sketchlint findings; everything else must stay clean.
+package sketchimpl
+
+import "errors"
+
+// Sketch is a minimal stand-in with the contract method shapes.
+type Sketch struct{ count float64 }
+
+// New returns an empty fixture sketch.
+func New() *Sketch { return &Sketch{} }
+
+// Quantile mimics the contract method.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if q != q { // want float-eq
+		return 0, errors.New("nan quantile")
+	}
+	if q == 1 { // constant comparison: allowed
+		return s.count, nil
+	}
+	return 0, nil
+}
+
+// Rank mimics the contract method.
+func (s *Sketch) Rank(x float64) (float64, error) {
+	if x == s.count { // want float-eq
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Merge mimics the contract method.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.count != o.count { // want float-eq
+		panic("count mismatch") // want panic
+	}
+	return nil
+}
+
+// UnmarshalBinary mimics the contract method.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// MustQuantile panics when the query fails; the documented panic is
+// allowed by the panic rule.
+func (s *Sketch) MustQuantile(q float64) float64 {
+	v, err := s.Quantile(q)
+	if err != nil {
+		panic(err) // allowed: doc comment mentions the panic
+	}
+	return v
+}
+
+func use(s *Sketch) {
+	s.Quantile(0.5)         // want unchecked-err
+	_ = s.Merge(s)          // want unchecked-err
+	v, _ := s.Quantile(0.9) // want unchecked-err
+	_ = v
+	s.UnmarshalBinary(nil) // want unchecked-err
+	defer s.Merge(s)       // want unchecked-err
+	if v2, err := s.Quantile(0.2); err == nil {
+		_ = v2 // checked: no finding
+	}
+	if err := s.Merge(s); err != nil {
+		_ = err // checked: no finding
+	}
+}

@@ -1,0 +1,9 @@
+package sketchimpl
+
+// assertInvariants may panic freely: files whose name contains
+// "invariant" hold the build-tag-gated assertion hooks.
+func (s *Sketch) assertInvariants() {
+	if s.count < 0 {
+		panic("sketchimpl: negative count") // allowed: invariant file
+	}
+}

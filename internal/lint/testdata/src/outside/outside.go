@@ -1,0 +1,15 @@
+// Package outside sits outside internal/: the global-rand and panic
+// rules do not apply here, but unchecked-err still does.
+package outside
+
+import "math/rand/v2"
+
+// Jitter may use the global generator outside internal/.
+func Jitter() float64 {
+	return rand.Float64() // allowed: outside the configured scope
+}
+
+// Fail panics outside a sketch package: allowed.
+func Fail() {
+	panic("outside: not a sketch package")
+}

@@ -39,7 +39,7 @@ type Solver struct {
 }
 
 // NewSolver builds a solver for k Chebyshev moments (including c_0) on a
-// quadrature grid of gridSize points.
+// quadrature grid of gridSize points. It panics if k < 2.
 func NewSolver(k, gridSize int) *Solver {
 	if k < 2 {
 		panic(fmt.Sprintf("maxent: need k >= 2 moments, got %d", k))

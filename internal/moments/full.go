@@ -32,7 +32,7 @@ type FullSketch struct {
 var _ sketch.Sketch = (*FullSketch)(nil)
 
 // NewFull returns a full Moments Sketch holding k standard and k log
-// power sums (2k−1 joint constraints).
+// power sums (2k−1 joint constraints). It panics if k < 2.
 func NewFull(k int) *FullSketch {
 	if k < 2 {
 		panic(fmt.Sprintf("moments: need k >= 2, got %d", k))
@@ -78,6 +78,7 @@ func (s *FullSketch) InsertN(x float64, n uint64) {
 		s.max = x
 	}
 	s.solved = nil
+	s.assertInvariants("insert")
 }
 
 // Count implements sketch.Sketch.
@@ -250,6 +251,7 @@ func (s *FullSketch) Merge(other sketch.Sketch) error {
 	if o.k != s.k {
 		return fmt.Errorf("%w: k mismatch %d vs %d", sketch.ErrIncompatible, s.k, o.k)
 	}
+	mergedCount := s.Count() + o.Count()
 	for i := range s.powerSums {
 		s.powerSums[i] += o.powerSums[i]
 		s.logSums[i] += o.logSums[i]
@@ -261,6 +263,7 @@ func (s *FullSketch) Merge(other sketch.Sketch) error {
 		s.max = o.max
 	}
 	s.solved = nil
+	s.assertCount("merge", mergedCount)
 	return nil
 }
 
@@ -307,8 +310,28 @@ func (s *FullSketch) UnmarshalBinary(data []byte) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	if k < 2 || k > 64 || gridSize < 8 || gridSize > 1<<16 ||
+	if k < 2 || k > 64 || gridSize < 8 || gridSize > 1<<12 ||
 		len(ps) != k || len(ls) != k || r.Remaining() != 0 {
+		return sketch.ErrCorrupt
+	}
+	// Structural validation mirrors the invariants-tag assertions. All
+	// inserted values are strictly positive, so every standard power sum
+	// and every even log sum is a sum of non-negative terms, and a
+	// non-empty sketch needs ordered positive bounds.
+	if !(ps[0] >= 0) || math.IsInf(ps[0], 0) || math.Float64bits(ls[0]) != math.Float64bits(ps[0]) {
+		return sketch.ErrCorrupt
+	}
+	for i := 1; i < k; i++ {
+		if !(ps[i] >= 0) {
+			return sketch.ErrCorrupt
+		}
+	}
+	for i := 2; i < k; i += 2 {
+		if !(ls[i] >= 0) {
+			return sketch.ErrCorrupt
+		}
+	}
+	if ps[0] > 0 && (math.IsNaN(minV) || math.IsNaN(maxV) || !(minV > 0 && minV <= maxV)) {
 		return sketch.ErrCorrupt
 	}
 	ns := NewFull(k)
@@ -317,6 +340,7 @@ func (s *FullSketch) UnmarshalBinary(data []byte) error {
 	ns.max = maxV
 	copy(ns.powerSums, ps)
 	copy(ns.logSums, ls)
+	ns.assertInvariants("unmarshal")
 	*s = *ns
 	return nil
 }

@@ -1,0 +1,91 @@
+//go:build invariants
+
+package moments
+
+import (
+	"math"
+
+	"repro/internal/invariant"
+)
+
+// assertInvariants re-verifies the moments sketch's contracts:
+//
+//   - Shape: exactly k power sums.
+//   - Finite count: powerSums[0] is the item count — it must be a
+//     finite non-negative float (the uint64 conversion in Count is
+//     undefined for ±Inf/NaN).
+//   - Even power sums: powerSums[2m] = Σ y^{2m} is a sum of
+//     non-negative terms, so it can never be negative or NaN (the
+//     `!(v >= 0)` form rejects both). Odd sums are unconstrained:
+//     they may legitimately be negative, or NaN via +Inf + -Inf
+//     overflow of finite inputs.
+//   - Ordered bounds: min ≤ max (non-NaN) whenever non-empty.
+func (s *Sketch) assertInvariants(op string) {
+	if len(s.powerSums) != s.k {
+		invariant.Violationf("moments", op, "have %d power sums, want k=%d", len(s.powerSums), s.k)
+	}
+	if !(s.powerSums[0] >= 0) || math.IsInf(s.powerSums[0], 0) {
+		invariant.Violationf("moments", op, "count sum %v is not a finite non-negative float", s.powerSums[0])
+	}
+	for i := 2; i < len(s.powerSums); i += 2 {
+		if !(s.powerSums[i] >= 0) {
+			invariant.Violationf("moments", op, "even power sum [%d] = %v is negative or NaN", i, s.powerSums[i])
+		}
+	}
+	if s.powerSums[0] > 0 {
+		if math.IsNaN(s.min) || math.IsNaN(s.max) || !(s.min <= s.max) {
+			invariant.Violationf("moments", op, "bounds broken: min %v, max %v with count %v",
+				s.min, s.max, s.powerSums[0])
+		}
+	}
+}
+
+// assertCount verifies count conservation across a merge.
+func (s *Sketch) assertCount(op string, want uint64) {
+	if got := s.Count(); got != want {
+		invariant.Violationf("moments", op, "count conservation broken: got %d, want %d", got, want)
+	}
+	s.assertInvariants(op)
+}
+
+// assertInvariants re-verifies the two-basis variant's contracts. All
+// inserted values are strictly positive, so every standard power sum
+// Σ x^i is a sum of non-negative terms; for the log basis only the
+// even sums Σ (ln x)^{2m} are sign-constrained.
+func (s *FullSketch) assertInvariants(op string) {
+	if len(s.powerSums) != s.k || len(s.logSums) != s.k {
+		invariant.Violationf("moments-full", op, "have %d/%d sums, want k=%d",
+			len(s.powerSums), len(s.logSums), s.k)
+	}
+	if !(s.powerSums[0] >= 0) || math.IsInf(s.powerSums[0], 0) {
+		invariant.Violationf("moments-full", op, "count sum %v is not a finite non-negative float", s.powerSums[0])
+	}
+	if math.Float64bits(s.logSums[0]) != math.Float64bits(s.powerSums[0]) {
+		invariant.Violationf("moments-full", op, "basis counts diverged: power %v vs log %v",
+			s.powerSums[0], s.logSums[0])
+	}
+	for i := 1; i < s.k; i++ {
+		if !(s.powerSums[i] >= 0) {
+			invariant.Violationf("moments-full", op, "power sum [%d] = %v is negative or NaN", i, s.powerSums[i])
+		}
+	}
+	for i := 2; i < s.k; i += 2 {
+		if !(s.logSums[i] >= 0) {
+			invariant.Violationf("moments-full", op, "even log sum [%d] = %v is negative or NaN", i, s.logSums[i])
+		}
+	}
+	if s.powerSums[0] > 0 {
+		if math.IsNaN(s.min) || math.IsNaN(s.max) || !(s.min > 0 && s.min <= s.max) {
+			invariant.Violationf("moments-full", op, "bounds broken: min %v, max %v with count %v",
+				s.min, s.max, s.powerSums[0])
+		}
+	}
+}
+
+// assertCount verifies count conservation across a merge.
+func (s *FullSketch) assertCount(op string, want uint64) {
+	if got := s.Count(); got != want {
+		invariant.Violationf("moments-full", op, "count conservation broken: got %d, want %d", got, want)
+	}
+	s.assertInvariants(op)
+}

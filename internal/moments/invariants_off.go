@@ -1,0 +1,19 @@
+//go:build !invariants
+
+package moments
+
+// assertInvariants compiles to an empty inlined call without the
+// invariants build tag; see invariants.go for the checked contracts.
+func (s *Sketch) assertInvariants(string) {}
+
+// assertCount compiles to an empty inlined call without the invariants
+// build tag; see invariants.go for the checked contracts.
+func (s *Sketch) assertCount(string, uint64) {}
+
+// assertInvariants compiles to an empty inlined call without the
+// invariants build tag; see invariants.go for the checked contracts.
+func (s *FullSketch) assertInvariants(string) {}
+
+// assertCount compiles to an empty inlined call without the invariants
+// build tag; see invariants.go for the checked contracts.
+func (s *FullSketch) assertCount(string, uint64) {}

@@ -113,6 +113,7 @@ var _ sketch.Sketch = (*Sketch)(nil)
 func New(k int) *Sketch { return NewWithTransform(k, TransformNone) }
 
 // NewWithTransform returns a Moments Sketch with an input transform.
+// It panics if k < 2.
 func NewWithTransform(k int, tr Transform) *Sketch {
 	if k < 2 {
 		panic(fmt.Sprintf("moments: need k >= 2, got %d", k))
@@ -186,6 +187,7 @@ func (s *Sketch) InsertN(x float64, n uint64) {
 		s.max = y
 	}
 	s.solved = nil
+	s.assertInvariants("insert")
 }
 
 // Count implements sketch.Sketch.
@@ -291,6 +293,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 		return fmt.Errorf("%w: config mismatch (k=%d,%v) vs (k=%d,%v)",
 			sketch.ErrIncompatible, s.k, s.transform, o.k, o.transform)
 	}
+	mergedCount := s.Count() + o.Count()
 	for i := range s.powerSums {
 		s.powerSums[i] += o.powerSums[i]
 	}
@@ -301,6 +304,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 		s.max = o.max
 	}
 	s.solved = nil
+	s.assertCount("merge", mergedCount)
 	return nil
 }
 
@@ -352,9 +356,26 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		return sketch.ErrCorrupt
 	}
 	// Decoded grids are bounded far tighter than SetGridSize's clamp:
-	// the solver tabulates (2k−1)·grid float64s, and untrusted input
-	// must not dictate hundreds of MB of allocation.
-	if gridSize < 8 || gridSize > 1<<16 {
+	// each Newton step costs O(k²·grid) and the solver tabulates
+	// (2k−1)·grid float64s, so untrusted input must not dictate the
+	// solve cost. 4096 leaves 4× headroom over the default grid.
+	if gridSize < 8 || gridSize > 1<<12 {
+		return sketch.ErrCorrupt
+	}
+	// Structural validation mirrors the invariants-tag assertions so a
+	// decodable payload can never resurrect an impossible state: the
+	// count sum must be a finite non-negative float, even power sums are
+	// sums of non-negative terms, and a non-empty sketch needs ordered
+	// non-NaN bounds.
+	if !(sums[0] >= 0) || math.IsInf(sums[0], 0) {
+		return sketch.ErrCorrupt
+	}
+	for i := 2; i < k; i += 2 {
+		if !(sums[i] >= 0) {
+			return sketch.ErrCorrupt
+		}
+	}
+	if sums[0] > 0 && (math.IsNaN(minV) || math.IsNaN(maxV) || !(minV <= maxV)) {
 		return sketch.ErrCorrupt
 	}
 	ns := NewWithTransform(k, tr)
@@ -362,6 +383,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	ns.min = minV
 	ns.max = maxV
 	copy(ns.powerSums, sums)
+	ns.assertInvariants("unmarshal")
 	*s = *ns
 	return nil
 }

@@ -54,7 +54,8 @@ var _ sketch.Sketch = (*Sketch)(nil)
 // New returns a Random sketch with b buffers of k elements each.
 func New(b, k int) *Sketch { return NewWithSeed(b, k, 0x3a4d04) }
 
-// NewWithSeed returns a seeded Random sketch.
+// NewWithSeed returns a seeded Random sketch. It panics if b < 3 or
+// k < 2.
 func NewWithSeed(b, k int, seed uint64) *Sketch {
 	if b < 3 || k < 2 {
 		panic(fmt.Sprintf("mrl: need b >= 3 and k >= 2, got b=%d k=%d", b, k))

@@ -1,0 +1,206 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSerdeRoundTrip feeds arbitrary bytes to every registered decoder.
+// A decoder may reject the input (any error is fine), but if it accepts,
+// the resulting sketch must be fully functional: queryable without
+// panicking, re-encodable, and stable under a second round trip. Under
+// `-tags invariants` this additionally proves each decoder's validation
+// is a superset of the package's structural invariants — an accepted
+// payload can never resurrect an impossible state.
+func FuzzSerdeRoundTrip(f *testing.F) {
+	for _, e := range Entries() {
+		if !e.Serde {
+			continue
+		}
+		s := e.New()
+		fill(s, 300)
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatalf("%s: MarshalBinary: %v", e.Name, err)
+		}
+		f.Add(blob)
+		empty, err := e.New().MarshalBinary()
+		if err != nil {
+			f.Fatalf("%s: MarshalBinary (empty): %v", e.Name, err)
+		}
+		f.Add(empty)
+		if len(blob) > 4 {
+			f.Add(blob[:len(blob)/2]) // truncation must be rejected cleanly
+			flipped := bytes.Clone(blob)
+			flipped[len(flipped)-3] ^= 0x40
+			f.Add(flipped)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, e := range Entries() {
+			if !e.Serde {
+				continue
+			}
+			s := e.New()
+			if err := s.UnmarshalBinary(data); err != nil {
+				continue
+			}
+			// Accepted: the state must behave like a real sketch.
+			if c := s.Count(); c > 0 {
+				if _, err := s.Quantile(0.5); err != nil {
+					t.Errorf("%s: accepted payload but Quantile(0.5) failed: %v", e.Name, err)
+				}
+				if _, err := s.Rank(1); err != nil {
+					t.Errorf("%s: accepted payload but Rank(1) failed: %v", e.Name, err)
+				}
+			}
+			blob, err := s.MarshalBinary()
+			if err != nil {
+				t.Errorf("%s: accepted payload but re-encode failed: %v", e.Name, err)
+				continue
+			}
+			restored := e.New()
+			if err := restored.UnmarshalBinary(blob); err != nil {
+				t.Errorf("%s: own encoding rejected on second decode: %v", e.Name, err)
+				continue
+			}
+			if restored.Count() != s.Count() {
+				t.Errorf("%s: round trip changed count %d -> %d", e.Name, s.Count(), restored.Count())
+			}
+			blob2, err := restored.MarshalBinary()
+			if err != nil {
+				t.Errorf("%s: second re-encode failed: %v", e.Name, err)
+				continue
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Errorf("%s: encoding unstable across round trips", e.Name)
+			}
+		}
+	})
+}
+
+// floatsFromBytes decodes data as consecutive little-endian float64s,
+// dropping NaN/±Inf (the documented non-value inputs) so the stream is
+// something every sketch accepts.
+func floatsFromBytes(data []byte) []float64 {
+	vals := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// FuzzMergeCountConservation splits an arbitrary finite float stream
+// between two identically configured sketches and checks the registry's
+// universal merge law: the merged count equals the sum of the parts,
+// whatever each sketch's ingest policy (clamping, zero-bucketing,
+// dropping non-representable values) decided to count. Under
+// `-tags invariants` the per-package assertCount hooks fire on the same
+// merge paths, so a conservation bug panics with the broken internals.
+func FuzzMergeCountConservation(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(mk(1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add(mk(0, -1, 1e-300, 1e300, 0.5, -0.5))
+	f.Add(mk(math.NaN(), math.Inf(1), math.Inf(-1), 42))
+	f.Add(mk())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := floatsFromBytes(data)
+		if len(vals) > 4096 {
+			vals = vals[:4096]
+		}
+		left, right := vals[:len(vals)/2], vals[len(vals)/2:]
+		for _, e := range Entries() {
+			a, b := e.New(), e.New()
+			for _, v := range left {
+				a.Insert(v)
+			}
+			for _, v := range right {
+				b.Insert(v)
+			}
+			ca, cb := a.Count(), b.Count()
+			if err := a.Merge(b); err != nil {
+				t.Errorf("%s: merge of identically configured sketches failed: %v", e.Name, err)
+				continue
+			}
+			if got := a.Count(); got != ca+cb {
+				t.Errorf("%s: merge lost mass: %d + %d -> %d", e.Name, ca, cb, got)
+			}
+			if got := b.Count(); got != cb {
+				t.Errorf("%s: merge mutated its argument: %d -> %d", e.Name, cb, got)
+			}
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus regenerates the checked-in seed corpora under
+// testdata/fuzz from freshly serialized sketches. It is a maintenance
+// hook, skipped unless REGEN_FUZZ_CORPUS is set:
+//
+//	REGEN_FUZZ_CORPUS=1 go test ./internal/registry -run TestGenerateFuzzCorpus
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz seeds")
+	}
+	write := func(fuzzName, seedName string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, seedName), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range Entries() {
+		if !e.Serde {
+			continue
+		}
+		s := e.New()
+		fill(s, 300)
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary: %v", e.Name, err)
+		}
+		write("FuzzSerdeRoundTrip", "seed-"+e.Name, blob)
+		empty, err := e.New().MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: MarshalBinary (empty): %v", e.Name, err)
+		}
+		write("FuzzSerdeRoundTrip", "seed-"+e.Name+"-empty", empty)
+	}
+	stream := make([]byte, 0, 8*64)
+	state := uint64(0x51ee7)
+	for i := 0; i < 64; i++ {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		v := float64(z>>11) / (1 << 53) * 1e4
+		stream = binary.LittleEndian.AppendUint64(stream, math.Float64bits(v))
+	}
+	write("FuzzMergeCountConservation", "seed-uniform", stream)
+	edges := make([]byte, 0, 8*8)
+	for _, v := range []float64{0, -1, 1e-308, 1e308, 0.5, -0.5, 1, 123456789} {
+		edges = binary.LittleEndian.AppendUint64(edges, math.Float64bits(v))
+	}
+	write("FuzzMergeCountConservation", "seed-edges", edges)
+}

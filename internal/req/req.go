@@ -119,7 +119,7 @@ var _ sketch.Sketch = (*Sketch)(nil)
 func New(k int, hra bool) *Sketch { return NewWithSeed(k, hra, 0x0e90e90e90e90e95) }
 
 // NewWithSeed returns a ReqSketch whose compaction coin flips derive from
-// seed.
+// seed. It panics if k is below the minimum section size.
 func NewWithSeed(k int, hra bool, seed uint64) *Sketch {
 	if k < minSectionSize {
 		panic(fmt.Sprintf("req: section size must be >= %d, got %d", minSectionSize, k))

@@ -1,0 +1,172 @@
+//go:build invariants
+
+// Metamorphic contract tests: properties that must hold for every
+// registered sketch on any input stream, regardless of the sketch's
+// accuracy guarantees. They run under the invariants build tag — the same
+// runs that arm the per-package assertion hooks — so a property violation
+// surfaces together with the internal state checks:
+//
+//	go test -tags invariants ./internal/...
+package sketch_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// splitmix is the deterministic stream generator shared by all cases.
+type splitmix uint64
+
+func (s *splitmix) next() float64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// streams are chosen to stress different shapes: flat, heavy-tailed, and
+// heavily duplicated. All values are strictly positive so log-domain
+// sketches (moments-full, dcs) see representable input.
+func streams(n int) map[string][]float64 {
+	out := make(map[string][]float64)
+	var s splitmix = 0x5ee0
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1 + s.next()*1e4
+	}
+	out["uniform"] = vals
+
+	s = 0xbeef
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Exp(2 + 4*s.next())
+	}
+	out["heavytail"] = vals
+
+	s = 0xd15c
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(1 + int(s.next()*8)*125)
+	}
+	out["discrete"] = vals
+	return out
+}
+
+// TestQuantileMonotonicity: the quantile function of any distribution is
+// non-decreasing, and every sketch's estimator must preserve that —
+// an inversion means two queries disagree about the same CDF.
+func TestQuantileMonotonicity(t *testing.T) {
+	for name, vals := range streams(3000) {
+		for _, e := range registry.Entries() {
+			s := e.New()
+			for _, v := range vals {
+				s.Insert(v)
+			}
+			prevQ, prev := 0.0, math.Inf(-1)
+			for qi := 1; qi <= 99; qi++ {
+				q := float64(qi) / 100
+				est, err := s.Quantile(q)
+				if err != nil {
+					t.Fatalf("%s/%s: Quantile(%v): %v", e.Name, name, q, err)
+				}
+				if math.IsNaN(est) {
+					t.Fatalf("%s/%s: Quantile(%v) is NaN", e.Name, name, q)
+				}
+				// Tiny relative slack absorbs float jitter in
+				// interpolating estimators without hiding real
+				// inversions.
+				slack := 1e-9 * (math.Abs(est) + math.Abs(prev))
+				if est < prev-slack {
+					t.Errorf("%s/%s: quantile inversion: Q(%v)=%v > Q(%v)=%v",
+						e.Name, name, prevQ, prev, q, est)
+				}
+				prevQ, prev = q, est
+			}
+		}
+	}
+}
+
+// TestRankQuantileDuality: feeding a quantile estimate back through Rank
+// must land near the original q. Rank may legitimately exceed q when mass
+// is concentrated on few points (the discrete stream), so only the lower
+// side is bounded there; continuous streams are bounded on both sides.
+func TestRankQuantileDuality(t *testing.T) {
+	const tol = 0.08
+	for name, vals := range streams(3000) {
+		for _, e := range registry.Entries() {
+			s := e.New()
+			for _, v := range vals {
+				s.Insert(v)
+			}
+			for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+				x, err := s.Quantile(q)
+				if err != nil {
+					t.Fatalf("%s/%s: Quantile(%v): %v", e.Name, name, q, err)
+				}
+				r, err := s.Rank(x)
+				if err != nil {
+					t.Fatalf("%s/%s: Rank(Quantile(%v)=%v): %v", e.Name, name, q, x, err)
+				}
+				if r < q-tol || r > 1+1e-9 {
+					t.Errorf("%s/%s: duality broken: Rank(Quantile(%v)=%v) = %v",
+						e.Name, name, q, x, r)
+				}
+				if name != "discrete" && r > q+tol {
+					t.Errorf("%s/%s: duality broken high: Rank(Quantile(%v)=%v) = %v",
+						e.Name, name, q, x, r)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeMatchesUnion: merging two halves of a stream must answer
+// quantile queries close to a single sketch fed the whole stream. The
+// tolerance is loose — randomized compaction means the two are not
+// bit-identical — but a merge that corrupts structure lands far outside
+// it (and trips the invariants hooks compiled into this build).
+func TestMergeMatchesUnion(t *testing.T) {
+	const tol = 0.10
+	for name, vals := range streams(3000) {
+		half := len(vals) / 2
+		for _, e := range registry.Entries() {
+			whole, a, b := e.New(), e.New(), e.New()
+			for _, v := range vals {
+				whole.Insert(v)
+			}
+			for _, v := range vals[:half] {
+				a.Insert(v)
+			}
+			for _, v := range vals[half:] {
+				b.Insert(v)
+			}
+			if err := a.Merge(b); err != nil {
+				t.Fatalf("%s/%s: Merge: %v", e.Name, name, err)
+			}
+			if a.Count() != whole.Count() {
+				t.Errorf("%s/%s: merged count %d != whole-stream count %d",
+					e.Name, name, a.Count(), whole.Count())
+			}
+			for _, q := range []float64{0.25, 0.5, 0.75} {
+				xw, err := whole.Quantile(q)
+				if err != nil {
+					t.Fatalf("%s/%s: Quantile(%v): %v", e.Name, name, q, err)
+				}
+				rm, err := a.Rank(xw)
+				if err != nil {
+					t.Fatalf("%s/%s: Rank(%v): %v", e.Name, name, xw, err)
+				}
+				if rm < q-tol && name != "discrete" {
+					t.Errorf("%s/%s: merged sketch ranks whole-stream Q(%v)=%v at %v",
+						e.Name, name, q, xw, rm)
+				}
+			}
+		}
+	}
+}

@@ -312,11 +312,15 @@ func (s *ArraySketch) MemoryBytes() int { return 8 * (len(s.counts) + 10) }
 
 // Reset implements sketch.Sketch.
 func (s *ArraySketch) Reset() {
-	ns, err := NewArray(s.initAlpha, s.maxBuckets)
-	if err != nil {
-		panic(err)
-	}
-	*s = *ns
+	s.counts = nil
+	s.offset = 0
+	s.nonZero = 0
+	s.zeroCnt = 0
+	s.count = 0
+	s.collapses = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+	s.setAlpha(s.initAlpha)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

@@ -1,0 +1,58 @@
+//go:build invariants
+
+package uddsketch
+
+import (
+	"math"
+
+	"repro/internal/invariant"
+)
+
+// assertInvariants re-verifies the map-backed UDDSketch's contracts:
+//
+//   - Count conservation: Σ positive + Σ negative + zeroCnt == count.
+//     Unlike DDSketch the total is stored, so a drifting bucket map
+//     would silently skew every rank estimate.
+//   - Bucket budget: at most maxBuckets live buckets after any
+//     complete operation (uniform collapse enforces it).
+//   - Positive bucket counts: neither insertion nor collapse can
+//     produce an empty or negative bucket.
+//   - Accuracy bookkeeping: α ∈ (0,1) and γ consistent with α.
+//   - Ordered bounds: min ≤ max (non-NaN) whenever non-empty.
+func (s *Sketch) assertInvariants(op string) {
+	var sum int64
+	for side, m := range map[string]map[int]int64{"positive": s.positive, "negative": s.negative} {
+		for i, c := range m {
+			if c <= 0 {
+				invariant.Violationf("uddsketch", op, "%s bucket %d has non-positive count %d", side, i, c)
+			}
+			sum += c
+		}
+	}
+	if sum+s.zeroCnt != s.count {
+		invariant.Violationf("uddsketch", op, "count conservation broken: buckets %d + zero %d != count %d",
+			sum, s.zeroCnt, s.count)
+	}
+	if n := len(s.positive) + len(s.negative); n > s.maxBuckets {
+		invariant.Violationf("uddsketch", op, "bucket budget exceeded: %d live buckets, budget %d", n, s.maxBuckets)
+	}
+	if !(s.alpha > 0 && s.alpha < 1) {
+		invariant.Violationf("uddsketch", op, "alpha %v outside (0,1) after %d collapses", s.alpha, s.collapses)
+	}
+	if g := (1 + s.alpha) / (1 - s.alpha); math.Abs(g-s.gamma) > 1e-9*g {
+		invariant.Violationf("uddsketch", op, "gamma %v inconsistent with alpha %v (want %v)", s.gamma, s.alpha, g)
+	}
+	if s.count > 0 {
+		if math.IsNaN(s.min) || math.IsNaN(s.max) || !(s.min <= s.max) {
+			invariant.Violationf("uddsketch", op, "bounds broken: min %v, max %v with count %d", s.min, s.max, s.count)
+		}
+	}
+}
+
+// assertCount verifies count conservation across a merge.
+func (s *Sketch) assertCount(op string, want int64) {
+	if s.count != want {
+		invariant.Violationf("uddsketch", op, "count conservation broken: got %d, want %d", s.count, want)
+	}
+	s.assertInvariants(op)
+}

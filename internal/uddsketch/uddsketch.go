@@ -151,8 +151,11 @@ func (s *Sketch) InsertN(x float64, n uint64) {
 	if x > s.max {
 		s.max = x
 	}
-	for len(s.positive)+len(s.negative) > s.maxBuckets {
-		s.uniformCollapse()
+	if len(s.positive)+len(s.negative) > s.maxBuckets {
+		for len(s.positive)+len(s.negative) > s.maxBuckets {
+			s.uniformCollapse()
+		}
+		s.assertInvariants("collapse")
 	}
 }
 
@@ -291,6 +294,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if math.Abs(o.initAlpha-s.initAlpha) > 1e-15 {
 		return fmt.Errorf("%w: initial alpha mismatch %v vs %v", sketch.ErrIncompatible, s.initAlpha, o.initAlpha)
 	}
+	mergedCount := s.count + o.count
 	// Work on a private copy of the more-refined side so `other` is not
 	// mutated while aligning γ.
 	src := o
@@ -323,6 +327,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	for len(s.positive)+len(s.negative) > s.maxBuckets {
 		s.uniformCollapse()
 	}
+	s.assertCount("merge", mergedCount)
 	return nil
 }
 
@@ -352,11 +357,14 @@ func (s *Sketch) MemoryBytes() int {
 
 // Reset implements sketch.Sketch.
 func (s *Sketch) Reset() {
-	ns, err := NewChecked(s.initAlpha, s.maxBuckets)
-	if err != nil {
-		panic(err)
-	}
-	*s = *ns
+	s.positive = make(map[int]int64)
+	s.negative = make(map[int]int64)
+	s.zeroCnt = 0
+	s.count = 0
+	s.collapses = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+	s.setAlpha(s.initAlpha)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -403,6 +411,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if collapses < 0 || collapses > 4096 || maxBuckets > 1<<24 {
 		return sketch.ErrCorrupt
 	}
+	if zeroCnt < 0 || count < 0 || math.IsNaN(minV) || math.IsNaN(maxV) {
+		return sketch.ErrCorrupt
+	}
 	ns, err := NewChecked(initAlpha, maxBuckets)
 	if err != nil {
 		return sketch.ErrCorrupt
@@ -423,7 +434,8 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 			if r.Err() != nil {
 				return r.Err()
 			}
-			if c < 0 {
+			// Valid sketches never hold empty or negative buckets.
+			if c <= 0 {
 				return sketch.ErrCorrupt
 			}
 			m[int(idx)] += c
@@ -442,6 +454,26 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if r.Remaining() != 0 {
 		return sketch.ErrCorrupt
 	}
+	// Structural validation: bucket sums must reproduce the serialized
+	// count, the budget must hold, and a non-empty sketch needs ordered
+	// bounds — anything else is corruption, not a decodable sketch.
+	var sum int64
+	for _, c := range ns.positive {
+		sum += c
+	}
+	for _, c := range ns.negative {
+		sum += c
+	}
+	if sum+ns.zeroCnt != ns.count {
+		return sketch.ErrCorrupt
+	}
+	if len(ns.positive)+len(ns.negative) > ns.maxBuckets {
+		return sketch.ErrCorrupt
+	}
+	if ns.count > 0 && !(ns.min <= ns.max) {
+		return sketch.ErrCorrupt
+	}
+	ns.assertInvariants("unmarshal")
 	*s = *ns
 	return nil
 }
