@@ -40,8 +40,9 @@ func paretoValues(n int, seed uint64) []float64 {
 // BenchmarkInsert is Fig 5a: per-element insertion cost on Pareto data.
 func BenchmarkInsert(b *testing.B) {
 	vals := paretoValues(1<<20, 11)
+	builders := benchBuilders(b)
 	for _, alg := range core.AlgorithmNames() {
-		builder := benchBuilders(b)[alg]
+		builder := builders[alg]
 		b.Run(alg, func(b *testing.B) {
 			sk := builder()
 			b.ResetTimer()
@@ -56,10 +57,11 @@ func BenchmarkInsert(b *testing.B) {
 // different consumed data sizes.
 func BenchmarkQuery(b *testing.B) {
 	qs := core.AllQuantiles()
+	builders := benchBuilders(b)
 	for _, n := range []int{100_000, 1_000_000} {
 		vals := paretoValues(n, 13)
 		for _, alg := range core.AlgorithmNames() {
-			builder := benchBuilders(b)[alg]
+			builder := builders[alg]
 			b.Run(fmt.Sprintf("%s/n=%d", alg, n), func(b *testing.B) {
 				sk := builder()
 				sketch.InsertAll(sk, vals)
@@ -83,12 +85,12 @@ func BenchmarkQuery(b *testing.B) {
 // merge workload distributions.
 func BenchmarkMerge(b *testing.B) {
 	const fill = 100_000
+	builders, err := core.BuildersForDataset(datagen.DatasetUniform, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, workload := range datagen.MergeWorkloadNames() {
 		for _, alg := range core.AlgorithmNames() {
-			builders, err := core.BuildersForDataset(datagen.DatasetUniform, 7)
-			if err != nil {
-				b.Fatal(err)
-			}
 			builder := builders[alg]
 			b.Run(fmt.Sprintf("%s/%s", alg, workload), func(b *testing.B) {
 				pool := make([]sketch.Sketch, 8)
@@ -106,6 +108,12 @@ func BenchmarkMerge(b *testing.B) {
 				acc := builder()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
+					// Reset once per pool cycle: an accumulator that grows
+					// with b.N makes later merge iterations measure an
+					// ever-larger sketch instead of a steady-state merge.
+					if i%len(pool) == 0 {
+						acc.Reset()
+					}
 					if err := acc.Merge(pool[i%len(pool)]); err != nil {
 						b.Fatal(err)
 					}
@@ -119,8 +127,9 @@ func BenchmarkMerge(b *testing.B) {
 // cost of distributed merging).
 func BenchmarkSerde(b *testing.B) {
 	vals := paretoValues(200_000, 17)
+	builders := benchBuilders(b)
 	for _, alg := range core.AlgorithmNames() {
-		builder := benchBuilders(b)[alg]
+		builder := builders[alg]
 		b.Run(alg, func(b *testing.B) {
 			sk := builder()
 			sketch.InsertAll(sk, vals)
@@ -200,13 +209,49 @@ func BenchmarkHRAAblation(b *testing.B) { runExperiment(b, "ablation-hra", 0, 4,
 // BenchmarkBulkInsert measures the O(1) weighted-insert path against the
 // loop fallback for a heavy point mass.
 func BenchmarkBulkInsert(b *testing.B) {
+	builders := benchBuilders(b)
 	for _, alg := range []string{"ddsketch", "uddsketch", "moments"} {
-		builder := benchBuilders(b)[alg]
+		builder := builders[alg]
 		b.Run(alg, func(b *testing.B) {
 			sk := builder()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sketch.InsertRepeated(sk, 42.5, 1000)
+			}
+		})
+	}
+}
+
+// BenchmarkInsertBatch compares per-element Insert against the native
+// batch kernels (sketch.BatchInserter) on the same Pareto stream, in
+// ns/event. The batch path feeds 256-value chunks, the granularity the
+// stream engine's worker pool ships.
+func BenchmarkInsertBatch(b *testing.B) {
+	const chunk = 256
+	vals := paretoValues(1<<20, 11)
+	builders := benchBuilders(b)
+	for _, alg := range core.AlgorithmNames() {
+		builder := builders[alg]
+		b.Run(alg+"/scalar", func(b *testing.B) {
+			sk := builder()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sk.Insert(vals[i&(1<<20-1)])
+			}
+		})
+		b.Run(alg+"/batch", func(b *testing.B) {
+			sk := builder()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += chunk {
+				start := n & (1<<20 - 1)
+				m := chunk
+				if n+m > b.N {
+					m = b.N - n
+				}
+				if start+m > 1<<20 {
+					m = 1<<20 - start
+				}
+				sketch.InsertAll(sk, vals[start:start+m])
 			}
 		})
 	}
@@ -249,6 +294,10 @@ func BenchmarkStreamThroughput(b *testing.B) {
 		i++
 		return v
 	})
+	builders, err := core.BuildersForDataset(datagen.DatasetPareto, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, delayed := range []bool{false, true} {
 		name := "no-delay"
 		var delay stream.DelayModel = stream.ZeroDelay{}
@@ -256,29 +305,28 @@ func BenchmarkStreamThroughput(b *testing.B) {
 			name = "exp-delay"
 			delay = stream.NewExponentialDelay(20*time.Millisecond, 31)
 		}
-		b.Run(name, func(b *testing.B) {
-			builders, err := core.BuildersForDataset(datagen.DatasetPareto, 7)
-			if err != nil {
-				b.Fatal(err)
-			}
-			// One window per 100k events; b.N events total.
-			windows := b.N/100_000 + 1
-			eng, err := stream.NewEngine(stream.Config{
-				WindowSize: time.Second,
-				Rate:       100_000,
-				NumWindows: windows,
-				Partitions: 4,
-				Values:     src,
-				Delay:      delay,
-				Builder:    builders["ddsketch"],
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w=%d", name, workers), func(b *testing.B) {
+				// One window per 100k events; b.N events total.
+				windows := b.N/100_000 + 1
+				eng, err := stream.NewEngine(stream.Config{
+					WindowSize: time.Second,
+					Rate:       100_000,
+					NumWindows: windows,
+					Partitions: 4,
+					Workers:    workers,
+					Values:     src,
+					Delay:      delay,
+					Builder:    builders["ddsketch"],
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				if _, err := eng.Run(func(stream.WindowResult) {}); err != nil {
+					b.Fatal(err)
+				}
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			if _, err := eng.Run(func(stream.WindowResult) {}); err != nil {
-				b.Fatal(err)
-			}
-		})
+		}
 	}
 }

@@ -25,18 +25,19 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		run      = flag.String("run", "", "experiment id to run (or 'all'); see -list")
-		scale    = flag.Float64("scale", 0.1, "workload scale factor (1 = paper scale)")
-		runs     = flag.Int("runs", 10, "independent repetitions for accuracy experiments (paper: 10)")
-		rate     = flag.Int("rate", 50000, "stream event rate in events/s (paper: 50000)")
-		winSec   = flag.Float64("window", 20, "tumbling window length in seconds before scaling (paper: 20)")
-		windows  = flag.Int("windows", 10, "measured windows per run (paper: 10)")
-		seed     = flag.Uint64("seed", 0x5eedc0de, "root RNG seed")
-		parallel = flag.Int("parallel", 1, "concurrent accuracy runs (results are identical at any parallelism)")
-		outPath  = flag.String("out", "", "also write results to this file")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		list          = flag.Bool("list", false, "list available experiments and exit")
+		run           = flag.String("run", "", "experiment id to run (or 'all'); see -list")
+		scale         = flag.Float64("scale", 0.1, "workload scale factor (1 = paper scale)")
+		runs          = flag.Int("runs", 10, "independent repetitions for accuracy experiments (paper: 10)")
+		rate          = flag.Int("rate", 50000, "stream event rate in events/s (paper: 50000)")
+		winSec        = flag.Float64("window", 20, "tumbling window length in seconds before scaling (paper: 20)")
+		windows       = flag.Int("windows", 10, "measured windows per run (paper: 10)")
+		seed          = flag.Uint64("seed", 0x5eedc0de, "root RNG seed")
+		parallel      = flag.Int("parallel", 1, "concurrent accuracy runs (results are identical at any parallelism)")
+		streamWorkers = flag.Int("stream-workers", 1, "insert worker goroutines per stream engine (results are bit-identical at any count)")
+		outPath       = flag.String("out", "", "also write results to this file")
+		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet         = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		Windows:       *windows,
 		Seed:          *seed,
 		Parallel:      *parallel,
+		StreamWorkers: *streamWorkers,
 	}
 	if !*quiet {
 		opts.Out = os.Stderr

@@ -1,0 +1,69 @@
+package ddsketch
+
+import (
+	"math"
+
+	"repro/internal/sketch"
+)
+
+var _ sketch.BatchInserter = (*Sketch)(nil)
+
+// InsertBatch implements sketch.BatchInserter with a tight
+// key-computation loop: the mapping and indexability threshold are
+// hoisted, bucket indices are staged in per-sign scratch slices, and an
+// unbounded dense store absorbs each sign's indices in one bulk
+// increment (Store.AddOnes) that grows the backing array at most once.
+// Bucket counts are order-independent, so staging cannot change the
+// resulting distribution state. Collapsing (and other non-dense) stores
+// fall back to per-element Add in stream order, because which buckets a
+// collapsing store folds depends on the order indices arrive.
+func (s *Sketch) InsertBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	m := s.mapping
+	minIndexable := m.MinIndexable()
+	posDense, posOK := s.positive.(*DenseStore)
+	negDense, negOK := s.negative.(*DenseStore)
+	pos := s.posScratch[:0]
+	neg := s.negScratch[:0]
+	minV, maxV := s.min, s.max
+	var zero int64
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		switch {
+		case x > 0 && x >= minIndexable:
+			if posOK {
+				pos = append(pos, m.Index(x))
+			} else {
+				s.positive.Add(m.Index(x), 1)
+			}
+		case x < 0 && -x >= minIndexable:
+			if negOK {
+				neg = append(neg, m.Index(-x))
+			} else {
+				s.negative.Add(m.Index(-x), 1)
+			}
+		default:
+			zero++
+		}
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if posOK {
+		posDense.AddOnes(pos)
+	}
+	if negOK {
+		negDense.AddOnes(neg)
+	}
+	s.posScratch = pos[:0]
+	s.negScratch = neg[:0]
+	s.zeroCnt += zero
+	s.min, s.max = minV, maxV
+}

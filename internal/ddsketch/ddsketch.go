@@ -20,6 +20,12 @@ type Sketch struct {
 	storeFn  func() Store
 	bounded  bool // collapsing store: affects serde round-trip
 	maxBkts  int
+
+	// InsertBatch scratch: bucket indices staged per sign before the
+	// dense store's bulk increment. Reused across calls; never
+	// serialized.
+	posScratch []int
+	negScratch []int
 }
 
 var _ sketch.Sketch = (*Sketch)(nil)

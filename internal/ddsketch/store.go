@@ -72,6 +72,41 @@ func (s *DenseStore) Add(index int, count int64) {
 	}
 }
 
+// AddOnes increments each listed bucket by one — the batched-insert hot
+// path. The index range is scanned first so the backing array grows at
+// most twice for the whole batch (once per range end) instead of
+// per-element; the increments themselves are then direct array ops.
+// Equivalent to calling Add(i, 1) for each index, except that the
+// array's spare capacity (and hence NumbersHeld) may differ slightly
+// from the per-element growth sequence; the held counts are identical.
+func (s *DenseStore) AddOnes(indexes []int) {
+	if len(indexes) == 0 {
+		return
+	}
+	lo, hi := indexes[0], indexes[0]
+	for _, i := range indexes[1:] {
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	s.ensure(lo)
+	s.ensure(hi)
+	counts, offset := s.counts, s.offset
+	for _, i := range indexes {
+		counts[i-offset]++
+	}
+	s.total += int64(len(indexes))
+	if lo < s.minIdx {
+		s.minIdx = lo
+	}
+	if hi > s.maxIdx {
+		s.maxIdx = hi
+	}
+}
+
 // ensure grows the backing array to include index.
 func (s *DenseStore) ensure(index int) {
 	if len(s.counts) == 0 {
@@ -227,6 +262,15 @@ func (s *CollapsingLowestDenseStore) collapseLowestTo(newMin int) {
 	}
 	if s.maxIdx < s.minIdx {
 		s.maxIdx = s.minIdx
+	}
+}
+
+// AddOnes shadows the promoted DenseStore fast path: which buckets a
+// collapsing store folds depends on the order indices arrive, so bulk
+// increments must go through the collapse-aware Add one at a time.
+func (s *CollapsingLowestDenseStore) AddOnes(indexes []int) {
+	for _, i := range indexes {
+		s.Add(i, 1)
 	}
 }
 

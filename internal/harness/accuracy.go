@@ -113,6 +113,7 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			Rate:          opts.Rate,
 			NumWindows:    opts.Windows + 1, // first window discarded
 			Partitions:    partitions,
+			Workers:       opts.StreamWorkers,
 			Values:        src,
 			Delay:         delay,
 			Builder:       newMultiBuilder(core.AlgorithmNames(), builders),

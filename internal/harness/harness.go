@@ -38,6 +38,11 @@ type Options struct {
 	// concurrently (each run is single-threaded and fully seeded, so
 	// results are identical at any parallelism). 0 or 1 = sequential.
 	Parallel int
+	// StreamWorkers is passed through as stream.Config.Workers: the
+	// number of goroutines running partition-local sketch inserts inside
+	// each engine run. Results are bit-identical at any value; 0 or 1 =
+	// inserts on the engine's goroutine.
+	StreamWorkers int
 	// Out receives progress logging; nil silences it.
 	Out io.Writer
 }

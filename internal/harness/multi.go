@@ -40,6 +40,15 @@ func (m *multiSketch) Insert(x float64) {
 	}
 }
 
+// InsertBatch implements sketch.BatchInserter by forwarding the batch
+// to every child through its own batch kernel (when it has one), so the
+// stream engine's batched path benefits all algorithms under test.
+func (m *multiSketch) InsertBatch(xs []float64) {
+	for _, name := range m.order {
+		sketch.InsertAll(m.children[name], xs)
+	}
+}
+
 // Merge implements sketch.Sketch.
 func (m *multiSketch) Merge(other sketch.Sketch) error {
 	o, ok := other.(*multiSketch)

@@ -13,10 +13,11 @@ import (
 // under testdata/src.
 func fixtureConfig() Config {
 	return Config{
-		CheckedMethods:    []string{"Quantile", "Rank", "Merge", "UnmarshalBinary"},
-		SketchPackages:    []string{"internal/sketchimpl"},
-		GlobalRandScopes:  []string{"internal"},
-		FloatEqAllowFiles: []string{"internal/floats/allowed.go"},
+		CheckedMethods:      []string{"Quantile", "Rank", "Merge", "UnmarshalBinary"},
+		SketchPackages:      []string{"internal/sketchimpl"},
+		GlobalRandScopes:    []string{"internal"},
+		FloatEqAllowFiles:   []string{"internal/floats/allowed.go"},
+		ContainerHeapScopes: []string{"internal/streamimpl"},
 	}
 }
 
@@ -98,7 +99,7 @@ func TestFixtureFindings(t *testing.T) {
 	for _, f := range findings {
 		rules[f.Rule] = true
 	}
-	for _, r := range []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic} {
+	for _, r := range Rules() {
 		if !rules[r] {
 			t.Errorf("rule %s never fired on the fixtures", r)
 		}

@@ -22,11 +22,14 @@ const (
 	// RulePanic flags panic in sketch packages outside invariant files
 	// and functions that do not document the panic.
 	RulePanic = "panic"
+	// RuleContainerHeap flags container/heap imports in the stream
+	// engine packages.
+	RuleContainerHeap = "container-heap"
 )
 
 // Rules lists every rule name, in reporting order.
 func Rules() []string {
-	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic}
+	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic, RuleContainerHeap}
 }
 
 // KnownRule reports whether name is a recognized rule.
@@ -64,6 +67,9 @@ type Config struct {
 	// FloatEqAllowFiles are module-relative file paths exempt from the
 	// float-eq rule (for deliberate, documented exact comparisons).
 	FloatEqAllowFiles []string
+	// ContainerHeapScopes are module-relative path prefixes under which
+	// importing container/heap is forbidden.
+	ContainerHeapScopes []string
 }
 
 // DefaultConfig returns the configuration used for this repository.
@@ -85,8 +91,9 @@ func DefaultConfig() Config {
 			"internal/mrl",
 			"internal/dcs",
 		},
-		GlobalRandScopes:  []string{"internal"},
-		FloatEqAllowFiles: nil,
+		GlobalRandScopes:    []string{"internal"},
+		FloatEqAllowFiles:   nil,
+		ContainerHeapScopes: []string{"internal/stream"},
 	}
 }
 
@@ -98,6 +105,7 @@ func Check(pkg *Package, cfg Config) []Finding {
 	out = append(out, checkFloatEq(pkg, cfg)...)
 	out = append(out, checkGlobalRand(pkg, cfg)...)
 	out = append(out, checkPanic(pkg, cfg)...)
+	out = append(out, checkContainerHeap(pkg, cfg)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -369,6 +377,38 @@ func checkGlobalRand(pkg *Package, cfg Config) []Finding {
 			})
 			return true
 		})
+	}
+	return out
+}
+
+// checkContainerHeap flags container/heap imports inside the configured
+// scopes. The stream engines sit on the per-event hot path, where the
+// interface-boxed heap.Interface costs two allocations per event and an
+// indirect call per sift comparison; those packages must use the
+// non-boxing generic minHeap instead.
+func checkContainerHeap(pkg *Package, cfg Config) []Finding {
+	inScope := false
+	for _, scope := range cfg.ContainerHeapScopes {
+		if pkg.RelPath == scope || strings.HasPrefix(pkg.RelPath, scope+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "container/heap" {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(imp.Pos()),
+				Rule: RuleContainerHeap,
+				Msg:  "container/heap boxes every element and dispatches sifts through an interface; use the package's generic minHeap on the stream hot path",
+			})
+		}
 	}
 	return out
 }

@@ -1,0 +1,21 @@
+// Package streamimpl is the container-heap rule fixture: a stream-engine
+// package (per the fixture config's ContainerHeapScopes) that imports
+// the boxing heap.
+package streamimpl
+
+import "container/heap" // want container-heap
+
+// events is a heap.Interface implementation over arrival times.
+type events []int
+
+func (e events) Len() int           { return len(e) }
+func (e events) Less(i, j int) bool { return e[i] < e[j] }
+func (e events) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+func (e *events) Push(x any)        { *e = append(*e, x.(int)) }
+func (e *events) Pop() any          { old := *e; n := len(old); x := old[n-1]; *e = old[:n-1]; return x }
+
+// NextArrival pops the earliest arrival.
+func NextArrival(e *events) int {
+	heap.Init(e)
+	return heap.Pop(e).(int)
+}

@@ -102,11 +102,36 @@ func Quantiles(s Sketch, qs []float64) ([]float64, error) {
 	return out, nil
 }
 
-// InsertAll inserts every value of xs into s.
+// InsertAll inserts every value of xs into s, using the sketch's native
+// batch kernel when it implements BatchInserter.
 func InsertAll(s Sketch, xs []float64) {
+	if b, ok := s.(BatchInserter); ok {
+		b.InsertBatch(xs)
+		return
+	}
 	for _, x := range xs {
 		s.Insert(x)
 	}
+}
+
+// BatchInserter is implemented by sketches with a native batched insert
+// kernel that amortizes per-element interface-call, bookkeeping and
+// bounds-check overhead across a slice of observations.
+//
+// Contract: InsertBatch(xs) must be indistinguishable from calling
+// Insert(x) for each x in order — identical serialized form, count,
+// retained samples and query answers, which requires the same
+// compaction/collapse trigger points, the same floating-point
+// accumulation order, and the same treatment of NaN and unrepresentable
+// values. Only invisible scratch state (e.g. a backing array's spare
+// capacity) may differ. The stream engine's parallel path relies on
+// this equivalence to stay bit-deterministic at any worker count
+// (internal/stream), and TestInsertBatchEquivalence enforces it for
+// every implementation.
+type BatchInserter interface {
+	// InsertBatch adds every value of xs, equivalent to inserting them
+	// one at a time in order.
+	InsertBatch(xs []float64)
 }
 
 // BulkInserter is implemented by sketches that can absorb n identical

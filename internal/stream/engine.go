@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -27,6 +26,15 @@ type Config struct {
 	// split across; they are merged when a window fires. 1 disables
 	// partitioning (a single sketch per window).
 	Partitions int
+	// Workers is the number of goroutines running the partition-local
+	// sketch inserts. 0 or 1 runs everything on the caller's goroutine;
+	// higher values consume fixed-size event batches over channels, with
+	// windows fired at deterministic barrier points, so results are
+	// bit-identical to the sequential path at any worker count. Workers
+	// above Partitions are clamped (each partition is owned by exactly
+	// one worker). Builder must be safe to call from multiple goroutines
+	// when Workers > 1.
+	Workers int
 	// Values supplies the event payloads in generation order.
 	Values datagen.Source
 	// Delay is the network-delay model; nil means ZeroDelay.
@@ -78,31 +86,59 @@ func (s Stats) LossRate() float64 {
 	return float64(s.DroppedLate) / float64(s.Generated)
 }
 
-// arrivalHeap orders in-flight events by arrival time, breaking ties by
-// generation time so replay is deterministic.
-type arrivalHeap []Event
+// partialSink owns the per-window, per-partition sketches of a run. The
+// engine drives it with the accepted-event stream in arrival order and
+// collects each window's partials at its fire barrier. Implementations:
+// seqSink (in-line inserts) and workerPool (batched inserts on worker
+// goroutines).
+type partialSink interface {
+	// insert routes one accepted event to partition part of window win.
+	insert(win, part int, v float64)
+	// partials returns window win's partition sketches, indexed by
+	// partition (nil entries for partitions that saw no events), with
+	// every insert for that window applied. It is the fire barrier: the
+	// window's state is removed from the sink.
+	partials(win int) []sketch.Sketch
+	// close releases worker resources; the sink is unusable afterwards.
+	close()
+}
 
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
-	if h[i].Arrival != h[j].Arrival {
-		return h[i].Arrival < h[j].Arrival
+// seqSink is the single-threaded partialSink: inserts run on the
+// engine's goroutine as the events are processed.
+type seqSink struct {
+	builder    sketch.Builder
+	partitions int
+	open       map[int][]sketch.Sketch
+}
+
+func newSeqSink(builder sketch.Builder, partitions int) *seqSink {
+	return &seqSink{builder: builder, partitions: partitions, open: make(map[int][]sketch.Sketch)}
+}
+
+func (s *seqSink) insert(win, part int, v float64) {
+	ps := s.open[win]
+	if ps == nil {
+		ps = make([]sketch.Sketch, s.partitions)
+		s.open[win] = ps
 	}
-	return h[i].GenTime < h[j].GenTime
-}
-func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(Event)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	if ps[part] == nil {
+		ps[part] = s.builder()
+	}
+	ps[part].Insert(v)
 }
 
-// windowState accumulates one open window.
+func (s *seqSink) partials(win int) []sketch.Sketch {
+	ps := s.open[win]
+	delete(s.open, win)
+	return ps
+}
+
+func (s *seqSink) close() {}
+
+// windowState accumulates the engine-side counters of one open window;
+// the partition sketches live in the partialSink.
 type windowState struct {
 	index    int
-	partials []sketch.Sketch
 	values   []float64
 	accepted int64
 }
@@ -125,6 +161,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Partitions <= 0 {
 		cfg.Partitions = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > cfg.Partitions {
+		cfg.Workers = cfg.Partitions
 	}
 	if cfg.Values == nil {
 		return nil, errors.New("stream: Values source is required")
@@ -159,9 +201,17 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 	// NumWindows) is plenty for realistic delay tails.
 	genEnd := runEnd + cfg.WindowSize
 
+	var sink partialSink
+	if cfg.Workers > 1 {
+		sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers)
+	} else {
+		sink = newSeqSink(cfg.Builder, cfg.Partitions)
+	}
+	defer sink.close()
+
 	var (
 		stats     Stats
-		inFlight  arrivalHeap
+		inFlight  minHeap[Event]
 		open                    = map[int]*windowState{}
 		watermark time.Duration = -1
 		nextFire  int           // next window index to fire
@@ -169,7 +219,7 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 
 	fire := func(w *windowState) error {
 		merged := cfg.Builder()
-		for _, p := range w.partials {
+		for _, p := range sink.partials(w.index) {
 			if p == nil {
 				continue
 			}
@@ -203,14 +253,10 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 		if wi < cfg.NumWindows {
 			w := open[wi]
 			if w == nil {
-				w = &windowState{index: wi, partials: make([]sketch.Sketch, cfg.Partitions)}
+				w = &windowState{index: wi}
 				open[wi] = w
 			}
-			p := ev.Partition % cfg.Partitions
-			if w.partials[p] == nil {
-				w.partials[p] = cfg.Builder()
-			}
-			w.partials[p].Insert(ev.Value)
+			sink.insert(wi, ev.Partition%cfg.Partitions, ev.Value)
 			w.accepted++
 			stats.Accepted++
 			if cfg.CollectValues {
@@ -227,7 +273,7 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 				}
 				w := open[nextFire]
 				if w == nil {
-					w = &windowState{index: nextFire, partials: make([]sketch.Sketch, cfg.Partitions)}
+					w = &windowState{index: nextFire}
 				}
 				delete(open, nextFire)
 				// Late counts accrue after firing; attach the state so the
@@ -246,21 +292,21 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 		v := cfg.Values.Next()
 		d := cfg.Delay.Delay()
 		stats.Generated++
-		heap.Push(&inFlight, Event{GenTime: gen, Arrival: gen + d, Value: v, Partition: part})
+		inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v, Partition: part})
 		part++
 		if part == cfg.Partitions {
 			part = 0
 		}
 		// Any event generated later arrives at ≥ its own gen time ≥ gen,
 		// so everything in flight with arrival ≤ gen is safe to process.
-		for len(inFlight) > 0 && inFlight[0].Arrival <= gen {
-			if err := process(heap.Pop(&inFlight).(Event)); err != nil {
+		for inFlight.Len() > 0 && inFlight.Min().Arrival <= gen {
+			if err := process(inFlight.Pop()); err != nil {
 				return stats, lateOf, err
 			}
 		}
 	}
-	for len(inFlight) > 0 {
-		if err := process(heap.Pop(&inFlight).(Event)); err != nil {
+	for inFlight.Len() > 0 {
+		if err := process(inFlight.Pop()); err != nil {
 			return stats, lateOf, err
 		}
 	}
@@ -270,7 +316,7 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 	for ; nextFire < cfg.NumWindows; nextFire++ {
 		w := open[nextFire]
 		if w == nil {
-			w = &windowState{index: nextFire, partials: make([]sketch.Sketch, cfg.Partitions)}
+			w = &windowState{index: nextFire}
 		}
 		delete(open, nextFire)
 		if err := fire(w); err != nil {

@@ -36,6 +36,16 @@ type Event struct {
 	Partition int
 }
 
+// Before orders events by arrival time, breaking ties by generation
+// time so replay is deterministic. It is the ordering of the engines'
+// in-flight heap.
+func (e Event) Before(other Event) bool {
+	if e.Arrival != other.Arrival {
+		return e.Arrival < other.Arrival
+	}
+	return e.GenTime < other.GenTime
+}
+
 // DelayModel produces per-event network delays (the gap between event
 // generation at the source and ingestion by the SPE, Sec 2.5).
 type DelayModel interface {

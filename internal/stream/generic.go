@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -109,7 +108,7 @@ func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
 
 	var (
 		stats     Stats
-		inFlight  arrivalHeap
+		inFlight  minHeap[Event]
 		open                    = map[Window]*genWindowState{}
 		watermark time.Duration = -1
 		firedMax  time.Duration = -1 // max end among fired windows
@@ -187,13 +186,13 @@ func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
 		v := cfg.Values.Next()
 		d := cfg.Delay.Delay()
 		stats.Generated++
-		heap.Push(&inFlight, Event{GenTime: gen, Arrival: gen + d, Value: v})
-		for len(inFlight) > 0 && inFlight[0].Arrival <= gen {
-			process(heap.Pop(&inFlight).(Event))
+		inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v})
+		for inFlight.Len() > 0 && inFlight.Min().Arrival <= gen {
+			process(inFlight.Pop())
 		}
 	}
-	for len(inFlight) > 0 {
-		process(heap.Pop(&inFlight).(Event))
+	for inFlight.Len() > 0 {
+		process(inFlight.Pop())
 	}
 	// Source exhausted: advance the watermark to +∞ and flush.
 	watermark = 1 << 62

@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"sync"
+
+	"repro/internal/sketch"
+)
+
+// batchSize is the number of events a per-partition batch holds before
+// it is shipped to its worker. Large enough to amortize the channel
+// hand-off and let the sketches' batch kernels (sketch.BatchInserter)
+// work on long runs, small enough that a window's tail flush stays
+// cheap.
+const batchSize = 256
+
+// eventBatch carries a run of accepted events for one partition. wins
+// and vals are parallel slices; wins is non-decreasing (events arrive
+// in watermark order), so workers can split it into per-window runs and
+// feed each run to the sketch's batched insert path in one call.
+type eventBatch struct {
+	part int32
+	wins []int32
+	vals []float64
+}
+
+func (b *eventBatch) reset() {
+	b.wins = b.wins[:0]
+	b.vals = b.vals[:0]
+}
+
+// workerMsg is one message to a worker: either an event batch or, when
+// reply is non-nil, a fire barrier for window fireWin.
+type workerMsg struct {
+	batch   *eventBatch
+	fireWin int32
+	reply   chan<- []sketch.Sketch
+}
+
+// workerPool is the parallel partialSink: partition p is owned by
+// worker p % workers, each worker consumes event batches from its own
+// channel and maintains the partition-local sketches of its open
+// windows. Because every partition's events flow through exactly one
+// worker in arrival order, and the engine collects partials at fire
+// barriers and merges them in partition order, the results are
+// bit-identical to the sequential sink at any worker count.
+type workerPool struct {
+	builder    sketch.Builder
+	partitions int
+	workers    int
+
+	pending []*eventBatch // one per partition, nil when empty
+	chans   []chan workerMsg
+	replies []chan []sketch.Sketch
+	pool    sync.Pool // *eventBatch recycling (coordinator ⇄ workers)
+	wg      sync.WaitGroup
+}
+
+func newWorkerPool(builder sketch.Builder, partitions, workers int) *workerPool {
+	p := &workerPool{
+		builder:    builder,
+		partitions: partitions,
+		workers:    workers,
+		pending:    make([]*eventBatch, partitions),
+		chans:      make([]chan workerMsg, workers),
+		replies:    make([]chan []sketch.Sketch, workers),
+	}
+	p.pool.New = func() any {
+		return &eventBatch{
+			wins: make([]int32, 0, batchSize),
+			vals: make([]float64, 0, batchSize),
+		}
+	}
+	for w := 0; w < workers; w++ {
+		// Deep buffers decouple the coordinator (event generation,
+		// delay heap, watermarks) from insert hiccups like sketch
+		// compactions.
+		p.chans[w] = make(chan workerMsg, 32)
+		p.replies[w] = make(chan []sketch.Sketch, 1)
+		p.wg.Add(1)
+		go p.runWorker(w)
+	}
+	return p
+}
+
+// insert implements partialSink: append to the partition's pending
+// batch, shipping it to the owning worker when full.
+func (p *workerPool) insert(win, part int, v float64) {
+	b := p.pending[part]
+	if b == nil {
+		b = p.pool.Get().(*eventBatch)
+		b.part = int32(part)
+		p.pending[part] = b
+	}
+	b.wins = append(b.wins, int32(win))
+	b.vals = append(b.vals, v)
+	if len(b.vals) == batchSize {
+		p.chans[part%p.workers] <- workerMsg{batch: b}
+		p.pending[part] = nil
+	}
+}
+
+// partials implements partialSink: flush every pending batch, then send
+// each worker a fire barrier and reassemble the window's partition
+// sketches in partition order. The channel send/receive pair gives the
+// coordinator a happens-before edge on all of the window's inserts.
+func (p *workerPool) partials(win int) []sketch.Sketch {
+	for part, b := range p.pending {
+		if b != nil {
+			p.chans[part%p.workers] <- workerMsg{batch: b}
+			p.pending[part] = nil
+		}
+	}
+	for w := 0; w < p.workers; w++ {
+		p.chans[w] <- workerMsg{fireWin: int32(win), reply: p.replies[w]}
+	}
+	out := make([]sketch.Sketch, p.partitions)
+	for w := 0; w < p.workers; w++ {
+		for k, sk := range <-p.replies[w] {
+			out[w+k*p.workers] = sk
+		}
+	}
+	return out
+}
+
+// close implements partialSink: stop the workers and wait for them to
+// drain. Any still-pending batches are dropped — the engine fires every
+// tracked window before closing, so by then they can only hold events
+// of untracked (grace-period) windows, which are never inserted anyway.
+func (p *workerPool) close() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
+	p.wg.Wait()
+}
+
+// ownedPartitions returns how many partitions worker w owns (the
+// partitions congruent to w modulo the worker count).
+func (p *workerPool) ownedPartitions(w int) int {
+	return (p.partitions-1-w)/p.workers + 1
+}
+
+// runWorker consumes worker w's channel: batches are split into
+// per-window runs and bulk-inserted into the owning partition's sketch;
+// fire barriers hand the window's local partials back to the
+// coordinator.
+func (p *workerPool) runWorker(w int) {
+	defer p.wg.Done()
+	nOwned := p.ownedPartitions(w)
+	open := make(map[int32][]sketch.Sketch)
+	for msg := range p.chans[w] {
+		if msg.batch == nil {
+			// Fire barrier: relinquish the window's partials.
+			local := open[msg.fireWin]
+			delete(open, msg.fireWin)
+			msg.reply <- local
+			continue
+		}
+		b := msg.batch
+		local := int(b.part) / p.workers
+		for i := 0; i < len(b.wins); {
+			win := b.wins[i]
+			j := i + 1
+			for j < len(b.wins) && b.wins[j] == win {
+				j++
+			}
+			sks := open[win]
+			if sks == nil {
+				sks = make([]sketch.Sketch, nOwned)
+				open[win] = sks
+			}
+			if sks[local] == nil {
+				sks[local] = p.builder()
+			}
+			sketch.InsertAll(sks[local], b.vals[i:j])
+			i = j
+		}
+		b.reset()
+		p.pool.Put(b)
+	}
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/kll"
+	"repro/internal/sketch"
+)
+
+// parallelRun executes one engine run with the given worker and
+// partition counts. The KLL builder makes the comparison strict: its
+// compaction coin flips depend on the exact per-partition insert
+// sequence, so any reordering anywhere in the parallel path would show
+// up in the serialized sketches.
+func parallelRun(t *testing.T, workers, partitions int) ([]WindowResult, Stats) {
+	t.Helper()
+	eng, err := NewEngine(Config{
+		WindowSize:    time.Second,
+		Rate:          5000,
+		NumWindows:    4,
+		Partitions:    partitions,
+		Workers:       workers,
+		Values:        datagen.NewPareto(1, 1, 41),
+		Delay:         NewExponentialDelay(150*time.Millisecond, 43),
+		Builder:       func() sketch.Sketch { return kll.NewWithSeed(128, 99) },
+		CollectValues: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, stats
+}
+
+// marshal serializes a window's merged sketch for byte comparison.
+func marshal(t *testing.T, sk sketch.Sketch) []byte {
+	t.Helper()
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestParallelBitIdentical is the determinism guarantee of
+// Config.Workers: the parallel path must produce output byte-identical
+// to the sequential path at every worker count, including counts where
+// partitions are unevenly distributed across workers and counts above
+// the partition count (clamped).
+func TestParallelBitIdentical(t *testing.T) {
+	for _, partitions := range []int{4, 5} {
+		seqResults, seqStats := parallelRun(t, 0, partitions)
+		if seqStats.DroppedLate == 0 {
+			t.Fatalf("want late drops in the reference run so the parallel path is tested under reordering pressure")
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			parResults, parStats := parallelRun(t, workers, partitions)
+			if parStats != seqStats {
+				t.Errorf("partitions=%d workers=%d: stats %+v, sequential %+v", partitions, workers, parStats, seqStats)
+			}
+			if len(parResults) != len(seqResults) {
+				t.Fatalf("partitions=%d workers=%d: %d windows, sequential %d", partitions, workers, len(parResults), len(seqResults))
+			}
+			for i, seq := range seqResults {
+				par := parResults[i]
+				if par.Index != seq.Index || par.Start != seq.Start || par.End != seq.End ||
+					par.Accepted != seq.Accepted || par.DroppedLate != seq.DroppedLate {
+					t.Errorf("partitions=%d workers=%d window %d: header %+v, sequential %+v",
+						partitions, workers, i, par, seq)
+				}
+				if len(par.Values) != len(seq.Values) {
+					t.Fatalf("partitions=%d workers=%d window %d: %d values, sequential %d",
+						partitions, workers, i, len(par.Values), len(seq.Values))
+				}
+				for j := range seq.Values {
+					if par.Values[j] != seq.Values[j] {
+						t.Fatalf("partitions=%d workers=%d window %d value %d: %v, sequential %v",
+							partitions, workers, i, j, par.Values[j], seq.Values[j])
+					}
+				}
+				if !bytes.Equal(marshal(t, par.Sketch), marshal(t, seq.Sketch)) {
+					t.Errorf("partitions=%d workers=%d window %d: merged sketch differs from sequential",
+						partitions, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelManyWindows drives the worker pool across enough windows
+// and events that batches, fire barriers and the sync.Pool recycling
+// all cycle repeatedly; run under -race (scripts/verify.sh does) this
+// doubles as the data-race exercise for the parallel path.
+func TestParallelManyWindows(t *testing.T) {
+	run := func(workers int) ([]WindowResult, Stats) {
+		eng, err := NewEngine(Config{
+			WindowSize: 500 * time.Millisecond,
+			Rate:       20_000,
+			NumWindows: 12,
+			Partitions: 8,
+			Workers:    workers,
+			Values:     datagen.NewUniform(0, 1000, 61),
+			Delay:      NewExponentialDelay(40*time.Millisecond, 67),
+			Builder:    func() sketch.Sketch { return kll.NewWithSeed(64, 5) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, stats, err := eng.RunCollect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, stats
+	}
+	seqResults, seqStats := run(1)
+	parResults, parStats := run(3)
+	if parStats != seqStats {
+		t.Fatalf("stats %+v, sequential %+v", parStats, seqStats)
+	}
+	for i, seq := range seqResults {
+		if parResults[i].Accepted != seq.Accepted {
+			t.Errorf("window %d: accepted %d, sequential %d", i, parResults[i].Accepted, seq.Accepted)
+		}
+		if !bytes.Equal(marshal(t, parResults[i].Sketch), marshal(t, seq.Sketch)) {
+			t.Errorf("window %d: merged sketch differs from sequential", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package uddsketch
+
+import (
+	"math"
+
+	"repro/internal/sketch"
+)
+
+var _ sketch.BatchInserter = (*Sketch)(nil)
+
+// InsertBatch implements sketch.BatchInserter: the index computation
+// (log-gamma divide) runs in a tight loop with the store maps, bounds
+// and count in locals. The bucket-budget check stays per-element — a
+// collapse squares γ, which changes every subsequent index — so
+// collapses trigger at exactly the scalar path's points; the hoisted
+// mapping state is refreshed after each collapse.
+func (s *Sketch) InsertBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	pos, neg := s.positive, s.negative
+	logGamma := s.logGamma
+	minIndexable := s.minIndexable()
+	budget := s.maxBuckets
+	count := s.count
+	minV, maxV := s.min, s.max
+	var zero int64
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		switch {
+		case x > 0 && x >= minIndexable:
+			pos[int(math.Ceil(math.Log(x)/logGamma))]++
+		case x < 0 && -x >= minIndexable:
+			neg[int(math.Ceil(math.Log(-x)/logGamma))]++
+		default:
+			zero++
+		}
+		count++
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+		if len(pos)+len(neg) > budget {
+			s.count = count
+			s.zeroCnt += zero
+			zero = 0
+			s.min, s.max = minV, maxV
+			for len(s.positive)+len(s.negative) > budget {
+				s.uniformCollapse()
+			}
+			s.assertInvariants("collapse")
+			pos, neg = s.positive, s.negative
+			logGamma = s.logGamma
+			minIndexable = s.minIndexable()
+		}
+	}
+	s.count = count
+	s.zeroCnt += zero
+	s.min, s.max = minV, maxV
+}

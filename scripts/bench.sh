@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Stream/insert performance gate: run the batched-insert and stream
+# throughput benchmarks and compare them in BENCH_stream.json against
+# the recorded pre-optimization baseline
+# (results/bench_seed_stream.txt, captured on the seed engine: boxing
+# container/heap event queue, per-element scalar inserts).
+#
+# BENCHTIME overrides the per-benchmark time budget (default 1s).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+current=results/bench_stream_current.txt
+
+go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' \
+	-benchmem -benchtime "$BENCHTIME" . | tee "$current"
+
+go run ./cmd/benchjson \
+	-baseline results/bench_seed_stream.txt \
+	-current "$current" \
+	-compare 'BenchmarkStreamThroughput/no-delay=BenchmarkStreamThroughput/no-delay/w=4' \
+	-compare 'BenchmarkStreamThroughput/exp-delay=BenchmarkStreamThroughput/exp-delay/w=4' \
+	-compare 'BenchmarkStreamThroughput/no-delay=BenchmarkStreamThroughput/no-delay/w=1' \
+	-compare 'BenchmarkStreamThroughput/exp-delay=BenchmarkStreamThroughput/exp-delay/w=1' \
+	-compare 'BenchmarkInsert/kll=BenchmarkInsertBatch/kll/batch' \
+	-compare 'BenchmarkInsert/req=BenchmarkInsertBatch/req/batch' \
+	-compare 'BenchmarkInsert/ddsketch=BenchmarkInsertBatch/ddsketch/batch' \
+	-compare 'BenchmarkInsert/uddsketch=BenchmarkInsertBatch/uddsketch/batch' \
+	-compare 'BenchmarkInsert/moments=BenchmarkInsertBatch/moments/batch' \
+	-out BENCH_stream.json
+
+cat BENCH_stream.json

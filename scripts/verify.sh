@@ -12,3 +12,6 @@ go run ./cmd/sketchlint ./...
 go test ./...
 go test -tags invariants ./internal/...
 go test -race ./internal/stream ./internal/harness
+# Smoke-run the perf-gate benchmarks (fixed iteration count: checks
+# they still execute, not their timing — scripts/bench.sh does that).
+go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
