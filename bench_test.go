@@ -257,6 +257,58 @@ func BenchmarkInsertBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantileAll compares answering the study's 8-quantile set
+// with one Quantile call per q (scalar) against the native batched
+// kernels (sketch.MultiQuantiler). Each iteration inserts one value
+// first so cached CDF snapshots and maxent solutions are invalidated,
+// as they are between stream windows.
+func BenchmarkQuantileAll(b *testing.B) {
+	qs := core.AllQuantiles()
+	vals := paretoValues(1<<20, 13)
+	builders := benchBuilders(b)
+	for _, alg := range core.AlgorithmNames() {
+		builder := builders[alg]
+		sk := builder()
+		sketch.InsertAll(sk, vals)
+		b.Run(alg+"/scalar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sk.Insert(vals[i&(1<<20-1)]) // invalidate solver/view caches
+				for _, q := range qs {
+					if _, err := sk.Quantile(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(alg+"/batch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sk.Insert(vals[i&(1<<20-1)])
+				if _, err := sketch.Quantiles(sk, qs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccuracyEval runs one single-dataset accuracy pass (the unit
+// every accuracy experiment repeats) with sequential and parallel
+// window evaluation; accuracy output is bit-identical at any worker
+// count.
+func BenchmarkAccuracyEval(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			o := benchOpts()
+			o.EvalWorkers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunAccuracy(o, datagen.DatasetPareto); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRelatedInsert covers the Sec 5 related sketches under the
 // same Fig 5a-style insertion workload.
 func BenchmarkRelatedInsert(b *testing.B) {

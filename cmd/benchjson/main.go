@@ -10,7 +10,9 @@
 //
 // Each -compare flag (repeatable) names a baseline benchmark and the
 // current benchmark it should be measured against, separated by the
-// first '='. The emitted JSON holds every parsed benchmark of both
+// '=' directly before the current name's "Benchmark" prefix (so
+// sub-benchmark names that themselves contain '=', like "w=4", stay
+// intact). The emitted JSON holds every parsed benchmark of both
 // files (ns/op, B/op, allocs/op) plus a comparison list with the
 // baseline/current ns/op ratio as "speedup".
 package main
@@ -100,6 +102,17 @@ type compareList []string
 func (c *compareList) String() string     { return strings.Join(*c, ",") }
 func (c *compareList) Set(s string) error { *c = append(*c, s); return nil }
 
+// cutCompare splits a -compare pair at the '=' immediately preceding
+// the current benchmark's name, so baseline names containing '=' (e.g.
+// sub-benchmarks like "w=1") survive intact.
+func cutCompare(pair string) (name, cur string, ok bool) {
+	if i := strings.Index(pair, "=Benchmark"); i >= 0 {
+		return pair[:i], pair[i+1:], true
+	}
+	name, cur, ok = strings.Cut(pair, "=")
+	return name, cur, ok
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "", "baseline go test -bench output file")
@@ -125,7 +138,7 @@ func main() {
 		os.Exit(1)
 	}
 	for _, pair := range compares {
-		name, cur, ok := strings.Cut(pair, "=")
+		name, cur, ok := cutCompare(pair)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchjson: malformed -compare %q\n", pair)
 			os.Exit(2)

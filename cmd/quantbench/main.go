@@ -35,6 +35,7 @@ func main() {
 		seed          = flag.Uint64("seed", 0x5eedc0de, "root RNG seed")
 		parallel      = flag.Int("parallel", 1, "concurrent accuracy runs (results are identical at any parallelism)")
 		streamWorkers = flag.Int("stream-workers", 1, "insert worker goroutines per stream engine (results are bit-identical at any count)")
+		evalWorkers   = flag.Int("eval-workers", 1, "concurrent window evaluations per accuracy run (results are bit-identical at any count)")
 		outPath       = flag.String("out", "", "also write results to this file")
 		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet         = flag.Bool("quiet", false, "suppress progress logging")
@@ -61,6 +62,7 @@ func main() {
 		Seed:          *seed,
 		Parallel:      *parallel,
 		StreamWorkers: *streamWorkers,
+		EvalWorkers:   *evalWorkers,
 	}
 	if !*quiet {
 		opts.Out = os.Stderr

@@ -144,16 +144,22 @@ func main() {
 		return
 	}
 
+	var qvals []float64
 	for _, qs := range splitNonEmpty(*qList) {
 		q, err := strconv.ParseFloat(qs, 64)
 		if err != nil {
 			fail(fmt.Errorf("bad quantile %q: %w", qs, err))
 		}
-		v, err := sk.Quantile(q)
+		qvals = append(qvals, q)
+	}
+	if len(qvals) > 0 {
+		vals, err := sketch.Quantiles(sk, qvals)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("q%v\t%g\n", q, v)
+		for i, q := range qvals {
+			fmt.Printf("q%v\t%g\n", q, vals[i])
+		}
 	}
 	if *rankOf != 0 {
 		r, err := sk.Rank(*rankOf)

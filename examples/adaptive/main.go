@@ -40,16 +40,17 @@ func main() {
 
 	fmt.Printf("1M Binomial(30,0.4) readings, then 1M U(30,100): the median sits ON the regime switch\n\n")
 	fmt.Println("            q=0.25      q=0.50 (switch)   q=0.75")
+	qs := []float64{0.25, 0.5, 0.75}
 	for _, name := range []string{"kll", "req", "moments", "ddsketch", "uddsketch"} {
 		sk := sketches[name]
 		row := fmt.Sprintf("%-10s", name)
-		for _, q := range []float64{0.25, 0.5, 0.75} {
-			est, err := sk.Quantile(q)
-			if err != nil {
-				panic(err)
-			}
+		ests, err := quantiles.Quantiles(sk, qs)
+		if err != nil {
+			panic(err)
+		}
+		for i, q := range qs {
 			truth := exact(q)
-			row += fmt.Sprintf("  %.4f    ", math.Abs(est-truth)/truth)
+			row += fmt.Sprintf("  %.4f    ", math.Abs(ests[i]-truth)/truth)
 		}
 		fmt.Println(row)
 	}

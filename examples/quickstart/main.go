@@ -41,14 +41,15 @@ func main() {
 	}
 
 	fmt.Println("quantile   estimate(ms)   exact(ms)   rel.err")
-	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
-		est, err := sk.Quantile(q)
-		if err != nil {
-			panic(err)
-		}
+	qs := []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+	ests, err := quantiles.Quantiles(sk, qs) // one batched query, same results as per-q calls
+	if err != nil {
+		panic(err)
+	}
+	for i, q := range qs {
 		truth := exact(q)
 		fmt.Printf("  p%-5.1f   %10.2f   %9.2f   %.4f\n",
-			q*100, est, truth, math.Abs(est-truth)/truth)
+			q*100, ests[i], truth, math.Abs(ests[i]-truth)/truth)
 	}
 
 	// Rank queries answer "what fraction of requests finished within X?"

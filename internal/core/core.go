@@ -158,34 +158,26 @@ func EvaluateWindow(sk sketch.Sketch, values []float64) (WindowAccuracy, error) 
 // EvaluateAgainst is EvaluateWindow with a pre-built oracle (lets callers
 // share one sort across sketches).
 func EvaluateAgainst(sk sketch.Sketch, exact *stats.ExactQuantiles) (WindowAccuracy, error) {
-	acc := WindowAccuracy{PerQuantile: make(map[float64]float64, 8)}
-	var midSum, upSum float64
-	for _, q := range MidQuantiles {
-		est, err := sk.Quantile(q)
-		if err != nil {
-			return WindowAccuracy{}, fmt.Errorf("core: %s q=%v: %w", sk.Name(), q, err)
-		}
-		re := stats.RelativeError(exact.Quantile(q), est)
-		acc.PerQuantile[q] = re
-		midSum += re
-	}
-	for _, q := range UpperQuantiles {
-		est, err := sk.Quantile(q)
-		if err != nil {
-			return WindowAccuracy{}, fmt.Errorf("core: %s q=%v: %w", sk.Name(), q, err)
-		}
-		re := stats.RelativeError(exact.Quantile(q), est)
-		acc.PerQuantile[q] = re
-		upSum += re
-	}
-	est, err := sk.Quantile(P99)
+	qs := AllQuantiles()
+	ests, err := sketch.Quantiles(sk, qs)
 	if err != nil {
-		return WindowAccuracy{}, fmt.Errorf("core: %s q=%v: %w", sk.Name(), P99, err)
+		return WindowAccuracy{}, fmt.Errorf("core: %s: %w", sk.Name(), err)
 	}
-	re := stats.RelativeError(exact.Quantile(P99), est)
-	acc.PerQuantile[P99] = re
+	acc := WindowAccuracy{PerQuantile: make(map[float64]float64, len(qs))}
+	var midSum, upSum float64
+	for i, q := range qs {
+		re := stats.RelativeError(exact.Quantile(q), ests[i])
+		acc.PerQuantile[q] = re
+		switch {
+		case i < len(MidQuantiles):
+			midSum += re
+		case i < len(MidQuantiles)+len(UpperQuantiles):
+			upSum += re
+		default:
+			acc.P99 = re
+		}
+	}
 	acc.Mid = midSum / float64(len(MidQuantiles))
 	acc.Upper = upSum / float64(len(UpperQuantiles))
-	acc.P99 = re
 	return acc, nil
 }

@@ -3,6 +3,7 @@ package ddsketch
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/sketch"
 )
@@ -120,6 +121,15 @@ func (s *Sketch) Count() uint64 {
 	return uint64(s.positive.Total() + s.negative.Total() + s.zeroCnt)
 }
 
+// totals returns the grand total and the negative store's share with a
+// single Total() call per store (Count() would consult the negative
+// store twice per query once negTotal is also needed).
+func (s *Sketch) totals() (total, negTotal int64) {
+	negTotal = s.negative.Total()
+	total = s.positive.Total() + negTotal + s.zeroCnt
+	return total, negTotal
+}
+
 // Quantile implements sketch.Sketch. The estimate for a quantile landing
 // in positive bucket i is the midpoint 2γ^i/(γ+1), guaranteeing relative
 // error at most α for values covered by the unbounded store.
@@ -127,10 +137,15 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 	if err := sketch.CheckQuantile(q); err != nil {
 		return 0, err
 	}
-	total := int64(s.Count())
+	total, negTotal := s.totals()
 	if total == 0 {
 		return 0, sketch.ErrEmpty
 	}
+	return s.quantileFromTotals(q, total, negTotal), nil
+}
+
+// quantileFromTotals answers one valid q given precomputed store totals.
+func (s *Sketch) quantileFromTotals(q float64, total, negTotal int64) float64 {
 	// Rank of the q-quantile, 1-based: ⌈qN⌉.
 	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
@@ -139,7 +154,6 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 	if rank > total {
 		rank = total
 	}
-	negTotal := s.negative.Total()
 	switch {
 	case rank <= negTotal:
 		// Negative values in descending magnitude order: the smallest
@@ -156,9 +170,9 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 			}
 			return true
 		})
-		return s.clampToRange(est), nil
+		return s.clampToRange(est)
 	case rank <= negTotal+s.zeroCnt:
-		return 0, nil
+		return 0
 	default:
 		want := rank - negTotal - s.zeroCnt
 		var cum int64
@@ -171,8 +185,88 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 			}
 			return true
 		})
-		return s.clampToRange(est), nil
+		return s.clampToRange(est)
 	}
+}
+
+// storeTarget is one batched rank target: want is the cumulative count
+// that resolves it during a store scan, pos its slot in the output.
+type storeTarget struct {
+	want int64
+	pos  int
+}
+
+// QuantileAll implements sketch.MultiQuantiler: every target rank is
+// mapped to its store (negative / zero / positive) and each store is
+// scanned once, resolving its targets in ascending cumulative order,
+// instead of one ForEach walk per quantile.
+func (s *Sketch) QuantileAll(qs []float64) ([]float64, error) {
+	total, negTotal := s.totals()
+	if err := sketch.ValidateQuantiles(qs, total == 0); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(qs))
+	var negT, posT []storeTarget
+	for i, q := range qs {
+		rank := int64(math.Ceil(q * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > total {
+			rank = total
+		}
+		switch {
+		case rank <= negTotal:
+			negT = append(negT, storeTarget{negTotal - rank, i})
+		case rank <= negTotal+s.zeroCnt:
+			out[i] = 0
+		default:
+			posT = append(posT, storeTarget{rank - negTotal - s.zeroCnt, i})
+		}
+	}
+	byWant := func(a, b storeTarget) int {
+		switch {
+		case a.want < b.want:
+			return -1
+		case a.want > b.want:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if len(negT) > 0 {
+		slices.SortFunc(negT, byWant)
+		k := 0
+		var cum int64
+		s.negative.ForEach(func(i int, c int64) bool {
+			cum += c
+			for k < len(negT) && cum > negT[k].want {
+				out[negT[k].pos] = s.clampToRange(-s.mapping.Value(i))
+				k++
+			}
+			return k < len(negT)
+		})
+		for ; k < len(negT); k++ {
+			out[negT[k].pos] = s.clampToRange(s.min)
+		}
+	}
+	if len(posT) > 0 {
+		slices.SortFunc(posT, byWant)
+		k := 0
+		var cum int64
+		s.positive.ForEach(func(i int, c int64) bool {
+			cum += c
+			for k < len(posT) && cum >= posT[k].want {
+				out[posT[k].pos] = s.clampToRange(s.mapping.Value(i))
+				k++
+			}
+			return k < len(posT)
+		})
+		for ; k < len(posT); k++ {
+			out[posT[k].pos] = s.clampToRange(s.max)
+		}
+	}
+	return out, nil
 }
 
 // clampToRange keeps estimates within the observed [min, max] so bucket

@@ -161,13 +161,13 @@ func runGridAblation(opts Options) ([]Table, error) {
 // momentsGroups evaluates the study's quantile groups on one sketch.
 func momentsGroups(sk *moments.Sketch, exact *stats.ExactQuantiles) (mid, upper, p99 float64, err error) {
 	sum := func(qs []float64) (float64, error) {
+		ests, err := sk.QuantileAll(qs)
+		if err != nil {
+			return 0, err
+		}
 		var s float64
-		for _, q := range qs {
-			est, err := sk.Quantile(q)
-			if err != nil {
-				return 0, err
-			}
-			s += stats.RelativeError(exact.Quantile(q), est)
+		for i, q := range qs {
+			s += stats.RelativeError(exact.Quantile(q), ests[i])
 		}
 		return s / float64(len(qs)), nil
 	}
@@ -407,10 +407,8 @@ func runUDDStoreAblation(opts Options) ([]Table, error) {
 		const reps = 20
 		for r := 0; r < reps; r++ {
 			qd += measure(func() {
-				for _, q := range qs {
-					if _, err := sk.Quantile(q); err != nil && mErr == nil {
-						mErr = err
-					}
+				if _, err := sketch.Quantiles(sk, qs); err != nil && mErr == nil {
+					mErr = err
 				}
 			})
 		}

@@ -122,37 +122,82 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 		if err != nil {
 			return runResult{err: err}
 		}
+		// One evaluation slot per window (slot 0 is the discarded warm-up
+		// window). Both the inline path and the worker pool fill slots by
+		// window index, and the fold below reads them in window order, so
+		// accuracy output is bit-identical at any EvalWorkers value.
+		type windowEval struct {
+			perAlg map[string]core.WindowAccuracy
+			err    error
+		}
+		evals := make([]windowEval, opts.Windows+1)
+		evalOne := func(r stream.WindowResult) windowEval {
+			if len(r.Values) == 0 {
+				return windowEval{err: fmt.Errorf("harness: empty window %d on %s", r.Index, dataset)}
+			}
+			exact := stats.NewExactQuantiles(r.Values)
+			multi := r.Sketch.(*multiSketch)
+			perWin := make(map[string]core.WindowAccuracy, 5)
+			for _, alg := range core.AlgorithmNames() {
+				wa, err := core.EvaluateAgainst(multi.child(alg), exact)
+				if err != nil {
+					return windowEval{err: fmt.Errorf("harness: %s window %d: %w", alg, r.Index, err)}
+				}
+				perWin[alg] = wa
+			}
+			return windowEval{perAlg: perWin}
+		}
+		var st stream.Stats
+		if evalWorkers := opts.evalWorkers(); evalWorkers <= 1 {
+			st, err = eng.Run(func(r stream.WindowResult) {
+				if r.Index == 0 {
+					return
+				}
+				evals[r.Index] = evalOne(r)
+			})
+		} else {
+			// The engine fires windows in index order and hands over each
+			// window's freshly-built Values slice and sketch, never touching
+			// them again, so evaluation can proceed concurrently with the
+			// stream replay of later windows.
+			jobs := make(chan stream.WindowResult, evalWorkers)
+			var wg sync.WaitGroup
+			for w := 0; w < evalWorkers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := range jobs {
+						evals[r.Index] = evalOne(r)
+					}
+				}()
+			}
+			st, err = eng.Run(func(r stream.WindowResult) {
+				if r.Index == 0 {
+					return
+				}
+				jobs <- r
+			})
+			close(jobs)
+			wg.Wait()
+		}
+		if err != nil {
+			return runResult{err: err}
+		}
 		perAlg := make(map[string]*accAgg, 5)
 		for _, alg := range core.AlgorithmNames() {
 			perAlg[alg] = &accAgg{}
 		}
-		var runErr error
-		st, err := eng.Run(func(r stream.WindowResult) {
-			if r.Index == 0 || runErr != nil {
-				return
+		for idx := 1; idx <= opts.Windows; idx++ {
+			we := evals[idx]
+			if we.err != nil {
+				return runResult{err: we.err}
 			}
-			if len(r.Values) == 0 {
-				runErr = fmt.Errorf("harness: empty window %d on %s", r.Index, dataset)
-				return
-			}
-			exact := stats.NewExactQuantiles(r.Values)
-			multi := r.Sketch.(*multiSketch)
 			for _, alg := range core.AlgorithmNames() {
-				wa, err := core.EvaluateAgainst(multi.child(alg), exact)
-				if err != nil {
-					runErr = fmt.Errorf("harness: %s window %d: %w", alg, r.Index, err)
-					return
-				}
+				wa := we.perAlg[alg]
 				perAlg[alg].mid.Observe(wa.Mid)
 				perAlg[alg].upper.Observe(wa.Upper)
 				perAlg[alg].p99.Observe(wa.P99)
 			}
-		})
-		if err != nil {
-			return runResult{err: err}
-		}
-		if runErr != nil {
-			return runResult{err: runErr}
 		}
 		return runResult{perAlg: perAlg, loss: st.LossRate()}
 	}
@@ -200,6 +245,31 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 		loss.Observe(r.loss)
 	}
 	return agg, &loss, nil
+}
+
+// RunAccuracy runs the Fig 6-style streaming accuracy evaluation for one
+// data set and renders its table. Exported for benchmarks and tools that
+// need a single-dataset accuracy pass without the full fig6 sweep.
+func RunAccuracy(opts Options, dataset string) (Table, error) {
+	agg, _, err := streamAccuracy(opts, dataset, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	tbl := Table{
+		Title:   fmt.Sprintf("accuracy: mean relative error on %s", dataset),
+		Headers: []string{"sketch", "mid (.05-.9)", "upper (.95,.98)", "p99"},
+	}
+	for _, alg := range core.AlgorithmNames() {
+		a := agg[alg]
+		tbl.Rows = append(tbl.Rows, []string{
+			alg,
+			fmtErrCI(a.mid.Mean(), a.mid.CI95()),
+			fmtErrCI(a.upper.Mean(), a.upper.CI95()),
+			fmtErrCI(a.p99.Mean(), a.p99.CI95()),
+		})
+	}
+	tbl.Notes = append(tbl.Notes, scaleNote(opts)...)
+	return tbl, nil
 }
 
 // runFig6 reproduces Fig 6 (late=false) and the Sec 4.6 late-data variant
@@ -333,12 +403,12 @@ func runFig8(opts Options) ([]Table, error) {
 			}
 			sk := b()
 			sketch.InsertAll(sk, data)
+			ests, err := sketch.Quantiles(sk, qs)
+			if err != nil {
+				return nil, fmt.Errorf("harness: fig8 %s: %w", alg, err)
+			}
 			for i, q := range qs {
-				est, err := sk.Quantile(q)
-				if err != nil {
-					return nil, fmt.Errorf("harness: fig8 %s q=%v: %w", alg, q, err)
-				}
-				aggs[alg][i].Observe(stats.RelativeError(exact.Quantile(q), est))
+				aggs[alg][i].Observe(stats.RelativeError(exact.Quantile(q), ests[i]))
 			}
 		}
 		opts.logf("fig8: run %d/%d done", run+1, runs)

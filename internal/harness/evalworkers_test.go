@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestEvalWorkersDeterminism pins the parallel accuracy-evaluation
+// contract: the rendered accuracy table must be byte-identical whether
+// windows are evaluated inline or by a pool of workers. Runs under
+// -race in scripts/verify.sh, which also exercises the pool for data
+// races against the stream replay.
+func TestEvalWorkersDeterminism(t *testing.T) {
+	run := func(workers int) Table {
+		t.Helper()
+		o := tinyOpts()
+		o.EvalWorkers = workers
+		tbl, err := RunAccuracy(o, datagen.DatasetPareto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	sequential := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Fatalf("accuracy output differs between EvalWorkers=1 and =4:\n%s\nvs\n%s",
+			sequential.Render(), parallel.Render())
+	}
+}

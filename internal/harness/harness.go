@@ -43,6 +43,12 @@ type Options struct {
 	// each engine run. Results are bit-identical at any value; 0 or 1 =
 	// inserts on the engine's goroutine.
 	StreamWorkers int
+	// EvalWorkers bounds how many window evaluations (exact-quantile
+	// sort + sketch queries) run concurrently inside each accuracy run.
+	// Windows are handed off as the engine fires them and folded back in
+	// window order, so accuracy output is bit-identical at any value.
+	// 0 or 1 = evaluation inline on the engine's emit callback.
+	EvalWorkers int
 	// Out receives progress logging; nil silences it.
 	Out io.Writer
 }
@@ -85,6 +91,14 @@ func (o Options) parallelism() int {
 		return 1
 	}
 	return o.Parallel
+}
+
+// evalWorkers returns the worker count for per-window evaluation fan-out.
+func (o Options) evalWorkers() int {
+	if o.EvalWorkers < 1 {
+		return 1
+	}
+	return o.EvalWorkers
 }
 
 // logf writes progress output when Out is set.

@@ -197,12 +197,12 @@ func runHRAAblation(opts Options) ([]Table, error) {
 			exact := stats.NewExactQuantiles(data)
 			sk := req.NewWithSeed(core.ReqNumSections, hra, datagen.SplitMix64(&seedState))
 			sketch.InsertAll(sk, data)
+			ests, err := sketch.Quantiles(sk, qs)
+			if err != nil {
+				return nil, err
+			}
 			for i, q := range qs {
-				est, err := sk.Quantile(q)
-				if err != nil {
-					return nil, err
-				}
-				sums[i].Observe(stats.RelativeError(exact.Quantile(q), est))
+				sums[i].Observe(stats.RelativeError(exact.Quantile(q), ests[i]))
 			}
 		}
 		mode := "LRA"

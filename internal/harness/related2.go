@@ -50,13 +50,13 @@ func runRelated2(opts Options) ([]Table, error) {
 	exact := stats.NewExactQuantiles(cents)
 	evalGroups := func(sk sketch.Sketch) (mid, upper, p99 float64, err error) {
 		sum := func(qs []float64) (float64, error) {
+			ests, err := sketch.Quantiles(sk, qs)
+			if err != nil {
+				return 0, err
+			}
 			var s float64
-			for _, q := range qs {
-				est, err := sk.Quantile(q)
-				if err != nil {
-					return 0, err
-				}
-				s += stats.RelativeError(exact.Quantile(q), est)
+			for i, q := range qs {
+				s += stats.RelativeError(exact.Quantile(q), ests[i])
 			}
 			return s / float64(len(qs)), nil
 		}
@@ -153,15 +153,14 @@ func runRelated2(opts Options) ([]Table, error) {
 	for _, c := range dcsContenders {
 		ins := measure(func() { sketch.InsertAll(c.sk, ints) })
 		var rankErr float64
-		var qd time.Duration
-		for _, q := range qs {
-			var est float64
-			var err error
-			qd += measure(func() { est, err = c.sk.Quantile(q) })
-			if err != nil {
-				return nil, fmt.Errorf("related2 %s q=%v: %w", c.name, q, err)
-			}
-			rankErr += relRankErr(intExact, q, est)
+		var ests []float64
+		var qErr error
+		qd := measure(func() { ests, qErr = sketch.Quantiles(c.sk, qs) })
+		if qErr != nil {
+			return nil, fmt.Errorf("related2 %s: %w", c.name, qErr)
+		}
+		for i, q := range qs {
+			rankErr += relRankErr(intExact, q, ests[i])
 		}
 		dcsTbl.Rows = append(dcsTbl.Rows, []string{
 			c.name,

@@ -139,10 +139,8 @@ func runFig5b(opts Options) ([]Table, error) {
 			for r := 0; r < reps; r++ {
 				sk.Insert(buf[r%len(buf)]) // invalidate caches, negligible state change
 				total += measure(func() {
-					for _, q := range qs {
-						if _, err := sk.Quantile(q); err != nil && qErr == nil {
-							qErr = fmt.Errorf("fig5b %s n=%d q=%v: %w", alg, n, q, err)
-						}
+					if _, err := sketch.Quantiles(sk, qs); err != nil && qErr == nil {
+						qErr = fmt.Errorf("fig5b %s n=%d: %w", alg, n, err)
 					}
 				})
 			}

@@ -65,10 +65,8 @@ func runTable4(opts Options) ([]Table, error) {
 		for r := 0; r < reps; r++ {
 			sk.Insert(buf[r]) // invalidate solver caches between repetitions
 			qd += measure(func() {
-				for _, q := range qs {
-					if _, err := sk.Quantile(q); err != nil && qErr == nil {
-						qErr = err
-					}
+				if _, err := sketch.Quantiles(sk, qs); err != nil && qErr == nil {
+					qErr = err
 				}
 			})
 		}
@@ -150,12 +148,13 @@ func runTable4(opts Options) ([]Table, error) {
 			sketch.InsertAll(sk, data)
 			var medErr, otherErr float64
 			var others int
-			for _, q := range core.AllQuantiles() {
-				est, err := sk.Quantile(q)
-				if err != nil {
-					return nil, err
-				}
-				re := stats.RelativeError(exact.Quantile(q), est)
+			aqs := core.AllQuantiles()
+			ests, err := sketch.Quantiles(sk, aqs)
+			if err != nil {
+				return nil, err
+			}
+			for i, q := range aqs {
+				re := stats.RelativeError(exact.Quantile(q), ests[i])
 				if q == 0.5 {
 					medErr = re
 				} else {

@@ -13,11 +13,12 @@ import (
 // under testdata/src.
 func fixtureConfig() Config {
 	return Config{
-		CheckedMethods:      []string{"Quantile", "Rank", "Merge", "UnmarshalBinary"},
-		SketchPackages:      []string{"internal/sketchimpl"},
-		GlobalRandScopes:    []string{"internal"},
-		FloatEqAllowFiles:   []string{"internal/floats/allowed.go"},
-		ContainerHeapScopes: []string{"internal/streamimpl"},
+		CheckedMethods:         []string{"Quantile", "Rank", "Merge", "UnmarshalBinary"},
+		SketchPackages:         []string{"internal/sketchimpl"},
+		GlobalRandScopes:       []string{"internal"},
+		FloatEqAllowFiles:      []string{"internal/floats/allowed.go"},
+		ContainerHeapScopes:    []string{"internal/streamimpl"},
+		QuantileLoopAllowFiles: []string{"internal/quantloop/allowed.go"},
 	}
 }
 

@@ -25,11 +25,14 @@ const (
 	// RuleContainerHeap flags container/heap imports in the stream
 	// engine packages.
 	RuleContainerHeap = "container-heap"
+	// RuleQuantileLoop flags loops that query a sketch one quantile at a
+	// time where a batched Quantiles/QuantileAll call applies.
+	RuleQuantileLoop = "quantile-loop"
 )
 
 // Rules lists every rule name, in reporting order.
 func Rules() []string {
-	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic, RuleContainerHeap}
+	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic, RuleContainerHeap, RuleQuantileLoop}
 }
 
 // KnownRule reports whether name is a recognized rule.
@@ -70,6 +73,9 @@ type Config struct {
 	// ContainerHeapScopes are module-relative path prefixes under which
 	// importing container/heap is forbidden.
 	ContainerHeapScopes []string
+	// QuantileLoopAllowFiles are module-relative file paths exempt from
+	// the quantile-loop rule (the generic per-q fallback itself).
+	QuantileLoopAllowFiles []string
 }
 
 // DefaultConfig returns the configuration used for this repository.
@@ -94,6 +100,9 @@ func DefaultConfig() Config {
 		GlobalRandScopes:    []string{"internal"},
 		FloatEqAllowFiles:   nil,
 		ContainerHeapScopes: []string{"internal/stream"},
+		// sketch.Quantiles itself hosts the per-q fallback loop for
+		// sketches without a batch kernel.
+		QuantileLoopAllowFiles: []string{"internal/sketch/sketch.go"},
 	}
 }
 
@@ -106,6 +115,7 @@ func Check(pkg *Package, cfg Config) []Finding {
 	out = append(out, checkGlobalRand(pkg, cfg)...)
 	out = append(out, checkPanic(pkg, cfg)...)
 	out = append(out, checkContainerHeap(pkg, cfg)...)
+	out = append(out, checkQuantileLoop(pkg, cfg)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -411,6 +421,89 @@ func checkContainerHeap(pkg *Package, cfg Config) []Finding {
 		}
 	}
 	return out
+}
+
+// checkQuantileLoop flags loops that evaluate a sketch one quantile at
+// a time: a range statement whose loop variable is passed to a Quantile
+// method returning an error. Every study sketch answers a whole target
+// set in one pass over its state via sketch.Quantiles / QuantileAll;
+// a per-q loop rebuilds the CDF snapshot (or re-solves max-entropy)
+// once per target. Errorless Quantile helpers (exact reference values)
+// are exempt, as are the files in QuantileLoopAllowFiles.
+func checkQuantileLoop(pkg *Package, cfg Config) []Finding {
+	allow := make(map[string]bool, len(cfg.QuantileLoopAllowFiles))
+	for _, f := range cfg.QuantileLoopAllowFiles {
+		allow[f] = true
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		base := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		rel := base
+		if pkg.RelPath != "" {
+			rel = pkg.RelPath + "/" + base
+		}
+		if allow[rel] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			loopVars := rangeVarObjs(pkg, rs)
+			if len(loopVars) == 0 {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Quantile" {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+						return true
+					}
+				}
+				arg, ok := call.Args[0].(*ast.Ident)
+				if !ok || !loopVars[pkg.Info.Uses[arg]] {
+					return true
+				}
+				if errResultIndex(pkg, call) < 0 {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: RuleQuantileLoop,
+					Msg:  "sketch queried one quantile per iteration; batch the targets through sketch.Quantiles / QuantileAll (one pass over the sketch state)",
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// rangeVarObjs collects the objects bound to a range statement's key and
+// value positions (either := definitions or = reuses).
+func rangeVarObjs(pkg *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
 }
 
 // checkPanic flags panic calls in sketch packages. Allowed escapes:

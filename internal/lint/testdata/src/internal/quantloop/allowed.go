@@ -1,0 +1,15 @@
+package quantloop
+
+// fallback mirrors the real module's generic per-q dispatch loop; the
+// file is in QuantileLoopAllowFiles, so nothing here is flagged.
+func fallback(s sk, qs []float64) ([]float64, error) {
+	out := make([]float64, 0, len(qs))
+	for _, q := range qs {
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

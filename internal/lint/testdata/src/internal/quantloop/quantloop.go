@@ -1,0 +1,48 @@
+// Package quantloop is a lint fixture for the quantile-loop rule: a
+// sketch-shaped Quantile (returning an error) queried per loop
+// iteration must be flagged; errorless exact-quantile helpers, fixed-q
+// calls inside unrelated loops, and allowlisted files must not.
+package quantloop
+
+type sk struct{}
+
+// Quantile mimics the sketch contract method shape.
+func (sk) Quantile(q float64) (float64, error) { return q, nil }
+
+type exact struct{}
+
+// Quantile mimics an exact-quantile reference helper: no error result.
+func (exact) Quantile(q float64) float64 { return q }
+
+func perQuery(s sk, qs []float64) ([]float64, error) {
+	out := make([]float64, 0, len(qs))
+	for _, q := range qs {
+		v, err := s.Quantile(q) // want quantile-loop
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func reference(e exact, qs []float64) []float64 {
+	out := make([]float64, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, e.Quantile(q)) // errorless helper: no finding
+	}
+	return out
+}
+
+func fixedTarget(s sk, names []string) error {
+	for range names {
+		if _, err := s.Quantile(0.5); err != nil { // fixed q: no finding
+			return err
+		}
+	}
+	return nil
+}
+
+func single(s sk) (float64, error) {
+	return s.Quantile(0.5) // not in a loop: no finding
+}

@@ -36,6 +36,13 @@ type Solver struct {
 	dt       float64
 	grid     []float64   // midpoint quadrature nodes on [−1, 1]
 	cheb     [][]float64 // cheb[i][g] = T_i(grid[g]), i < 2k−1
+
+	// warm holds the multipliers of the last successful solve. Across
+	// adjacent solves of one stream (a window boundary, or a handful of
+	// new observations among many) the max-entropy solution moves very
+	// little, so Newton restarted from it converges in a few iterations
+	// where a cold start needs dozens. Empty until the first success.
+	warm []float64
 }
 
 // NewSolver builds a solver for k Chebyshev moments (including c_0) on a
@@ -76,6 +83,12 @@ func NewSolver(k, gridSize int) *Solver {
 // K returns the number of moments the solver was built for.
 func (s *Solver) K() int { return s.k }
 
+// DiscardWarm forgets the warm-start multipliers, forcing the next
+// Solve to cold-start. Callers use it at serialization and reset
+// boundaries, where answers must be reproducible from sketch state
+// alone rather than from this instance's query history.
+func (s *Solver) DiscardWarm() { s.warm = s.warm[:0] }
+
 // GridSize returns the quadrature grid size.
 func (s *Solver) GridSize() int { return s.gridSize }
 
@@ -91,6 +104,12 @@ type Density struct {
 // Solve finds the max-entropy density whose Chebyshev moments match d
 // (len(d) = k, d[0] must be 1 up to rounding). It returns the tabulated
 // density or an error if the moments are infeasible or iteration fails.
+//
+// When a previous Solve on this instance succeeded, Newton restarts
+// from that solution's multipliers; if the warm-started iteration fails
+// to converge it falls back to the usual cold start from the uniform
+// density, so warm starting can only change how fast a solvable system
+// converges, never turn a solvable one into a failure.
 func (s *Solver) Solve(d []float64) (*Density, error) {
 	if len(d) != s.k {
 		return nil, fmt.Errorf("%w: got %d moments, solver built for %d", ErrBadMoments, len(d), s.k)
@@ -107,10 +126,31 @@ func (s *Solver) Solve(d []float64) (*Density, error) {
 		}
 	}
 
-	k, gs := s.k, s.gridSize
-	lambda := make([]float64, k)
+	lambda := make([]float64, s.k)
+	if len(s.warm) == s.k {
+		copy(lambda, s.warm)
+		if dn, err := s.newton(d, lambda); err == nil {
+			s.warm = append(s.warm[:0], lambda...)
+			return dn, nil
+		}
+		for i := range lambda {
+			lambda[i] = 0
+		}
+	}
 	lambda[0] = math.Log(0.5) // start from the uniform density on [−1,1]
+	dn, err := s.newton(d, lambda)
+	if err != nil {
+		return nil, err
+	}
+	s.warm = append(s.warm[:0], lambda...)
+	return dn, nil
+}
 
+// newton runs the damped Newton iteration from the given starting
+// multipliers, updating lambda in place to the multipliers of the
+// returned density.
+func (s *Solver) newton(d, lambda []float64) (*Density, error) {
+	k, gs := s.k, s.gridSize
 	f := make([]float64, gs)
 	m := make([]float64, 2*k-1)
 	grad := make([]float64, k)

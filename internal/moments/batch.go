@@ -6,7 +6,10 @@ import (
 	"repro/internal/sketch"
 )
 
-var _ sketch.BatchInserter = (*Sketch)(nil)
+var (
+	_ sketch.BatchInserter  = (*Sketch)(nil)
+	_ sketch.MultiQuantiler = (*Sketch)(nil)
+)
 
 // InsertBatch implements sketch.BatchInserter: a fused power-sum
 // accumulation loop. The transform dispatch, moment count and bounds

@@ -101,9 +101,16 @@ type Sketch struct {
 
 	// Query-time solution cache, invalidated by Insert/Merge: solving the
 	// max-entropy problem is the expensive part of a query (Fig 5b), so a
-	// multi-quantile query solves once.
+	// multi-quantile query solves once. The solver is retained across
+	// epochs both for its precomputed grid and for its warm-start state.
 	solved *maxent.Density
 	solver *maxent.Solver
+
+	// Reusable solve-time scratch: the normalized raw moments, and the
+	// reduced-k solvers of the robustness fallback chain (each carries a
+	// precomputed Chebyshev grid that is expensive to rebuild per retry).
+	rawScratch []float64
+	fallback   map[int]*maxent.Solver
 }
 
 var _ sketch.Sketch = (*Sketch)(nil)
@@ -144,6 +151,7 @@ func (s *Sketch) SetGridSize(n int) {
 	s.gridSize = n
 	s.solver = nil
 	s.solved = nil
+	s.fallback = nil
 }
 
 // Name implements sketch.Sketch.
@@ -209,7 +217,10 @@ func (s *Sketch) solve() (*maxent.Density, error) {
 	// Scale the transformed domain onto [−1, 1]: t = a·y + b.
 	a := 2 / (s.max - s.min)
 	b := -(s.max + s.min) / (s.max - s.min)
-	raw := make([]float64, s.k)
+	if cap(s.rawScratch) < s.k {
+		s.rawScratch = make([]float64, s.k)
+	}
+	raw := s.rawScratch[:s.k]
 	for i := range raw {
 		raw[i] = s.powerSums[i] / n
 	}
@@ -224,7 +235,14 @@ func (s *Sketch) solve() (*maxent.Density, error) {
 		// better conditioned; with 2 moments (count & mean) the solve is
 		// trivial. This mirrors the reference solver's robustness fallback.
 		for k := s.k - 2; k >= 4; k -= 2 {
-			sub := maxent.NewSolver(k, s.gridSize)
+			sub := s.fallback[k]
+			if sub == nil {
+				sub = maxent.NewSolver(k, s.gridSize)
+				if s.fallback == nil {
+					s.fallback = make(map[int]*maxent.Solver)
+				}
+				s.fallback[k] = sub
+			}
 			if d2, err2 := sub.Solve(cheb[:k]); err2 == nil {
 				s.solved = d2
 				return d2, nil
@@ -249,14 +267,50 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if d == nil { // all values identical
-		return s.transform.invert(s.min), nil
+	return s.quantileFromDensity(d, q), nil
+}
+
+// quantileFromDensity inverts the fitted CDF for one valid q. A nil
+// density means all values were identical.
+func (s *Sketch) quantileFromDensity(d *maxent.Density, q float64) float64 {
+	if d == nil {
+		return s.transform.invert(s.min)
 	}
 	t := d.QuantileT(q)
 	// Map t ∈ [−1,1] back to the transformed domain, then invert the
 	// transform.
 	y := s.min + (t+1)/2*(s.max-s.min)
-	return s.transform.invert(y), nil
+	return s.transform.invert(y)
+}
+
+// QuantileAll implements sketch.MultiQuantiler: the max-entropy problem
+// is solved once per mutation epoch (warm-started by the solver from the
+// previous epoch's solution) and the fitted CDF is inverted for every
+// target.
+func (s *Sketch) QuantileAll(qs []float64) ([]float64, error) {
+	// Validation interleaves with evaluation in slice order, exactly like
+	// the per-q fallback loop: a solve failure at an early valid q must
+	// win over an invalid q later in the slice.
+	out := make([]float64, len(qs))
+	var d *maxent.Density
+	solved := false
+	for i, q := range qs {
+		if err := sketch.CheckQuantile(q); err != nil {
+			return nil, fmt.Errorf("quantile %v: %w", q, err)
+		}
+		if s.powerSums[0] == 0 {
+			return nil, fmt.Errorf("quantile %v: %w", q, sketch.ErrEmpty)
+		}
+		if !solved {
+			var err error
+			if d, err = s.solve(); err != nil {
+				return nil, fmt.Errorf("quantile %v: %w", q, err)
+			}
+			solved = true
+		}
+		out[i] = s.quantileFromDensity(d, q)
+	}
+	return out, nil
 }
 
 // Rank implements sketch.Sketch via the fitted CDF.
@@ -321,11 +375,32 @@ func (s *Sketch) Reset() {
 	}
 	s.min = math.Inf(1)
 	s.max = math.Inf(-1)
-	s.solved = nil
+	s.discardWarmStarts()
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// discardWarmStarts forgets every solver's warm-start multipliers and
+// any cached density derived from them. Warm-started Newton converges
+// to a (numerically) slightly different solution than a cold start, so
+// at boundaries where answers must be a pure function of sketch state —
+// serialization, reset — the history-dependent state has to go: a
+// round-tripped replica and the original must both cold-start their
+// next solve and agree bitwise.
+func (s *Sketch) discardWarmStarts() {
+	s.solved = nil
+	if s.solver != nil {
+		s.solver.DiscardWarm()
+	}
+	for _, sub := range s.fallback {
+		sub.DiscardWarm()
+	}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. The wire format
+// carries only the power-sum state; the solver's warm-start cache is
+// discarded on the way out so the origin answers future queries exactly
+// like a replica decoded from the blob.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
+	s.discardWarmStarts()
 	w := sketch.NewWriter(32 + 8*s.k)
 	w.Header(sketch.TagMoments)
 	w.Byte(byte(s.transform))

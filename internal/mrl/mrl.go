@@ -19,7 +19,6 @@ import (
 	"math"
 	"math/rand/v2"
 	"slices"
-	"sort"
 
 	"repro/internal/sketch"
 )
@@ -47,6 +46,10 @@ type Sketch struct {
 	min, max float64
 	rng      *rand.Rand
 	seed     uint64
+
+	// auxScratch is reused by samples() across queries so repeated
+	// quantile evaluation does not reallocate the merged sample walk.
+	auxScratch []weighted
 }
 
 var _ sketch.Sketch = (*Sketch)(nil)
@@ -196,14 +199,27 @@ type weighted struct {
 	w uint64
 }
 
+// samples returns every retained element with its buffer weight, sorted
+// by value. The returned slice aliases a scratch buffer owned by the
+// sketch and is only valid until the next samples call.
 func (s *Sketch) samples() []weighted {
-	var out []weighted
+	out := s.auxScratch[:0]
 	for _, b := range s.buffers {
 		for _, v := range b.items {
 			out = append(out, weighted{v, b.weight})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	slices.SortFunc(out, func(a, b weighted) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	s.auxScratch = out
 	return out
 }
 

@@ -107,9 +107,13 @@ type Sketch struct {
 	// Sorted-view cache (values ascending with cumulative weights), built
 	// lazily at query time and invalidated by mutation. Unlike KLL's, the
 	// rebuild must re-sort higher compactors too, which is why ReqSketch
-	// query time grows with data size (Sec 4.4.2).
-	auxVals []float32
-	auxCum  []uint64
+	// query time grows with data size (Sec 4.4.2). The slices (and the
+	// weighted scratch the build sorts in) keep their capacity across
+	// rebuilds, so steady-state queries allocate nothing.
+	auxValid   bool
+	auxVals    []float32
+	auxCum     []uint64
+	auxScratch []weighted
 }
 
 var _ sketch.Sketch = (*Sketch)(nil)
@@ -153,7 +157,7 @@ func (s *Sketch) Insert(x float64) {
 	c0 := s.compactors[0]
 	c0.buf = append(c0.buf, float32(x))
 	s.count++
-	s.auxVals = nil
+	s.auxValid = false
 	if x < s.min {
 		s.min = x
 	}
@@ -252,36 +256,50 @@ type weighted struct {
 	w uint64
 }
 
+// samples returns all retained items with weights, sorted by value. The
+// returned slice aliases the sketch's reusable scratch buffer. Equal
+// values may land in any order (the sort is unstable), which cannot be
+// observed: Quantile and Rank only consult cumulative weight at value
+// boundaries.
 func (s *Sketch) samples() []weighted {
-	total := 0
-	for _, c := range s.compactors {
-		total += len(c.buf)
-	}
-	out := make([]weighted, 0, total)
+	out := s.auxScratch[:0]
 	for _, c := range s.compactors {
 		w := uint64(1) << uint(c.h)
 		for _, v := range c.buf {
 			out = append(out, weighted{v, w})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	slices.SortFunc(out, func(a, b weighted) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
+	s.auxScratch = out
 	return out
 }
 
-// buildAux materializes the sorted view once per mutation epoch.
+// buildAux materializes the sorted view once per mutation epoch, reusing
+// the capacity of the previous epoch's arrays.
 func (s *Sketch) buildAux() {
-	if s.auxVals != nil {
+	if s.auxValid {
 		return
 	}
 	sm := s.samples()
-	s.auxVals = make([]float32, len(sm))
-	s.auxCum = make([]uint64, len(sm))
+	vals := s.auxVals[:0]
+	cums := s.auxCum[:0]
 	var cum uint64
-	for i, e := range sm {
+	for _, e := range sm {
 		cum += e.w
-		s.auxVals[i] = e.v
-		s.auxCum[i] = cum
+		vals = append(vals, e.v)
+		cums = append(cums, cum)
 	}
+	s.auxVals, s.auxCum = vals, cums
+	s.auxValid = true
 }
 
 // Quantile implements sketch.Sketch; estimates are actual inserted values
@@ -296,16 +314,38 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 	if q == 1 {
 		return s.max, nil
 	}
+	s.buildAux()
+	return s.quantileFromAux(q), nil
+}
+
+// quantileFromAux answers one valid q against the built sorted view.
+func (s *Sketch) quantileFromAux(q float64) float64 {
+	if q == 1 {
+		return s.max
+	}
 	target := uint64(math.Ceil(q * float64(s.count)))
 	if target < 1 {
 		target = 1
 	}
-	s.buildAux()
 	i := sort.Search(len(s.auxCum), func(i int) bool { return s.auxCum[i] >= target })
 	if i >= len(s.auxVals) {
-		return s.max, nil
+		return s.max
 	}
-	return clampF(float64(s.auxVals[i]), s.min, s.max), nil
+	return clampF(float64(s.auxVals[i]), s.min, s.max)
+}
+
+// QuantileAll implements sketch.MultiQuantiler: the cumulative CDF
+// snapshot is built once and every target rank binary-searches it.
+func (s *Sketch) QuantileAll(qs []float64) ([]float64, error) {
+	if err := sketch.ValidateQuantiles(qs, s.count == 0); err != nil {
+		return nil, err
+	}
+	s.buildAux()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.quantileFromAux(q)
+	}
+	return out, nil
 }
 
 // Rank implements sketch.Sketch.
@@ -352,7 +392,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 		}
 	}
 	s.count += o.count
-	s.auxVals = nil
+	s.auxValid = false
 	if o.min < s.min {
 		s.min = o.min
 	}

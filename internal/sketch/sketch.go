@@ -89,8 +89,13 @@ func CheckQuantile(q float64) error {
 type Builder func() Sketch
 
 // Quantiles evaluates s at each q in qs, returning estimates in the same
-// order. It stops at the first error.
+// order. It stops at the first error. Sketches implementing
+// MultiQuantiler answer the whole batch through their native kernel;
+// everything else falls back to one Quantile call per q.
 func Quantiles(s Sketch, qs []float64) ([]float64, error) {
+	if m, ok := s.(MultiQuantiler); ok {
+		return m.QuantileAll(qs)
+	}
 	out := make([]float64, len(qs))
 	for i, q := range qs {
 		v, err := s.Quantile(q)
@@ -100,6 +105,41 @@ func Quantiles(s Sketch, qs []float64) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// MultiQuantiler is implemented by sketches with a native batched query
+// kernel that answers a whole quantile set in one pass: a single CDF
+// snapshot / store scan / maxent solve is shared across all targets
+// instead of being redone per quantile.
+//
+// Contract: QuantileAll(qs) must be indistinguishable from calling
+// Quantile(q) for each q in order — bitwise-identical estimates, and on
+// failure the same first error (wrapped with its offending quantile,
+// exactly as the Quantiles fallback loop wraps it). Only invisible
+// scratch state (cached sorted views, solver warm starts, spare slice
+// capacity) may differ afterwards. TestQuantileAllEquivalence enforces
+// this for every implementation.
+type MultiQuantiler interface {
+	// QuantileAll returns the estimates for every q of qs in order,
+	// equivalent to querying them one at a time.
+	QuantileAll(qs []float64) ([]float64, error)
+}
+
+// ValidateQuantiles reproduces the error behaviour of a per-q scalar
+// query loop for a batched kernel: each q is validated in slice order,
+// and an empty sketch fails at the first (valid) q. The returned error
+// is wrapped exactly like the Quantiles fallback wraps it, so callers
+// cannot distinguish the native path from the loop.
+func ValidateQuantiles(qs []float64, empty bool) error {
+	for _, q := range qs {
+		if err := CheckQuantile(q); err != nil {
+			return fmt.Errorf("quantile %v: %w", q, err)
+		}
+		if empty {
+			return fmt.Errorf("quantile %v: %w", q, ErrEmpty)
+		}
+	}
+	return nil
 }
 
 // InsertAll inserts every value of xs into s, using the sketch's native

@@ -6,7 +6,10 @@ import (
 	"repro/internal/sketch"
 )
 
-var _ sketch.BatchInserter = (*Sketch)(nil)
+var (
+	_ sketch.BatchInserter  = (*Sketch)(nil)
+	_ sketch.MultiQuantiler = (*Sketch)(nil)
+)
 
 // InsertBatch implements sketch.BatchInserter: the index computation
 // (log-gamma divide) runs in a tight loop with the store maps, bounds

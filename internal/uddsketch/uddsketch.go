@@ -18,6 +18,7 @@ package uddsketch
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/sketch"
@@ -240,6 +241,93 @@ func (s *Sketch) Quantile(q float64) (float64, error) {
 		}
 		return s.clamp(s.max), nil
 	}
+}
+
+// storeTarget is one batched rank target: want is the cumulative count
+// that resolves it during a store scan, pos its slot in the output.
+type storeTarget struct {
+	want int64
+	pos  int
+}
+
+// QuantileAll implements sketch.MultiQuantiler: the negative total is
+// summed once, each touched store sorts its keys once, and one
+// cumulative scan resolves all of that store's targets in ascending
+// rank order — instead of one full map walk plus key sort per quantile.
+func (s *Sketch) QuantileAll(qs []float64) ([]float64, error) {
+	if err := sketch.ValidateQuantiles(qs, s.count == 0); err != nil {
+		return nil, err
+	}
+	var negTotal int64
+	for _, c := range s.negative {
+		negTotal += c
+	}
+	out := make([]float64, len(qs))
+	var negT, posT []storeTarget
+	for i, q := range qs {
+		rank := int64(math.Ceil(q * float64(s.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > s.count {
+			rank = s.count
+		}
+		switch {
+		case rank <= negTotal:
+			negT = append(negT, storeTarget{negTotal - rank, i})
+		case rank <= negTotal+s.zeroCnt:
+			out[i] = 0
+		default:
+			posT = append(posT, storeTarget{rank - negTotal - s.zeroCnt, i})
+		}
+	}
+	byWant := func(a, b storeTarget) int {
+		switch {
+		case a.want < b.want:
+			return -1
+		case a.want > b.want:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if len(negT) > 0 {
+		slices.SortFunc(negT, byWant)
+		k := 0
+		var cum int64
+		for _, i := range sortedKeys(s.negative) {
+			cum += s.negative[i]
+			for k < len(negT) && cum > negT[k].want {
+				out[negT[k].pos] = s.clamp(-s.value(i))
+				k++
+			}
+			if k == len(negT) {
+				break
+			}
+		}
+		for ; k < len(negT); k++ {
+			out[negT[k].pos] = s.clamp(s.min)
+		}
+	}
+	if len(posT) > 0 {
+		slices.SortFunc(posT, byWant)
+		k := 0
+		var cum int64
+		for _, i := range sortedKeys(s.positive) {
+			cum += s.positive[i]
+			for k < len(posT) && cum >= posT[k].want {
+				out[posT[k].pos] = s.clamp(s.value(i))
+				k++
+			}
+			if k == len(posT) {
+				break
+			}
+		}
+		for ; k < len(posT); k++ {
+			out[posT[k].pos] = s.clamp(s.max)
+		}
+	}
+	return out, nil
 }
 
 func (s *Sketch) clamp(x float64) float64 {

@@ -131,7 +131,15 @@ func NewMomentsWithTransform(k int, tr MomentsTransform) *moments.Sketch {
 	return moments.NewWithTransform(k, tr)
 }
 
-// Quantiles evaluates sk at each q in qs.
+// MultiQuantiler is implemented by sketches that answer a whole set of
+// quantile queries in one pass over their state. All five study sketches
+// implement it; Quantiles uses it automatically.
+type MultiQuantiler = sketch.MultiQuantiler
+
+// Quantiles evaluates sk at each q in qs. When sk implements
+// MultiQuantiler the batch kernel answers all quantiles in a single pass
+// over the sketch state; results are bit-identical to per-q Quantile
+// calls either way.
 func Quantiles(sk Sketch, qs []float64) ([]float64, error) { return sketch.Quantiles(sk, qs) }
 
 // InsertAll inserts every value of xs into sk.

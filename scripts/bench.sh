@@ -1,9 +1,15 @@
 #!/usr/bin/env sh
-# Stream/insert performance gate: run the batched-insert and stream
-# throughput benchmarks and compare them in BENCH_stream.json against
-# the recorded pre-optimization baseline
-# (results/bench_seed_stream.txt, captured on the seed engine: boxing
-# container/heap event queue, per-element scalar inserts).
+# Performance gates:
+#  - stream/insert: batched-insert and stream throughput benchmarks vs
+#    the recorded pre-optimization baseline
+#    (results/bench_seed_stream.txt, captured on the seed engine: boxing
+#    container/heap event queue, per-element scalar inserts) →
+#    BENCH_stream.json
+#  - query: multi-quantile batch kernels and parallel accuracy
+#    evaluation vs the pre-kernel baseline
+#    (results/bench_seed_query.txt, captured with QuantileAll falling
+#    back to the per-q scalar loop and sequential window evaluation) →
+#    BENCH_query.json
 #
 # BENCHTIME overrides the per-benchmark time budget (default 1s).
 set -eux
@@ -31,3 +37,21 @@ go run ./cmd/benchjson \
 	-out BENCH_stream.json
 
 cat BENCH_stream.json
+
+query_current=results/bench_query_current.txt
+
+go test -run '^$' -bench 'BenchmarkQuantileAll|BenchmarkAccuracyEval' \
+	-benchmem -benchtime "$BENCHTIME" . | tee "$query_current"
+
+go run ./cmd/benchjson \
+	-baseline results/bench_seed_query.txt \
+	-current "$query_current" \
+	-compare 'BenchmarkQuantileAll/kll/scalar=BenchmarkQuantileAll/kll/batch' \
+	-compare 'BenchmarkQuantileAll/req/scalar=BenchmarkQuantileAll/req/batch' \
+	-compare 'BenchmarkQuantileAll/ddsketch/scalar=BenchmarkQuantileAll/ddsketch/batch' \
+	-compare 'BenchmarkQuantileAll/uddsketch/scalar=BenchmarkQuantileAll/uddsketch/batch' \
+	-compare 'BenchmarkQuantileAll/moments/scalar=BenchmarkQuantileAll/moments/batch' \
+	-compare 'BenchmarkAccuracyEval/w=1=BenchmarkAccuracyEval/w=4' \
+	-out BENCH_query.json
+
+cat BENCH_query.json

@@ -15,3 +15,5 @@ go test -race ./internal/stream ./internal/harness
 # Smoke-run the perf-gate benchmarks (fixed iteration count: checks
 # they still execute, not their timing — scripts/bench.sh does that).
 go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
+go test -run '^$' -bench 'BenchmarkQuantileAll' -benchtime 100x .
+go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
