@@ -13,14 +13,20 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +45,9 @@ func main() {
 		outPath       = flag.String("out", "", "also write results to this file")
 		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet         = flag.Bool("quiet", false, "suppress progress logging")
+		metricsDump   = flag.Bool("metrics", false, "enable sketch/engine metrics and dump them at run end")
+		httpAddr      = flag.String("http", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address (e.g. localhost:9090); implies -metrics")
+		linger        = flag.Duration("linger", 0, "with -http, keep the process (and endpoints) alive this long after the runs finish")
 	)
 	flag.Parse()
 
@@ -66,6 +75,38 @@ func main() {
 	}
 	if !*quiet {
 		opts.Out = os.Stderr
+	}
+
+	var reg *obs.Registry
+	if *metricsDump || *httpAddr != "" {
+		reg = obs.NewRegistry()
+		core.EnableMetrics(reg)
+		opts.Metrics = reg
+	}
+	if *httpAddr != "" {
+		// Custom mux: expose metrics, expvar and pprof without touching
+		// http.DefaultServeMux (net/http/pprof's side-effect registration
+		// is re-exported explicitly instead).
+		reg.PublishExpvar("quantstream")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quantbench: -http:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "quantbench: serving metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "quantbench: http server:", err)
+			}
+		}()
 	}
 
 	var sink io.Writer = os.Stdout
@@ -112,5 +153,17 @@ func main() {
 			}
 		}
 		fmt.Fprintf(sink, "(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if reg != nil {
+		fmt.Fprintln(sink, "=== metrics ===")
+		if err := reg.WriteText(sink); err != nil {
+			fmt.Fprintln(os.Stderr, "quantbench: metrics dump:", err)
+			os.Exit(1)
+		}
+	}
+	if *httpAddr != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "quantbench: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
 	}
 }

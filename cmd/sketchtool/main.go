@@ -19,12 +19,14 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/ddsketch"
 	"repro/internal/gk"
 	"repro/internal/hdr"
 	"repro/internal/kll"
 	"repro/internal/moments"
 	"repro/internal/mrl"
+	"repro/internal/obs"
 	"repro/internal/req"
 	"repro/internal/sketch"
 	"repro/internal/tdigest"
@@ -76,8 +78,15 @@ func main() {
 		serialize = flag.Bool("serialize", false, "write the binary sketch to stdout instead of quantiles")
 		mergeIn   = flag.String("merge", "", "comma-separated files holding serialized sketches to merge in")
 		stats     = flag.Bool("stats", false, "print sketch statistics (count, memory) to stderr")
+		metricsF  = flag.Bool("metrics", false, "record sketch metrics (inserts, compactions, collapses, ...) and dump them to stderr at exit")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsF {
+		reg = obs.NewRegistry()
+		core.EnableMetrics(reg)
+	}
 	if *k == 0 {
 		if *name == "kll" {
 			*k = kll.DefaultK
@@ -131,6 +140,11 @@ func main() {
 
 	if *stats {
 		fmt.Fprintf(os.Stderr, "sketch=%s count=%d memory=%dB\n", sk.Name(), sk.Count(), sk.MemoryBytes())
+	}
+	if reg != nil {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			fail(err)
+		}
 	}
 
 	if *serialize {

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/ddsketch"
+	"repro/internal/kll"
+	"repro/internal/moments"
+	"repro/internal/obs"
+	"repro/internal/req"
+	"repro/internal/uddsketch"
+)
+
+// EnableMetrics wires every study sketch package to reg, keying each
+// package's SketchMetrics by its algorithm name (the moments entry also
+// covers the maxent solver counters). Call once at process start —
+// before any sketch is built — per the obs package's quiescence
+// contract. Passing nil disables recording again.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		kll.SetMetrics(nil)
+		req.SetMetrics(nil)
+		ddsketch.SetMetrics(nil)
+		uddsketch.SetMetrics(nil)
+		moments.SetMetrics(nil)
+		return
+	}
+	kll.SetMetrics(reg.Sketch(AlgKLL))
+	req.SetMetrics(reg.Sketch(AlgReq))
+	ddsketch.SetMetrics(reg.Sketch(AlgDD))
+	uddsketch.SetMetrics(reg.Sketch(AlgUDD))
+	moments.SetMetrics(reg.Sketch(AlgMoments))
+}

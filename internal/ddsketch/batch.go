@@ -32,8 +32,10 @@ func (s *Sketch) InsertBatch(xs []float64) {
 	neg := s.negScratch[:0]
 	minV, maxV := s.min, s.max
 	var zero int64
+	var nans int
 	for _, x := range xs {
 		if math.IsNaN(x) {
+			nans++
 			continue
 		}
 		switch {
@@ -69,4 +71,8 @@ func (s *Sketch) InsertBatch(xs []float64) {
 	s.negScratch = neg[:0]
 	s.zeroCnt += zero
 	s.min, s.max = minV, maxV
+	if metrics != nil {
+		metrics.Inserts.Add(int64(len(xs) - nans))
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
+	}
 }

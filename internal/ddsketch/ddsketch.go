@@ -100,6 +100,9 @@ func (s *Sketch) InsertN(x float64, n uint64) {
 	if math.IsNaN(x) || n == 0 {
 		return
 	}
+	if metrics != nil {
+		metrics.Inserts.Add(int64(n))
+	}
 	switch {
 	case x > 0 && x >= s.mapping.MinIndexable():
 		s.positive.Add(s.mapping.Index(x), int64(n))
@@ -340,6 +343,9 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	}
 	if o.max > s.max {
 		s.max = o.max
+	}
+	if metrics != nil {
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
 	}
 	s.assertCount("merge", mergedCount)
 	return nil

@@ -235,6 +235,9 @@ func (s *CollapsingLowestDenseStore) Add(index int, count int64) {
 	case index < s.minIdx && s.maxIdx-index+1 > s.maxBuckets:
 		// Value below the representable range lands in the lowest bucket.
 		s.collapses++
+		if metrics != nil {
+			metrics.Collapses.Inc()
+		}
 		s.DenseStore.Add(s.maxIdx-s.maxBuckets+1, count)
 	default:
 		s.DenseStore.Add(index, count)
@@ -247,6 +250,9 @@ func (s *CollapsingLowestDenseStore) collapseLowestTo(newMin int) {
 		return
 	}
 	s.collapses++
+	if metrics != nil {
+		metrics.Collapses.Inc()
+	}
 	var folded int64
 	for i := s.minIdx; i < newMin && i <= s.maxIdx; i++ {
 		pos := i - s.offset

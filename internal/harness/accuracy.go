@@ -118,6 +118,7 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			Delay:         delay,
 			Builder:       newMultiBuilder(core.AlgorithmNames(), builders),
 			CollectValues: true,
+			Metrics:       opts.engineMetrics(),
 		})
 		if err != nil {
 			return runResult{err: err}

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options control experiment size and reporting.
@@ -49,8 +51,22 @@ type Options struct {
 	// window order, so accuracy output is bit-identical at any value.
 	// 0 or 1 = evaluation inline on the engine's emit callback.
 	EvalWorkers int
+	// Metrics, when non-nil, receives engine counters from every stream
+	// run the experiments execute (the registry's shared EngineMetrics is
+	// passed as stream.Config.Metrics). Callers that also want sketch
+	// counters should wire the registry with core.EnableMetrics first.
+	Metrics *obs.Registry
 	// Out receives progress logging; nil silences it.
 	Out io.Writer
+}
+
+// engineMetrics returns the EngineMetrics to pass to stream configs
+// (nil when metrics are disabled).
+func (o Options) engineMetrics() *obs.EngineMetrics {
+	if o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Engine()
 }
 
 // DefaultOptions returns the paper's experimental configuration at the

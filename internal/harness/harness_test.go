@@ -1,16 +1,31 @@
 package harness
 
 import (
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
+
+// testRegistry is live for the whole harness test package (sketch
+// packages wired via core.EnableMetrics, engines via Options.Metrics),
+// so determinism guarantees like TestEvalWorkersDeterminism are proven
+// to hold with metrics ENABLED, not just on the nil fast path.
+var testRegistry *obs.Registry
+
+func TestMain(m *testing.M) {
+	testRegistry = obs.NewRegistry()
+	core.EnableMetrics(testRegistry)
+	os.Exit(m.Run())
+}
 
 func tinyOpts() Options {
 	o := DefaultOptions(0.01)
 	o.Runs = 2
+	o.Metrics = testRegistry
 	return o
 }
 

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+)
+
+// TestMetricsSnapshotGroundTruth runs one accuracy experiment against a
+// private registry and checks the counters against first-principles
+// ground truth: the engine generates exactly runEnd/interval events per
+// run, none are dropped or rejected with zero delay, every window
+// fires, and every accepted event is inserted into all five sketches by
+// the multi-sketch builder.
+func TestMetricsSnapshotGroundTruth(t *testing.T) {
+	reg := obs.NewRegistry()
+	core.EnableMetrics(reg)
+	defer core.EnableMetrics(testRegistry) // restore the package-wide wiring
+
+	o := tinyOpts()
+	o.Metrics = reg
+	if _, err := RunAccuracy(o, datagen.DatasetPareto); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth, mirroring streamAccuracyPartitioned's sizing.
+	windowDur := time.Duration(o.WindowSeconds * o.Scale * float64(time.Second))
+	if windowDur < 100*time.Millisecond {
+		windowDur = 100 * time.Millisecond
+	}
+	runs := int64(o.scaledRuns())
+	numWindows := int64(o.Windows + 1)
+	interval := time.Second / time.Duration(o.Rate)
+	runEnd := windowDur * time.Duration(numWindows)
+	perRun := int64((runEnd + interval - 1) / interval) // gen ticks in [0, runEnd)
+	wantGenerated := perRun * runs
+
+	snap := reg.Snapshot()
+	if got := snap["engine.generated"]; got != wantGenerated {
+		t.Errorf("engine.generated = %d, want %d (%d runs × %d events)", got, wantGenerated, runs, perRun)
+	}
+	if got := snap["engine.inserted"]; got != wantGenerated {
+		t.Errorf("engine.inserted = %d, want %d (zero delay: nothing dropped)", got, wantGenerated)
+	}
+	if snap["engine.dropped_late"] != 0 || snap["engine.rejected_input"] != 0 {
+		t.Errorf("dropped_late=%d rejected_input=%d, want 0/0 with zero delay and a clean source",
+			snap["engine.dropped_late"], snap["engine.rejected_input"])
+	}
+	if got, want := snap["engine.window_fires"], numWindows*runs; got != want {
+		t.Errorf("engine.window_fires = %d, want %d", got, want)
+	}
+	// The identity, straight from the counters.
+	if snap["engine.generated"] != snap["engine.inserted"]+snap["engine.dropped_late"]+snap["engine.rejected_input"] {
+		t.Errorf("counter identity violated: %+v", snap)
+	}
+	// The multi-sketch builder feeds every accepted event to all five
+	// study sketches.
+	for _, alg := range core.AlgorithmNames() {
+		if got := snap["sketch."+alg+".inserts"]; got != wantGenerated {
+			t.Errorf("sketch.%s.inserts = %d, want %d", alg, got, wantGenerated)
+		}
+	}
+	// Accuracy evaluation queried Moments in every window: the max-entropy
+	// solver must have recorded work.
+	if snap["sketch.moments.newton_iterations"] == 0 {
+		t.Error("sketch.moments.newton_iterations = 0, want > 0 after quantile queries")
+	}
+	if snap["sketch.moments.cold_starts"] == 0 {
+		t.Error("sketch.moments.cold_starts = 0, want ≥ 1 (first solve has no warm start)")
+	}
+	for _, alg := range []string{core.AlgKLL, core.AlgReq, core.AlgUDD} {
+		if snap["sketch."+alg+".peak_bytes"] == 0 {
+			t.Errorf("sketch.%s.peak_bytes = 0, want > 0", alg)
+		}
+	}
+}

@@ -26,6 +26,7 @@ func (s *Sketch) InsertBatch(xs []float64) {
 	buf := s.levels[0]
 	cap0 := s.capacity(0)
 	count := s.count
+	startCount := count
 	minV, maxV := s.min, s.max
 	for _, x := range xs {
 		if math.IsNaN(x) {
@@ -49,6 +50,9 @@ func (s *Sketch) InsertBatch(xs []float64) {
 		}
 	}
 	s.levels[0] = buf
+	if metrics != nil {
+		metrics.Inserts.Add(int64(count - startCount))
+	}
 	s.count = count
 	s.min, s.max = minV, maxV
 }

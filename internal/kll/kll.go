@@ -113,6 +113,9 @@ func (s *Sketch) Insert(x float64) {
 	if math.IsNaN(x) {
 		return
 	}
+	if metrics != nil {
+		metrics.Inserts.Inc()
+	}
 	s.levels[0] = append(s.levels[0], float32(x))
 	s.count++
 	s.auxValid = false
@@ -133,7 +136,13 @@ func (s *Sketch) compress() {
 	for h := 0; h < len(s.levels); h++ {
 		if len(s.levels[h]) >= s.capacity(h) {
 			s.compactLevel(h)
+			if metrics != nil {
+				metrics.Compactions.Inc()
+			}
 		}
+	}
+	if metrics != nil {
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
 	}
 	s.assertInvariants("compress")
 }

@@ -1,0 +1,14 @@
+package maxent
+
+import "repro/internal/obs"
+
+// metrics records solver behavior (Newton iterations, cold starts) into
+// the owning sketch's metrics set — in this repo the Moments sketch,
+// which wires it via moments.SetMetrics. nil (the default) disables
+// recording.
+var metrics *obs.SketchMetrics
+
+// SetMetrics enables (or, with nil, disables) solver metrics recording.
+// It must be called while no Solver is mid-Solve — typically at process
+// start; after that, recording is safe from any number of goroutines.
+func SetMetrics(m *obs.SketchMetrics) { metrics = m }

@@ -137,6 +137,9 @@ func (s *Solver) Solve(d []float64) (*Density, error) {
 			lambda[i] = 0
 		}
 	}
+	if metrics != nil {
+		metrics.ColdStarts.Inc()
+	}
 	lambda[0] = math.Log(0.5) // start from the uniform density on [−1,1]
 	dn, err := s.newton(d, lambda)
 	if err != nil {
@@ -188,6 +191,9 @@ func (s *Solver) newton(d, lambda []float64) (*Density, error) {
 	evalDensity(lambda, f)
 	p := potential(lambda, f)
 	for iter := 0; iter < maxNewtonIters; iter++ {
+		if metrics != nil {
+			metrics.NewtonIterations.Inc()
+		}
 		// Moments of the current density up to order 2k−2.
 		for i := range m {
 			var acc float64

@@ -25,11 +25,14 @@ func (s *Sketch) InsertBatch(xs []float64) {
 	tr := s.transform
 	sums := s.powerSums
 	minV, maxV := s.min, s.max
+	var skipped int
 	for _, x := range xs {
 		if math.IsNaN(x) {
+			skipped++
 			continue
 		}
 		if tr == TransformLog && x <= 0 {
+			skipped++
 			continue
 		}
 		y := x
@@ -50,6 +53,9 @@ func (s *Sketch) InsertBatch(xs []float64) {
 		if y > maxV {
 			maxV = y
 		}
+	}
+	if metrics != nil {
+		metrics.Inserts.Add(int64(len(xs) - skipped))
 	}
 	s.min, s.max = minV, maxV
 	s.solved = nil

@@ -1,0 +1,24 @@
+package moments
+
+import (
+	"repro/internal/maxent"
+	"repro/internal/obs"
+)
+
+// metrics aggregates structural counters across every Sketch this
+// package builds. nil (the default) disables recording; every hook site
+// is guarded by a nil check, so the disabled cost is one predictable
+// branch at coarse-grained points (insert, solve, merge).
+var metrics *obs.SketchMetrics
+
+// SetMetrics enables (or, with nil, disables) metrics recording for all
+// Moments sketches in this process, including the max-entropy solver's
+// Newton-iteration and cold-start counters (wired through to
+// internal/maxent, whose solvers this package owns). It must be called
+// while no sketch built by this package is in use — typically at
+// process start; after that, recording is safe from any number of
+// goroutines.
+func SetMetrics(m *obs.SketchMetrics) {
+	metrics = m
+	maxent.SetMetrics(m)
+}

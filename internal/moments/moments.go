@@ -181,6 +181,9 @@ func (s *Sketch) InsertN(x float64, n uint64) {
 	if s.transform == TransformLog && x <= 0 {
 		return
 	}
+	if metrics != nil {
+		metrics.Inserts.Add(int64(n))
+	}
 	y := s.transform.apply(x)
 	w := float64(n)
 	cur := 1.0
@@ -206,6 +209,9 @@ func (s *Sketch) Count() uint64 { return uint64(s.powerSums[0]) }
 func (s *Sketch) solve() (*maxent.Density, error) {
 	if s.solved != nil {
 		return s.solved, nil
+	}
+	if metrics != nil {
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
 	}
 	n := s.powerSums[0]
 	if n < MinCardinality {

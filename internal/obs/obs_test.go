@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Nil receivers are the disabled state: every method must be a safe
+// no-op returning zero.
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Error("nil counter should load 0")
+	}
+	var g *Gauge
+	g.Set(9)
+	g.Max(9)
+	if g.Load() != 0 {
+		t.Error("nil gauge should load 0")
+	}
+	var m *SketchMetrics
+	// Field access on a nil struct pointer is not possible, but the
+	// instrumented packages guard with `if metrics != nil`; the nil
+	// Counter/Gauge behavior above covers the engine's field pointers.
+	_ = m
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Max(10)
+	g.Max(7) // lower: ignored
+	if got := g.Load(); got != 10 {
+		t.Errorf("max gauge = %d, want 10", got)
+	}
+	g.Set(3)
+	if got := g.Load(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+}
+
+// Max must be correct under contention: the final value is the maximum
+// of everything observed.
+func TestGaugeMaxConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				g.Max(base*1000 + i)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := g.Load(); got != 7999 {
+		t.Errorf("concurrent max = %d, want 7999", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Sketch("kll").Inserts.Add(100)
+	r.Sketch("kll").Compactions.Inc()
+	r.Engine().Generated.Add(100)
+	r.Engine().DroppedLate.Add(3)
+	snap := r.Snapshot()
+	if snap["sketch.kll.inserts"] != 100 {
+		t.Errorf("inserts = %d", snap["sketch.kll.inserts"])
+	}
+	if snap["sketch.kll.compactions"] != 1 {
+		t.Errorf("compactions = %d", snap["sketch.kll.compactions"])
+	}
+	if snap["engine.generated"] != 100 || snap["engine.dropped_late"] != 3 {
+		t.Errorf("engine counters: %v", snap)
+	}
+	// Sketch sets are stable identities: the same pointer every call.
+	if r.Sketch("kll") != r.Sketch("kll") {
+		t.Error("Sketch not idempotent")
+	}
+}
+
+func TestWriteTextAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Sketch("ddsketch").Collapses.Add(7)
+	r.Sketch("kll").Inserts.Add(5)
+	r.Engine().WindowFires.Add(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE quantstream_engine_window_fires_total counter",
+		"quantstream_engine_window_fires_total 2",
+		`quantstream_sketch_collapses_total{sketch="ddsketch"} 7`,
+		`quantstream_sketch_inserts_total{sketch="kll"} 5`,
+		"# TYPE quantstream_sketch_peak_bytes gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+}

@@ -28,6 +28,7 @@ func (s *Sketch) InsertBatch(xs []float64) {
 	buf := c0.buf
 	capc := c0.capacity()
 	count := s.count
+	startCount := count
 	minV, maxV := s.min, s.max
 	for _, x := range xs {
 		if math.IsNaN(x) {
@@ -51,6 +52,9 @@ func (s *Sketch) InsertBatch(xs []float64) {
 		}
 	}
 	c0.buf = buf
+	if metrics != nil {
+		metrics.Inserts.Add(int64(count - startCount))
+	}
 	s.count = count
 	s.min, s.max = minV, maxV
 }

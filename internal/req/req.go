@@ -154,6 +154,9 @@ func (s *Sketch) Insert(x float64) {
 	if math.IsNaN(x) {
 		return
 	}
+	if metrics != nil {
+		metrics.Inserts.Inc()
+	}
 	c0 := s.compactors[0]
 	c0.buf = append(c0.buf, float32(x))
 	s.count++
@@ -175,7 +178,13 @@ func (s *Sketch) compress() {
 		c := s.compactors[h]
 		if len(c.buf) >= c.capacity() {
 			s.compactLevel(h)
+			if metrics != nil {
+				metrics.Compactions.Inc()
+			}
 		}
+	}
+	if metrics != nil {
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
 	}
 }
 

@@ -3,9 +3,11 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -45,6 +47,12 @@ type Config struct {
 	// CollectValues materializes each window's accepted events in
 	// WindowResult.Values so callers can compute exact ground truth.
 	CollectValues bool
+	// Metrics, when non-nil, receives engine-level counters (generated,
+	// inserted, dropped-late, rejected, window fires, watermark lag,
+	// batch-queue depth) as the run progresses. Counters accumulate
+	// across runs sharing the same EngineMetrics. Nil disables recording
+	// at the cost of one predictable branch per event.
+	Metrics *obs.EngineMetrics
 }
 
 // WindowResult is the outcome of one fired tumbling window.
@@ -63,19 +71,37 @@ type WindowResult struct {
 	// DroppedLate is the number of events belonging to this window that
 	// arrived after it fired and were discarded (Sec 2.6). Late events by
 	// definition show up after the window has been emitted, so this field
-	// is only populated by RunCollect (which patches results after the
-	// run); streaming Run callbacks always see 0.
+	// is CONTRACTUALLY only populated by RunCollect, which patches the
+	// collected results after the run completes; streaming Run callbacks
+	// always observe 0 here, and the run-wide total lives in
+	// Stats.DroppedLate either way. TestDroppedLateContract enforces
+	// this.
 	DroppedLate int64
 }
 
-// Stats aggregates engine-level counters over one run.
+// Stats aggregates engine-level counters over one run. Every generated
+// event is accounted for exactly once:
+//
+//	Generated == Accepted + DroppedLate + RejectedInput
+//
+// holds on the serial, parallel and generic paths alike (enforced by
+// TestStatsIdentity / TestParallelDrainLosesNothing).
 type Stats struct {
-	// Generated is the total number of events produced by the source.
+	// Generated is the number of events the source produced within the
+	// measured run (GenTime < NumWindows·WindowSize). Grace-period
+	// events — generated past the final window boundary solely to push
+	// the watermark across it — are excluded: they belong to no tracked
+	// window and would otherwise skew LossRate.
 	Generated int64
 	// Accepted is the total number of events included in fired windows.
 	Accepted int64
 	// DroppedLate is the total number of late-dropped events.
 	DroppedLate int64
+	// RejectedInput is the total number of events whose payload was
+	// invalid (NaN or ±Inf) and was discarded before reaching any
+	// sketch. Rejected events still advance the watermark — their
+	// timestamps are sound, only the payloads are not.
+	RejectedInput int64
 }
 
 // LossRate returns the fraction of generated events dropped as late.
@@ -203,7 +229,7 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 
 	var sink partialSink
 	if cfg.Workers > 1 {
-		sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers)
+		sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics)
 	} else {
 		sink = newSeqSink(cfg.Builder, cfg.Partitions)
 	}
@@ -217,6 +243,8 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 		nextFire  int           // next window index to fire
 	)
 
+	met := cfg.Metrics
+
 	fire := func(w *windowState) error {
 		merged := cfg.Builder()
 		for _, p := range sink.partials(w.index) {
@@ -226,6 +254,9 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 			if err := merged.Merge(p); err != nil {
 				return fmt.Errorf("stream: window merge: %w", err)
 			}
+		}
+		if met != nil {
+			met.WindowFires.Inc()
 		}
 		emit(WindowResult{
 			Index:    w.index,
@@ -242,15 +273,30 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 
 	process := func(ev Event) error {
 		wi := int(ev.GenTime / cfg.WindowSize)
-		if wi < nextFire {
-			// Window already fired: late event, dropped.
+		switch {
+		case math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0):
+			// Poisoned payload: rejected before reaching any sketch or
+			// the collected values. The event still advances the
+			// watermark below — its timestamp is sound. Counted only
+			// inside the measured run so the Stats identity stays exact.
+			if wi >= 0 && wi < cfg.NumWindows {
+				stats.RejectedInput++
+				if met != nil {
+					met.RejectedInput.Inc()
+				}
+			}
+		case wi < nextFire:
+			// Window already fired: late event, dropped. Its GenTime is
+			// below the watermark by construction, so falling through to
+			// the watermark advance is a no-op.
 			if wi >= 0 && wi < cfg.NumWindows {
 				lateOf[wi]++
 				stats.DroppedLate++
+				if met != nil {
+					met.DroppedLate.Inc()
+				}
 			}
-			return nil
-		}
-		if wi < cfg.NumWindows {
+		case wi < cfg.NumWindows:
 			w := open[wi]
 			if w == nil {
 				w = &windowState{index: wi}
@@ -259,6 +305,9 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 			sink.insert(wi, ev.Partition%cfg.Partitions, ev.Value)
 			w.accepted++
 			stats.Accepted++
+			if met != nil {
+				met.Inserted.Inc()
+			}
 			if cfg.CollectValues {
 				w.values = append(w.values, ev.Value)
 			}
@@ -284,6 +333,13 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 				nextFire++
 			}
 		}
+		if met != nil {
+			// How far arrival order ran ahead of event time: the delay
+			// model's effective disorder, as seen by the engine.
+			if lag := int64(ev.Arrival - watermark); lag > 0 {
+				met.MaxWatermarkLagNS.Max(lag)
+			}
+		}
 		return nil
 	}
 
@@ -291,7 +347,17 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 	for gen := time.Duration(0); gen < genEnd; gen += interval {
 		v := cfg.Values.Next()
 		d := cfg.Delay.Delay()
-		stats.Generated++
+		if gen < runEnd {
+			// Grace-period events (gen ≥ runEnd) exist only to push the
+			// watermark past the final boundary; they belong to no
+			// tracked window and are excluded from the accounting so
+			// Generated == Accepted + DroppedLate + RejectedInput holds
+			// exactly.
+			stats.Generated++
+			if met != nil {
+				met.Generated.Inc()
+			}
+		}
 		inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v, Partition: part})
 		part++
 		if part == cfg.Partitions {

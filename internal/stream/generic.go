@@ -3,10 +3,12 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -45,6 +47,9 @@ type GenericConfig struct {
 	Builder sketch.Builder
 	// CollectValues materializes accepted events per window.
 	CollectValues bool
+	// Metrics, when non-nil, receives engine-level counters as the run
+	// progresses (see Config.Metrics).
+	Metrics *obs.EngineMetrics
 }
 
 // GenericResult is one fired window from the generic engine.
@@ -111,14 +116,14 @@ func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
 		inFlight  minHeap[Event]
 		open                    = map[Window]*genWindowState{}
 		watermark time.Duration = -1
-		firedMax  time.Duration = -1 // max end among fired windows
 	)
+	met := cfg.Metrics
 
 	fire := func(w *genWindowState) {
-		emit(GenericResult{Window: w.win, Sketch: w.sk, Values: w.values, Accepted: w.accepted})
-		if w.win.End > firedMax {
-			firedMax = w.win.End
+		if met != nil {
+			met.WindowFires.Inc()
 		}
+		emit(GenericResult{Window: w.win, Sketch: w.sk, Values: w.values, Accepted: w.accepted})
 	}
 
 	// fireReady fires every open window whose end (+lateness) the
@@ -147,37 +152,57 @@ func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
 		if cfg.UseIngestionTime {
 			eventTime = ev.Arrival
 		}
-		wins := cfg.Assigner.Assign(eventTime)
-		if cfg.Assigner.MergesWindows() {
-			wins = e.mergeSessions(open, wins[0])
-		}
-		accepted := false
-		for _, win := range wins {
-			// A window that already fired (its end passed the fired
-			// horizon and it is no longer open) rejects the event.
-			if watermark >= win.End+cfg.AllowedLateness && open[win] == nil {
-				continue
+		if math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0) {
+			// Poisoned payload: rejected before window assignment or any
+			// sketch insert; the event still advances the watermark.
+			stats.RejectedInput++
+			if met != nil {
+				met.RejectedInput.Inc()
 			}
-			w := open[win]
-			if w == nil {
-				w = &genWindowState{win: win, sk: cfg.Builder()}
-				open[win] = w
-			}
-			w.sk.Insert(ev.Value)
-			w.accepted++
-			if cfg.CollectValues {
-				w.values = append(w.values, ev.Value)
-			}
-			accepted = true
-		}
-		if accepted {
-			stats.Accepted++
 		} else {
-			stats.DroppedLate++
+			wins := cfg.Assigner.Assign(eventTime)
+			if cfg.Assigner.MergesWindows() {
+				wins = e.mergeSessions(open, wins[0])
+			}
+			accepted := false
+			for _, win := range wins {
+				// A window that already fired (its end passed the fired
+				// horizon and it is no longer open) rejects the event.
+				if watermark >= win.End+cfg.AllowedLateness && open[win] == nil {
+					continue
+				}
+				w := open[win]
+				if w == nil {
+					w = &genWindowState{win: win, sk: cfg.Builder()}
+					open[win] = w
+				}
+				w.sk.Insert(ev.Value)
+				w.accepted++
+				if cfg.CollectValues {
+					w.values = append(w.values, ev.Value)
+				}
+				accepted = true
+			}
+			if accepted {
+				stats.Accepted++
+				if met != nil {
+					met.Inserted.Inc()
+				}
+			} else {
+				stats.DroppedLate++
+				if met != nil {
+					met.DroppedLate.Inc()
+				}
+			}
 		}
 		if wm := eventTime - cfg.WatermarkLag; wm > watermark {
 			watermark = wm
 			fireReady()
+		}
+		if met != nil {
+			if lag := int64(ev.Arrival - watermark); lag > 0 {
+				met.MaxWatermarkLagNS.Max(lag)
+			}
 		}
 	}
 
@@ -186,6 +211,9 @@ func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
 		v := cfg.Values.Next()
 		d := cfg.Delay.Delay()
 		stats.Generated++
+		if met != nil {
+			met.Generated.Inc()
+		}
 		inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v})
 		for inFlight.Len() > 0 && inFlight.Min().Arrival <= gen {
 			process(inFlight.Pop())

@@ -3,6 +3,7 @@ package stream
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -53,9 +54,10 @@ type workerPool struct {
 	replies []chan []sketch.Sketch
 	pool    sync.Pool // *eventBatch recycling (coordinator ⇄ workers)
 	wg      sync.WaitGroup
+	met     *obs.EngineMetrics // nil disables queue-depth recording
 }
 
-func newWorkerPool(builder sketch.Builder, partitions, workers int) *workerPool {
+func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics) *workerPool {
 	p := &workerPool{
 		builder:    builder,
 		partitions: partitions,
@@ -63,6 +65,7 @@ func newWorkerPool(builder sketch.Builder, partitions, workers int) *workerPool 
 		pending:    make([]*eventBatch, partitions),
 		chans:      make([]chan workerMsg, workers),
 		replies:    make([]chan []sketch.Sketch, workers),
+		met:        met,
 	}
 	p.pool.New = func() any {
 		return &eventBatch{
@@ -94,8 +97,14 @@ func (p *workerPool) insert(win, part int, v float64) {
 	b.wins = append(b.wins, int32(win))
 	b.vals = append(b.vals, v)
 	if len(b.vals) == batchSize {
-		p.chans[part%p.workers] <- workerMsg{batch: b}
+		ch := p.chans[part%p.workers]
+		ch <- workerMsg{batch: b}
 		p.pending[part] = nil
+		if p.met != nil {
+			// Sampled right after the send: how far this worker's queue
+			// backed up (insert hiccups, compaction stalls).
+			p.met.MaxBatchQueueDepth.Max(int64(len(ch)))
+		}
 	}
 }
 
@@ -106,8 +115,12 @@ func (p *workerPool) insert(win, part int, v float64) {
 func (p *workerPool) partials(win int) []sketch.Sketch {
 	for part, b := range p.pending {
 		if b != nil {
-			p.chans[part%p.workers] <- workerMsg{batch: b}
+			ch := p.chans[part%p.workers]
+			ch <- workerMsg{batch: b}
 			p.pending[part] = nil
+			if p.met != nil {
+				p.met.MaxBatchQueueDepth.Max(int64(len(ch)))
+			}
 		}
 	}
 	for w := 0; w < p.workers; w++ {

@@ -14,7 +14,8 @@ import (
 // partition counts. The KLL builder makes the comparison strict: its
 // compaction coin flips depend on the exact per-partition insert
 // sequence, so any reordering anywhere in the parallel path would show
-// up in the serialized sketches.
+// up in the serialized sketches. Metrics are enabled (testMetrics) so
+// the bit-identity guarantee is proven with recording on.
 func parallelRun(t *testing.T, workers, partitions int) ([]WindowResult, Stats) {
 	t.Helper()
 	eng, err := NewEngine(Config{
@@ -27,6 +28,7 @@ func parallelRun(t *testing.T, workers, partitions int) ([]WindowResult, Stats) 
 		Delay:         NewExponentialDelay(150*time.Millisecond, 43),
 		Builder:       func() sketch.Sketch { return kll.NewWithSeed(128, 99) },
 		CollectValues: true,
+		Metrics:       testMetrics.Engine(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +110,7 @@ func TestParallelManyWindows(t *testing.T) {
 			Values:     datagen.NewUniform(0, 1000, 61),
 			Delay:      NewExponentialDelay(40*time.Millisecond, 67),
 			Builder:    func() sketch.Sketch { return kll.NewWithSeed(64, 5) },
+			Metrics:    testMetrics.Engine(),
 		})
 		if err != nil {
 			t.Fatal(err)

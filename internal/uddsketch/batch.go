@@ -26,6 +26,7 @@ func (s *Sketch) InsertBatch(xs []float64) {
 	minIndexable := s.minIndexable()
 	budget := s.maxBuckets
 	count := s.count
+	startCount := count
 	minV, maxV := s.min, s.max
 	var zero int64
 	for _, x := range xs {
@@ -60,6 +61,9 @@ func (s *Sketch) InsertBatch(xs []float64) {
 			logGamma = s.logGamma
 			minIndexable = s.minIndexable()
 		}
+	}
+	if metrics != nil {
+		metrics.Inserts.Add(int64(count - startCount))
 	}
 	s.count = count
 	s.zeroCnt += zero

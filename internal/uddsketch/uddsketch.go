@@ -137,6 +137,9 @@ func (s *Sketch) InsertN(x float64, n uint64) {
 	if math.IsNaN(x) || n == 0 {
 		return
 	}
+	if metrics != nil {
+		metrics.Inserts.Add(int64(n))
+	}
 	switch {
 	case x > 0 && x >= s.minIndexable():
 		s.positive[s.index(x)] += int64(n)
@@ -182,6 +185,13 @@ func (s *Sketch) uniformCollapse() {
 	s.negative = collapse(s.negative)
 	s.setAlpha(2 * s.alpha / (1 + s.alpha*s.alpha))
 	s.collapses++
+	if metrics != nil {
+		// A uniform collapse is both a store collapse and an α
+		// deterioration — UDDSketch degrades its guarantee on every one.
+		metrics.Collapses.Inc()
+		metrics.AlphaDeteriorations.Inc()
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
+	}
 }
 
 // Count implements sketch.Sketch.
@@ -414,6 +424,9 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	}
 	for len(s.positive)+len(s.negative) > s.maxBuckets {
 		s.uniformCollapse()
+	}
+	if metrics != nil {
+		metrics.PeakBytes.Max(int64(s.MemoryBytes()))
 	}
 	s.assertCount("merge", mergedCount)
 	return nil

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Performance gates:
 #  - stream/insert: batched-insert and stream throughput benchmarks vs
 #    the recorded pre-optimization baseline
@@ -11,47 +11,74 @@
 #    back to the per-q scalar loop and sequential window evaluation) →
 #    BENCH_query.json
 #
+# Each step is a named gate: on failure the script prints exactly which
+# gate tripped and stops there.
+#
 # BENCHTIME overrides the per-benchmark time budget (default 1s).
-set -eux
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+gate() {
+	local name="$1"
+	shift
+	echo "bench.sh: gate ${name}: $*"
+	if ! "$@"; then
+		echo "bench.sh: FAILED gate: ${name}" >&2
+		exit 1
+	fi
+}
 
 BENCHTIME="${BENCHTIME:-1s}"
 current=results/bench_stream_current.txt
 
-go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' \
-	-benchmem -benchtime "$BENCHTIME" . | tee "$current"
+bench_stream() {
+	go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' \
+		-benchmem -benchtime "$BENCHTIME" . | tee "$current"
+}
 
-go run ./cmd/benchjson \
-	-baseline results/bench_seed_stream.txt \
-	-current "$current" \
-	-compare 'BenchmarkStreamThroughput/no-delay=BenchmarkStreamThroughput/no-delay/w=4' \
-	-compare 'BenchmarkStreamThroughput/exp-delay=BenchmarkStreamThroughput/exp-delay/w=4' \
-	-compare 'BenchmarkStreamThroughput/no-delay=BenchmarkStreamThroughput/no-delay/w=1' \
-	-compare 'BenchmarkStreamThroughput/exp-delay=BenchmarkStreamThroughput/exp-delay/w=1' \
-	-compare 'BenchmarkInsert/kll=BenchmarkInsertBatch/kll/batch' \
-	-compare 'BenchmarkInsert/req=BenchmarkInsertBatch/req/batch' \
-	-compare 'BenchmarkInsert/ddsketch=BenchmarkInsertBatch/ddsketch/batch' \
-	-compare 'BenchmarkInsert/uddsketch=BenchmarkInsertBatch/uddsketch/batch' \
-	-compare 'BenchmarkInsert/moments=BenchmarkInsertBatch/moments/batch' \
-	-out BENCH_stream.json
+compare_stream() {
+	go run ./cmd/benchjson \
+		-baseline results/bench_seed_stream.txt \
+		-current "$current" \
+		-compare 'BenchmarkStreamThroughput/no-delay=BenchmarkStreamThroughput/no-delay/w=4' \
+		-compare 'BenchmarkStreamThroughput/exp-delay=BenchmarkStreamThroughput/exp-delay/w=4' \
+		-compare 'BenchmarkStreamThroughput/no-delay=BenchmarkStreamThroughput/no-delay/w=1' \
+		-compare 'BenchmarkStreamThroughput/exp-delay=BenchmarkStreamThroughput/exp-delay/w=1' \
+		-compare 'BenchmarkInsert/kll=BenchmarkInsertBatch/kll/batch' \
+		-compare 'BenchmarkInsert/req=BenchmarkInsertBatch/req/batch' \
+		-compare 'BenchmarkInsert/ddsketch=BenchmarkInsertBatch/ddsketch/batch' \
+		-compare 'BenchmarkInsert/uddsketch=BenchmarkInsertBatch/uddsketch/batch' \
+		-compare 'BenchmarkInsert/moments=BenchmarkInsertBatch/moments/batch' \
+		-out BENCH_stream.json
+}
 
+gate stream-benchmarks bench_stream
+gate stream-compare compare_stream
 cat BENCH_stream.json
 
 query_current=results/bench_query_current.txt
 
-go test -run '^$' -bench 'BenchmarkQuantileAll|BenchmarkAccuracyEval' \
-	-benchmem -benchtime "$BENCHTIME" . | tee "$query_current"
+bench_query() {
+	go test -run '^$' -bench 'BenchmarkQuantileAll|BenchmarkAccuracyEval' \
+		-benchmem -benchtime "$BENCHTIME" . | tee "$query_current"
+}
 
-go run ./cmd/benchjson \
-	-baseline results/bench_seed_query.txt \
-	-current "$query_current" \
-	-compare 'BenchmarkQuantileAll/kll/scalar=BenchmarkQuantileAll/kll/batch' \
-	-compare 'BenchmarkQuantileAll/req/scalar=BenchmarkQuantileAll/req/batch' \
-	-compare 'BenchmarkQuantileAll/ddsketch/scalar=BenchmarkQuantileAll/ddsketch/batch' \
-	-compare 'BenchmarkQuantileAll/uddsketch/scalar=BenchmarkQuantileAll/uddsketch/batch' \
-	-compare 'BenchmarkQuantileAll/moments/scalar=BenchmarkQuantileAll/moments/batch' \
-	-compare 'BenchmarkAccuracyEval/w=1=BenchmarkAccuracyEval/w=4' \
-	-out BENCH_query.json
+compare_query() {
+	go run ./cmd/benchjson \
+		-baseline results/bench_seed_query.txt \
+		-current "$query_current" \
+		-compare 'BenchmarkQuantileAll/kll/scalar=BenchmarkQuantileAll/kll/batch' \
+		-compare 'BenchmarkQuantileAll/req/scalar=BenchmarkQuantileAll/req/batch' \
+		-compare 'BenchmarkQuantileAll/ddsketch/scalar=BenchmarkQuantileAll/ddsketch/batch' \
+		-compare 'BenchmarkQuantileAll/uddsketch/scalar=BenchmarkQuantileAll/uddsketch/batch' \
+		-compare 'BenchmarkQuantileAll/moments/scalar=BenchmarkQuantileAll/moments/batch' \
+		-compare 'BenchmarkAccuracyEval/w=1=BenchmarkAccuracyEval/w=4' \
+		-out BENCH_query.json
+}
 
+gate query-benchmarks bench_query
+gate query-compare compare_query
 cat BENCH_query.json
+
+echo "bench.sh: all gates passed"

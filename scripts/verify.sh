@@ -1,19 +1,61 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Full verification chain: build, vet, repo-specific lint, tests,
-# invariant-armed tests, and the race detector over the concurrent
-# engine. Run from anywhere inside the repository.
-set -eux
+# invariant-armed tests, the race detector over the concurrent engine,
+# benchmark smoke runs, and a live scrape of the quantbench metrics
+# endpoint. Run from anywhere inside the repository.
+#
+# Every step is a named gate: on failure the script prints exactly which
+# gate tripped and stops there.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-go build ./...
-go vet ./...
-go run ./cmd/sketchlint ./...
-go test ./...
-go test -tags invariants ./internal/...
-go test -race ./internal/stream ./internal/harness
+gate() {
+	local name="$1"
+	shift
+	echo "verify.sh: gate ${name}: $*"
+	if ! "$@"; then
+		echo "verify.sh: FAILED gate: ${name}" >&2
+		exit 1
+	fi
+}
+
+# metrics_smoke boots quantbench with the HTTP observability endpoint
+# and scrapes /metrics once — the flag wiring, mux and Prometheus
+# rendering all have to work for the grep to succeed.
+metrics_smoke() {
+	local port=19833
+	local bin
+	bin="$(mktemp -t quantbench.XXXXXX)"
+	go build -o "$bin" ./cmd/quantbench
+	"$bin" -run table3 -scale 0.02 -quiet -metrics \
+		-http "127.0.0.1:${port}" -linger 30s >/dev/null 2>&1 &
+	local pid=$!
+	local ok=0
+	for _ in $(seq 1 50); do
+		if curl -sf "http://127.0.0.1:${port}/metrics" | grep -q '^quantstream_engine_generated_total'; then
+			ok=1
+			break
+		fi
+		sleep 0.2
+	done
+	kill "$pid" 2>/dev/null || true
+	wait "$pid" 2>/dev/null || true
+	rm -f "$bin"
+	[ "$ok" = 1 ]
+}
+
+gate build go build ./...
+gate vet go vet ./...
+gate sketchlint go run ./cmd/sketchlint ./...
+gate tests go test ./...
+gate invariant-tests go test -tags invariants ./internal/...
+gate race go test -race ./internal/stream ./internal/harness
 # Smoke-run the perf-gate benchmarks (fixed iteration count: checks
 # they still execute, not their timing — scripts/bench.sh does that).
-go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
-go test -run '^$' -bench 'BenchmarkQuantileAll' -benchtime 100x .
-go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
+gate bench-smoke-stream go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
+gate bench-smoke-query go test -run '^$' -bench 'BenchmarkQuantileAll' -benchtime 100x .
+gate bench-smoke-accuracy go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
+gate metrics-endpoint metrics_smoke
+
+echo "verify.sh: all gates passed"
