@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
@@ -46,6 +47,9 @@ func main() {
 		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet         = flag.Bool("quiet", false, "suppress progress logging")
 		metricsDump   = flag.Bool("metrics", false, "enable sketch/engine metrics and dump them at run end")
+		ckptDir       = flag.String("checkpoint-dir", "", "enable fault-tolerant runs: checkpoint every stream into per-run subdirectories of this directory and auto-recover from crashes")
+		ckptEvery     = flag.Int("checkpoint-every", 0, "snapshot cadence in fired windows (0 with -checkpoint-dir means every window)")
+		faultSpec     = flag.String("fault", "", "deterministic fault plan, e.g. 'panic@w1:5000,stall@p2:100:50ms,dup@7,corrupt@3:bitflip'; requires -checkpoint-dir for the crashing faults to recover")
 		httpAddr      = flag.String("http", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address (e.g. localhost:9090); implies -metrics")
 		linger        = flag.Duration("linger", 0, "with -http, keep the process (and endpoints) alive this long after the runs finish")
 	)
@@ -75,6 +79,21 @@ func main() {
 	}
 	if !*quiet {
 		opts.Out = os.Stderr
+	}
+	if *ckptDir != "" {
+		opts.CheckpointDir = *ckptDir
+		opts.CheckpointEvery = *ckptEvery
+	}
+	if *faultSpec != "" {
+		plan, err := faultinject.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quantbench: -fault:", err)
+			os.Exit(1)
+		}
+		if *ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "quantbench: -fault without -checkpoint-dir: a crashing fault would abort the run with nothing to recover from")
+		}
+		opts.Faults = plan
 	}
 
 	var reg *obs.Registry

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// checkpointUsage documents the checkpoint subcommands.
+const checkpointUsage = `usage: sketchtool checkpoint <inspect|verify> <path ...>
+
+  inspect  print each file's envelope metadata (record name, format
+           version, payload size, CRC32-C and whether it verifies);
+           engine snapshots additionally get a state summary
+  verify   validate checkpoints: for a directory, every snap-*.qckp in
+           it (a checkpoint.DirStore); for a file, its envelope.
+           Exits 1 if anything fails validation.
+`
+
+// checkpointCmd dispatches `sketchtool checkpoint <sub> <paths>`,
+// writing to w; it returns the process exit code.
+func checkpointCmd(args []string, w io.Writer) int {
+	if len(args) < 2 {
+		fmt.Fprint(os.Stderr, checkpointUsage)
+		return 2
+	}
+	sub, paths := args[0], args[1:]
+	switch sub {
+	case "inspect":
+		return checkpointInspect(paths, w)
+	case "verify":
+		return checkpointVerify(paths, w)
+	default:
+		fmt.Fprintf(os.Stderr, "sketchtool checkpoint: unknown subcommand %q\n%s", sub, checkpointUsage)
+		return 2
+	}
+}
+
+func checkpointInspect(paths []string, w io.Writer) int {
+	code := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "%s: ERROR %v\n", path, err)
+			code = 1
+			continue
+		}
+		info, err := checkpoint.Inspect(data)
+		if err != nil {
+			fmt.Fprintf(w, "%s: ERROR %v\n", path, err)
+			code = 1
+			continue
+		}
+		status := "OK"
+		if !info.CRCValid {
+			status = "CHECKSUM MISMATCH"
+			code = 1
+		}
+		fmt.Fprintf(w, "%s: name=%s version=%d payload=%dB crc=%08x %s\n",
+			path, info.Name, info.Version, info.PayloadBytes, info.CRC, status)
+		if info.Name == "engine-snapshot" && info.CRCValid {
+			snap, err := checkpoint.DecodeSnapshot(data)
+			if err != nil {
+				fmt.Fprintf(w, "%s: ERROR snapshot record: %v\n", path, err)
+				code = 1
+				continue
+			}
+			fmt.Fprintf(w, "  seq=%d sketch=%s drawn=%d watermark=%v next_fire=%d open_windows=%d in_flight=%d\n",
+				snap.Seq, snap.SketchName, snap.Drawn, time.Duration(snap.Watermark), snap.NextFire,
+				len(snap.Windows), len(snap.InFlight))
+			fmt.Fprintf(w, "  generated=%d accepted=%d dropped_late=%d rejected=%d\n",
+				snap.Generated, snap.Accepted, snap.DroppedLate, snap.RejectedInput)
+		}
+	}
+	return code
+}
+
+func checkpointVerify(paths []string, w io.Writer) int {
+	code := 0
+	for _, path := range paths {
+		fi, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintf(w, "%s: ERROR %v\n", path, err)
+			code = 1
+			continue
+		}
+		if fi.IsDir() {
+			if verifyStoreDir(path, w) != 0 {
+				code = 1
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "%s: ERROR %v\n", path, err)
+			code = 1
+			continue
+		}
+		if name, _, err := checkpoint.Open(data); err != nil {
+			fmt.Fprintf(w, "%s: CORRUPT %v\n", path, err)
+			code = 1
+		} else {
+			fmt.Fprintf(w, "%s: OK name=%s\n", path, name)
+		}
+	}
+	return code
+}
+
+func verifyStoreDir(dir string, w io.Writer) int {
+	store, err := checkpoint.NewDirStore(dir)
+	if err != nil {
+		fmt.Fprintf(w, "%s: ERROR %v\n", dir, err)
+		return 1
+	}
+	seqs, err := store.Seqs()
+	if err != nil {
+		fmt.Fprintf(w, "%s: ERROR %v\n", dir, err)
+		return 1
+	}
+	if len(seqs) == 0 {
+		fmt.Fprintf(w, "%s: no snapshots\n", dir)
+		return 0
+	}
+	code, valid := 0, 0
+	for _, seq := range seqs {
+		data, err := store.Get(seq)
+		if err != nil {
+			fmt.Fprintf(w, "%s: seq %d: ERROR %v\n", dir, seq, err)
+			code = 1
+			continue
+		}
+		snap, err := checkpoint.DecodeSnapshot(data)
+		if err != nil {
+			fmt.Fprintf(w, "%s: seq %d: CORRUPT %v\n", dir, seq, err)
+			code = 1
+			continue
+		}
+		valid++
+		fmt.Fprintf(w, "%s: seq %d: OK sketch=%s drawn=%d open_windows=%d (%dB)\n",
+			dir, seq, snap.SketchName, snap.Drawn, len(snap.Windows), len(data))
+	}
+	fmt.Fprintf(w, "%s: %d/%d snapshots valid\n", dir, valid, len(seqs))
+	return code
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/datagen"
+	"repro/internal/kll"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// runStoreDir produces a real checkpoint directory by running the
+// stream engine with a DirStore, so the CLI is tested against genuine
+// snapshots rather than hand-built fixtures.
+func runStoreDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	store, err := checkpoint.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		WindowSize:      500 * time.Millisecond,
+		Rate:            2000,
+		NumWindows:      4,
+		Partitions:      2,
+		NewValues:       func() datagen.Source { return datagen.NewUniform(1, 100, 3) },
+		Builder:         func() sketch.Sketch { return kll.NewWithSeed(64, 9) },
+		CheckpointStore: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(func(stream.WindowResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCheckpointCLIRoundTrip drives `sketchtool checkpoint verify` and
+// `inspect` over a real checkpoint directory: clean snapshots verify
+// with exit 0 and print their metadata; a corrupted file flips both
+// commands to failure and the damage is reported, not panicked on.
+func TestCheckpointCLIRoundTrip(t *testing.T) {
+	dir := runStoreDir(t)
+	store, err := checkpoint.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := store.Seqs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) == 0 {
+		t.Fatal("engine run produced no checkpoints")
+	}
+
+	var out strings.Builder
+	if code := checkpointCmd([]string{"verify", dir}, &out); code != 0 {
+		t.Fatalf("verify on clean store exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "snapshots valid") || strings.Contains(out.String(), "CORRUPT") {
+		t.Errorf("verify output:\n%s", out.String())
+	}
+
+	snapPath := store.Path(seqs[len(seqs)-1])
+	out.Reset()
+	if code := checkpointCmd([]string{"inspect", snapPath}, &out); code != 0 {
+		t.Fatalf("inspect on clean snapshot exited %d:\n%s", code, out.String())
+	}
+	for _, want := range []string{"name=engine-snapshot", "crc=", " OK", "sketch=kll", "generated="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Corrupt the newest snapshot in place: verify and inspect must both
+	// flag it and exit non-zero.
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := checkpointCmd([]string{"verify", dir}, &out); code == 0 {
+		t.Fatalf("verify passed a corrupted store:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") {
+		t.Errorf("verify did not flag the corrupt snapshot:\n%s", out.String())
+	}
+	out.Reset()
+	if code := checkpointCmd([]string{"inspect", snapPath}, &out); code == 0 {
+		t.Fatalf("inspect passed a corrupted snapshot:\n%s", out.String())
+	}
+
+	// Unknown subcommand and missing args are usage errors (exit 2).
+	if code := checkpointCmd([]string{"frobnicate", dir}, &out); code != 2 {
+		t.Errorf("unknown subcommand exited %d, want 2", code)
+	}
+	if code := checkpointCmd([]string{"inspect"}, &out); code != 2 {
+		t.Errorf("missing paths exited %d, want 2", code)
+	}
+}

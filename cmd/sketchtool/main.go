@@ -69,6 +69,11 @@ func newSketch(name string, alpha float64, k int) (sketch.Sketch, error) {
 }
 
 func main() {
+	// Subcommand dispatch before flag parsing: `sketchtool checkpoint
+	// inspect|verify <paths>` examines checkpoint envelopes and stores.
+	if len(os.Args) > 1 && os.Args[1] == "checkpoint" {
+		os.Exit(checkpointCmd(os.Args[2:], os.Stdout))
+	}
 	var (
 		name      = flag.String("sketch", "ddsketch", "sketch type")
 		alpha     = flag.Float64("alpha", 0.01, "relative accuracy (ddsketch/uddsketch) or rank error (gk)")

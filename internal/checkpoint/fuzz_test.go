@@ -1,0 +1,73 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds builds the seed corpus shared by both fuzz targets: valid
+// envelopes (including a full engine snapshot), systematic truncations,
+// and a bit-flipped variant, so the fuzzer starts at the interesting
+// boundaries instead of random noise.
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	sealed, err := Seal("kll", []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sealed)
+	f.Add(sealed[:len(sealed)/2])
+	f.Add(sealed[:envelopeOverhead])
+	flipped := append([]byte(nil), sealed...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+
+	snap, err := EncodeSnapshot(sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add(snap[:len(snap)-1])
+	f.Add([]byte{})
+	f.Add([]byte("QCKP"))
+}
+
+// FuzzEnvelopeOpen asserts Open never panics and never returns success
+// on data whose checksum does not verify end-to-end: whatever Open
+// accepts must re-seal to the identical bytes.
+func FuzzEnvelopeOpen(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, payload, err := Open(data)
+		if err != nil {
+			return
+		}
+		resealed, err := Seal(name, payload)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-seal: %v", err)
+		}
+		if !bytes.Equal(resealed, data) {
+			t.Fatalf("accepted envelope is not canonical: %x vs %x", data, resealed)
+		}
+	})
+}
+
+// FuzzSnapshotDecode asserts the snapshot decoder never panics and that
+// anything it accepts re-encodes to the identical sealed bytes (the
+// format has a single canonical encoding).
+func FuzzSnapshotDecode(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		reencoded, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reencoded, data) {
+			t.Fatalf("accepted snapshot is not canonical")
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	p.OnEvent(0, 0, 0, 0) // must not panic
+	if p.DuplicateBatch(0) {
+		t.Error("nil plan duplicates batches")
+	}
+	store := checkpoint.NewMemStore()
+	if got := p.WrapStore(store); got != checkpoint.Store(store) {
+		t.Error("nil plan wraps the store")
+	}
+}
+
+func TestPanicFiresOnce(t *testing.T) {
+	p := New().WithPanic(1, 5)
+	fire := func(worker int, ev int64) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		p.OnEvent(worker, 0, ev, ev)
+		return false
+	}
+	if fire(0, 5) {
+		t.Error("panic fired on the wrong worker")
+	}
+	if fire(1, 4) {
+		t.Error("panic fired on the wrong event")
+	}
+	if !fire(1, 5) {
+		t.Error("panic did not fire at its point")
+	}
+	if fire(1, 5) {
+		t.Error("one-shot panic fired twice (recovery would re-crash)")
+	}
+}
+
+func TestDuplicateBatchFiresOnce(t *testing.T) {
+	p := New().WithDuplicateBatch(3)
+	if p.DuplicateBatch(2) || !p.DuplicateBatch(3) || p.DuplicateBatch(3) {
+		t.Error("duplicate-batch fault is not exactly-once at batch 3")
+	}
+}
+
+func TestCorruptingStore(t *testing.T) {
+	inner := checkpoint.NewMemStore()
+	p := New().WithCorruptCheckpoint(2, CorruptBitflip)
+	store := p.WrapStore(inner)
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := store.Put(seq, []byte{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean, _ := inner.Get(1)
+	dirty, _ := inner.Get(2)
+	if string(clean) != string([]byte{1, 2, 3, 4}) {
+		t.Errorf("untargeted seq was altered: %v", clean)
+	}
+	if string(dirty) == string([]byte{1, 2, 3, 4}) {
+		t.Error("targeted seq was stored unaltered")
+	}
+	// One-shot: a re-Put of the same seq goes through clean.
+	if err := store.Put(2, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if redo, _ := inner.Get(2); string(redo) != string([]byte{1, 2, 3, 4}) {
+		t.Error("corruption fired twice")
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("panic@w1:5000, stall@p2:100:50ms, dup@7, corrupt@3:truncate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.panicArmed || p.panicWorker != 1 || p.panicEvent != 5000 {
+		t.Errorf("panic fault parsed as %+v", p)
+	}
+	if !p.stallArmed || p.stallPart != 2 || p.stallEvent != 100 || p.stallDur != 50*time.Millisecond {
+		t.Errorf("stall fault parsed wrong")
+	}
+	if !p.dupArmed || p.dupBatch != 7 {
+		t.Errorf("dup fault parsed wrong")
+	}
+	if !p.corruptArmed || p.corruptSeq != 3 || p.corruptMode != CorruptTruncate {
+		t.Errorf("corrupt fault parsed wrong")
+	}
+
+	for _, bad := range []string{
+		"panic@5000", "panic@w1", "stall@p1:2", "dup@x",
+		"corrupt@1:melt", "jitter@5", "panic",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	if _, err := Parse(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Worker: 2, Event: 99}
+	if s := f.String(); !strings.Contains(s, "worker 2") || !strings.Contains(s, "99") {
+		t.Errorf("Fault.String() = %q", s)
+	}
+}

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/sketch"
@@ -108,7 +110,7 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			}
 			delay = stream.NewExponentialDelay(mean, seeds[run].delay)
 		}
-		eng, err := stream.NewEngine(stream.Config{
+		cfg := stream.Config{
 			WindowSize:    windowDur,
 			Rate:          opts.Rate,
 			NumWindows:    opts.Windows + 1, // first window discarded
@@ -119,7 +121,40 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			Builder:       newMultiBuilder(core.AlgorithmNames(), builders),
 			CollectValues: true,
 			Metrics:       opts.engineMetrics(),
-		})
+		}
+		if opts.CheckpointDir != "" {
+			// Fault-tolerant mode: per-run store subdirectory, plus the
+			// source/delay factories recovery needs to re-derive the
+			// stream from its seeds after a crash.
+			store, err := checkpoint.NewDirStore(filepath.Join(
+				opts.CheckpointDir, fmt.Sprintf("%s-run%03d", dataset, run)))
+			if err != nil {
+				return runResult{err: err}
+			}
+			cfg.CheckpointStore = store
+			cfg.CheckpointEvery = opts.CheckpointEvery
+			cfg.Faults = opts.Faults
+			srcSeed := seeds[run].source
+			cfg.NewValues = func() datagen.Source {
+				s, err := datagen.NewDataset(dataset, srcSeed)
+				if err != nil {
+					return nil // NewDataset already succeeded above with the same args
+				}
+				return s
+			}
+			delaySeed := seeds[run].delay
+			cfg.NewDelay = func() stream.DelayModel {
+				if delayMean <= 0 {
+					return stream.ZeroDelay{}
+				}
+				mean := time.Duration(float64(delayMean) * opts.Scale)
+				if mean < time.Millisecond {
+					mean = time.Millisecond
+				}
+				return stream.NewExponentialDelay(mean, delaySeed)
+			}
+		}
+		eng, err := stream.NewEngine(cfg)
 		if err != nil {
 			return runResult{err: err}
 		}
@@ -149,7 +184,22 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			return windowEval{perAlg: perWin}
 		}
 		var st stream.Stats
-		if evalWorkers := opts.evalWorkers(); evalWorkers <= 1 {
+		if opts.CheckpointDir != "" {
+			// RunRecovering collects windows itself (re-fired windows after
+			// a recovery overwrite their bit-identical first emission), so
+			// evaluation happens after the run completes.
+			winResults, stats, rerr := stream.RunRecovering(cfg)
+			if rerr != nil {
+				return runResult{err: rerr}
+			}
+			st = stats
+			for _, r := range winResults {
+				if r.Index == 0 {
+					continue
+				}
+				evals[r.Index] = evalOne(r)
+			}
+		} else if evalWorkers := opts.evalWorkers(); evalWorkers <= 1 {
 			st, err = eng.Run(func(r stream.WindowResult) {
 				if r.Index == 0 {
 					return

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestCheckpointedAccuracyEquivalence is the harness-level transparency
+// guarantee of fault-tolerant execution: the accuracy experiment's
+// rendered output is bit-identical with and without checkpointing, even
+// when an injected fault crashes a run mid-stream and it recovers from
+// its newest snapshot.
+func TestCheckpointedAccuracyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	base := tinyOpts()
+	plain, err := RunAccuracy(base, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := base
+	chaos.CheckpointDir = t.TempDir()
+	// Crash the serial engine (worker 0) mid-run, after the first
+	// windows have fired so snapshots exist to restore from.
+	chaos.Faults = faultinject.New().WithPanic(0, 25000)
+	panicsBefore := testRegistry.Engine().RecoveredPanics.Load()
+	recovered, err := RunAccuracy(chaos, "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testRegistry.Engine().RecoveredPanics.Load() == panicsBefore {
+		t.Error("fault never fired: the run did not exercise crash recovery")
+	}
+	if got, want := recovered.Render(), plain.Render(); got != want {
+		t.Errorf("fault-tolerant run diverged from the plain run:\nplain:\n%s\nrecovered:\n%s", want, got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -56,6 +57,20 @@ type Options struct {
 	// passed as stream.Config.Metrics). Callers that also want sketch
 	// counters should wire the registry with core.EnableMetrics first.
 	Metrics *obs.Registry
+	// CheckpointDir, when non-empty, runs every accuracy stream fault
+	// tolerantly: each run checkpoints into its own subdirectory of this
+	// directory and crashes recover automatically via
+	// stream.RunRecovering. Output is bit-identical to an
+	// un-checkpointed run.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in fired windows; values
+	// below 1 mean every window. Only meaningful with CheckpointDir.
+	CheckpointEvery int
+	// Faults optionally injects a deterministic fault plan into the
+	// stream runs (panic a worker, stall a partition, corrupt a stored
+	// checkpoint, duplicate a batch). Faults are one-shot across the
+	// whole experiment; recovery keeps the results identical.
+	Faults *faultinject.Plan
 	// Out receives progress logging; nil silences it.
 	Out io.Writer
 }

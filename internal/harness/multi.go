@@ -13,6 +13,7 @@ import (
 // the study. It is query-opaque: callers evaluate the named children.
 type multiSketch struct {
 	order    []string
+	builders map[string]sketch.Builder
 	children map[string]sketch.Sketch
 }
 
@@ -22,7 +23,7 @@ var _ sketch.Sketch = (*multiSketch)(nil)
 // the stream engine.
 func newMultiBuilder(order []string, builders map[string]sketch.Builder) sketch.Builder {
 	return func() sketch.Sketch {
-		m := &multiSketch{order: order, children: make(map[string]sketch.Sketch, len(order))}
+		m := &multiSketch{order: order, builders: builders, children: make(map[string]sketch.Sketch, len(order))}
 		for _, name := range order {
 			m.children[name] = builders[name]()
 		}
@@ -104,13 +105,66 @@ func (m *multiSketch) Reset() {
 	}
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler; the multiplexer is a
-// harness-internal vehicle and is not serializable.
+// multiTag is the type tag of the multiplexer's own wire format. It is
+// harness-local (not in sketch's shared tag space) because multi blobs
+// only ever live inside checkpoint envelopes written and read by the
+// harness itself.
+const multiTag byte = 0x7E
+
+// MarshalBinary implements encoding.BinaryMarshaler: each child's
+// serialized state, name-prefixed, in deterministic algorithm order.
+// Checkpointed harness runs persist the multiplexer through this.
 func (m *multiSketch) MarshalBinary() ([]byte, error) {
-	return nil, fmt.Errorf("harness: multi sketch is not serializable")
+	w := sketch.NewWriter(64)
+	w.Byte(multiTag)
+	w.Byte(sketch.SerdeVersion)
+	w.U32(uint32(len(m.order)))
+	for _, name := range m.order {
+		blob, err := m.children[name].MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("harness: multi child %s: %w", name, err)
+		}
+		w.Blob([]byte(name))
+		w.Blob(blob)
+	}
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
-func (m *multiSketch) UnmarshalBinary([]byte) error {
-	return fmt.Errorf("harness: multi sketch is not serializable")
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Decoding is
+// atomic: every child blob is decoded into a freshly built child first,
+// and the receiver adopts the new children only if all of them succeed.
+func (m *multiSketch) UnmarshalBinary(data []byte) error {
+	r := sketch.NewReader(data)
+	if r.Byte() != multiTag || r.Byte() != sketch.SerdeVersion {
+		return fmt.Errorf("harness: multi decode: %w", sketch.ErrCorrupt)
+	}
+	n := int(r.U32())
+	if r.Err() != nil || n != len(m.order) {
+		return fmt.Errorf("harness: multi decode: %d children, want %d: %w", n, len(m.order), sketch.ErrCorrupt)
+	}
+	fresh := make(map[string]sketch.Sketch, n)
+	for i := 0; i < n; i++ {
+		name := string(r.Blob())
+		blob := r.Blob()
+		if r.Err() != nil {
+			return fmt.Errorf("harness: multi decode: %w", r.Err())
+		}
+		if name != m.order[i] {
+			return fmt.Errorf("harness: multi decode: child %d is %q, want %q: %w", i, name, m.order[i], sketch.ErrCorrupt)
+		}
+		b := m.builders[name]
+		if b == nil {
+			return fmt.Errorf("harness: multi decode: no builder for child %q: %w", name, sketch.ErrCorrupt)
+		}
+		c := b()
+		if err := c.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("harness: multi decode child %s: %w", name, err)
+		}
+		fresh[name] = c
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("harness: multi decode: trailing bytes: %w", sketch.ErrCorrupt)
+	}
+	m.children = fresh
+	return nil
 }

@@ -45,6 +45,7 @@ type Sketch struct {
 	min    float64
 	max    float64
 	rng    *rand.Rand
+	pcg    *rand.PCG // rng's source, kept for exact state serialization
 	seed   uint64
 	caps   []int // cached per-level capacities for the current height
 
@@ -73,12 +74,14 @@ func NewWithSeed(k int, seed uint64) *Sketch {
 	if k < minCompactorSize {
 		panic(fmt.Sprintf("kll: k must be >= %d, got %d", minCompactorSize, k))
 	}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
 	return &Sketch{
 		k:      k,
 		levels: [][]float32{make([]float32, 0, 8)},
 		min:    math.Inf(1),
 		max:    math.Inf(-1),
-		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		rng:    rand.New(pcg),
+		pcg:    pcg,
 		seed:   seed,
 	}
 }
@@ -387,10 +390,15 @@ func clampF(x, lo, hi float64) float64 {
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	w := sketch.NewWriter(64 + 4*s.Retained())
+	w := sketch.NewWriter(96 + 4*s.Retained())
 	w.Header(sketch.TagKLL)
 	w.U32(uint32(s.k))
 	w.U64(s.seed)
+	rngState, err := s.pcg.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(rngState)
 	w.U64(s.count)
 	w.F64(s.min)
 	w.F64(s.max)
@@ -405,9 +413,10 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded
-// sketch re-seeds its compaction RNG from the serialized seed and current
-// count; the randomization stream differs from the original's but the
-// error guarantees are unaffected.
+// sketch restores the exact PCG state of the compaction RNG, so it
+// continues (inserts, compaction coin flips, future serializations)
+// bit-identically to the original — the contract stream checkpoint
+// recovery relies on.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	r := sketch.NewReader(data)
 	if err := r.Header(sketch.TagKLL); err != nil {
@@ -415,6 +424,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	}
 	k := int(r.U32())
 	seed := r.U64()
+	rngState := r.Blob()
 	count := r.U64()
 	minV := r.F64()
 	maxV := r.F64()
@@ -425,8 +435,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if k < minCompactorSize || k > 1<<24 || numLevels < 1 || numLevels > 64 {
 		return sketch.ErrCorrupt
 	}
-	ns := NewWithSeed(k, seed^count)
-	ns.seed = seed
+	ns := NewWithSeed(k, seed)
+	if err := ns.pcg.UnmarshalBinary(rngState); err != nil {
+		return sketch.ErrCorrupt
+	}
 	ns.count = count
 	ns.min = minV
 	ns.max = maxV

@@ -19,6 +19,7 @@ func fixtureConfig() Config {
 		FloatEqAllowFiles:      []string{"internal/floats/allowed.go"},
 		ContainerHeapScopes:    []string{"internal/streamimpl"},
 		QuantileLoopAllowFiles: []string{"internal/quantloop/allowed.go"},
+		NoPanicScopes:          []string{"internal/streamimpl"},
 	}
 }
 

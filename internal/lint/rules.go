@@ -28,11 +28,14 @@ const (
 	// RuleQuantileLoop flags loops that query a sketch one quantile at a
 	// time where a batched Quantiles/QuantileAll call applies.
 	RuleQuantileLoop = "quantile-loop"
+	// RuleNakedPanic flags undocumented panic calls in the fault-tolerant
+	// scopes (stream engine, checkpoint layer).
+	RuleNakedPanic = "naked-panic"
 )
 
 // Rules lists every rule name, in reporting order.
 func Rules() []string {
-	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic, RuleContainerHeap, RuleQuantileLoop}
+	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic, RuleContainerHeap, RuleQuantileLoop, RuleNakedPanic}
 }
 
 // KnownRule reports whether name is a recognized rule.
@@ -76,6 +79,10 @@ type Config struct {
 	// QuantileLoopAllowFiles are module-relative file paths exempt from
 	// the quantile-loop rule (the generic per-q fallback itself).
 	QuantileLoopAllowFiles []string
+	// NoPanicScopes are module-relative path prefixes where naked panic
+	// calls are forbidden (the fault-tolerant engine and checkpoint
+	// layers, where a stray panic defeats containment and recovery).
+	NoPanicScopes []string
 }
 
 // DefaultConfig returns the configuration used for this repository.
@@ -103,6 +110,10 @@ func DefaultConfig() Config {
 		// sketch.Quantiles itself hosts the per-q fallback loop for
 		// sketches without a batch kernel.
 		QuantileLoopAllowFiles: []string{"internal/sketch/sketch.go"},
+		// The crash-recovery contract: engine and checkpoint code turns
+		// failures into errors (or documents the panic as a programming-
+		// error guard); an undocumented panic escapes the recovery layer.
+		NoPanicScopes: []string{"internal/stream", "internal/checkpoint"},
 	}
 }
 
@@ -116,6 +127,7 @@ func Check(pkg *Package, cfg Config) []Finding {
 	out = append(out, checkPanic(pkg, cfg)...)
 	out = append(out, checkContainerHeap(pkg, cfg)...)
 	out = append(out, checkQuantileLoop(pkg, cfg)...)
+	out = append(out, checkNakedPanic(pkg, cfg)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -504,6 +516,58 @@ func rangeVarObjs(pkg *Package, rs *ast.RangeStmt) map[types.Object]bool {
 		}
 	}
 	return vars
+}
+
+// checkNakedPanic flags panic calls inside the fault-tolerant scopes
+// (stream engine, checkpoint layer). A panic there either deadlocks a
+// barrier or surfaces as a spurious "crash" the recovery machinery then
+// masks, so failures must travel as errors. The one allowed escape is a
+// function whose doc comment documents the panic as a deliberate
+// programming-error guard. Test files are never loaded, so injected-
+// fault panics in tests are out of scope by construction.
+func checkNakedPanic(pkg *Package, cfg Config) []Finding {
+	inScope := false
+	for _, scope := range cfg.NoPanicScopes {
+		if pkg.RelPath == scope || strings.HasPrefix(pkg.RelPath, scope+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "panic") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: RuleNakedPanic,
+					Msg:  fmt.Sprintf("naked panic in fault-tolerant scope (func %s): return an error so crash recovery can contain the failure, or document the panic in the doc comment", fn.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return out
 }
 
 // checkPanic flags panic calls in sketch packages. Allowed escapes:

@@ -19,3 +19,25 @@ func NextArrival(e *events) int {
 	heap.Init(e)
 	return heap.Pop(e).(int)
 }
+
+// drain pops the next arrival, aborting on an empty queue (the doc
+// comment does not mention the abort mechanism, so the rule fires).
+func drain(e *events) int {
+	if len(*e) == 0 {
+		panic("streamimpl: drain of empty queue") // want naked-panic
+	}
+	return NextArrival(e)
+}
+
+// mustSize validates a window size at construction time. It panics when
+// n is non-positive: a programming error caught before any stream runs,
+// documented here, so the naked-panic rule stays silent.
+func mustSize(n int) int {
+	if n <= 0 {
+		panic("streamimpl: non-positive size")
+	}
+	return n
+}
+
+var _ = drain
+var _ = mustSize

@@ -45,6 +45,7 @@ type Sketch struct {
 	count    uint64
 	min, max float64
 	rng      *rand.Rand
+	pcg      *rand.PCG // rng's source, kept for exact state serialization
 	seed     uint64
 
 	// auxScratch is reused by samples() across queries so repeated
@@ -63,12 +64,14 @@ func NewWithSeed(b, k int, seed uint64) *Sketch {
 	if b < 3 || k < 2 {
 		panic(fmt.Sprintf("mrl: need b >= 3 and k >= 2, got b=%d k=%d", b, k))
 	}
+	pcg := rand.NewPCG(seed, seed^0x94d049bb133111eb)
 	return &Sketch{
 		b:    b,
 		k:    k,
 		min:  math.Inf(1),
 		max:  math.Inf(-1),
-		rng:  rand.New(rand.NewPCG(seed, seed^0x94d049bb133111eb)),
+		rng:  rand.New(pcg),
+		pcg:  pcg,
 		seed: seed,
 	}
 }
@@ -327,18 +330,39 @@ func (s *Sketch) Reset() {
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	w := sketch.NewWriter(64 + 8*s.Retained())
+	w := sketch.NewWriter(96 + 8*s.Retained())
 	w.Byte(0x09) // private tag: mrl is a related baseline
 	w.Byte(sketch.SerdeVersion)
 	w.U32(uint32(s.b))
 	w.U32(uint32(s.k))
 	w.U64(s.seed)
+	rngState, err := s.pcg.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(rngState)
 	w.U64(s.count)
 	w.F64(s.min)
 	w.F64(s.max)
+	// The active buffer (the weight-1 buffer inserts currently land in)
+	// is one of s.buffers; record its index so a decoded sketch keeps
+	// filling the same buffer instead of allocating a fresh one.
+	active := int32(-1)
+	for i, b := range s.buffers {
+		if b == s.active {
+			active = int32(i)
+			break
+		}
+	}
+	w.U32(uint32(active))
 	w.U32(uint32(len(s.buffers)))
 	for _, b := range s.buffers {
 		w.U64(b.weight)
+		if b.sorted {
+			w.Byte(1)
+		} else {
+			w.Byte(0)
+		}
 		w.F64s(b.items)
 	}
 	return w.Bytes(), nil
@@ -353,9 +377,11 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	b := int(r.U32())
 	k := int(r.U32())
 	seed := r.U64()
+	rngState := r.Blob()
 	count := r.U64()
 	minV := r.F64()
 	maxV := r.F64()
+	active := int32(r.U32())
 	nb := int(r.U32())
 	if r.Err() != nil {
 		return r.Err()
@@ -363,13 +389,19 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if b < 3 || b > 1<<16 || k < 2 || k > 1<<24 || nb < 0 || nb > b+1 {
 		return sketch.ErrCorrupt
 	}
-	ns := NewWithSeed(b, k, seed^count)
-	ns.seed = seed
+	if active < -1 || int(active) >= nb {
+		return sketch.ErrCorrupt
+	}
+	ns := NewWithSeed(b, k, seed)
+	if err := ns.pcg.UnmarshalBinary(rngState); err != nil {
+		return sketch.ErrCorrupt
+	}
 	ns.count = count
 	ns.min = minV
 	ns.max = maxV
 	for i := 0; i < nb; i++ {
 		weight := r.U64()
+		sorted := r.Byte() == 1
 		items := r.F64s()
 		if r.Err() != nil {
 			return r.Err()
@@ -377,10 +409,16 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		if weight < 1 || len(items) > k {
 			return sketch.ErrCorrupt
 		}
-		ns.buffers = append(ns.buffers, &buffer{weight: weight, items: items})
+		ns.buffers = append(ns.buffers, &buffer{weight: weight, items: items, sorted: sorted})
 	}
 	if r.Remaining() != 0 {
 		return sketch.ErrCorrupt
+	}
+	if active >= 0 {
+		if bf := ns.buffers[active]; bf.weight != 1 {
+			return sketch.ErrCorrupt
+		}
+		ns.active = ns.buffers[active]
 	}
 	*s = *ns
 	return nil

@@ -165,6 +165,19 @@ type EngineMetrics struct {
 	// MaxBatchQueueDepth is the high-water mark of any parallel
 	// worker's channel depth (queued batch/fire messages).
 	MaxBatchQueueDepth Gauge
+	// SnapshotsTaken counts engine checkpoints persisted to the
+	// configured store.
+	SnapshotsTaken Counter
+	// SnapshotBytes totals the sealed size of persisted checkpoints.
+	SnapshotBytes Counter
+	// Restores counts successful resume-from-checkpoint operations.
+	Restores Counter
+	// ReplayedEvents counts source draws fast-forwarded during resumes
+	// (events re-generated to reach the checkpointed source offset).
+	ReplayedEvents Counter
+	// RecoveredPanics counts engine/worker panics converted into a
+	// restore-and-replay cycle by RunRecovering.
+	RecoveredPanics Counter
 }
 
 func (m *EngineMetrics) fields() []field {
@@ -176,6 +189,11 @@ func (m *EngineMetrics) fields() []field {
 		{"window_fires_total", counterKind, m.WindowFires.Load()},
 		{"max_watermark_lag_ns", gaugeKind, m.MaxWatermarkLagNS.Load()},
 		{"max_batch_queue_depth", gaugeKind, m.MaxBatchQueueDepth.Load()},
+		{"snapshots_total", counterKind, m.SnapshotsTaken.Load()},
+		{"snapshot_bytes_total", counterKind, m.SnapshotBytes.Load()},
+		{"restores_total", counterKind, m.Restores.Load()},
+		{"replayed_events_total", counterKind, m.ReplayedEvents.Load()},
+		{"recovered_panics_total", counterKind, m.RecoveredPanics.Load()},
 	}
 }
 

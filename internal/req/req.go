@@ -102,6 +102,7 @@ type Sketch struct {
 	count      uint64
 	min, max   float64
 	rng        *rand.Rand
+	pcg        *rand.PCG // rng's source, kept for exact state serialization
 	seed       uint64
 
 	// Sorted-view cache (values ascending with cumulative weights), built
@@ -129,13 +130,15 @@ func NewWithSeed(k int, hra bool, seed uint64) *Sketch {
 		panic(fmt.Sprintf("req: section size must be >= %d, got %d", minSectionSize, k))
 	}
 	k = nearestEven(float64(k))
+	pcg := rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9)
 	return &Sketch{
 		k:          k,
 		hra:        hra,
 		compactors: []*compactor{newCompactor(0, k)},
 		min:        math.Inf(1),
 		max:        math.Inf(-1),
-		rng:        rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9)),
+		rng:        rand.New(pcg),
+		pcg:        pcg,
 		seed:       seed,
 	}
 }
@@ -447,7 +450,7 @@ func clampF(x, lo, hi float64) float64 {
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	w := sketch.NewWriter(64 + 4*s.Retained())
+	w := sketch.NewWriter(96 + 4*s.Retained())
 	w.Header(sketch.TagReq)
 	w.U32(uint32(s.k))
 	if s.hra {
@@ -456,6 +459,11 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 		w.Byte(0)
 	}
 	w.U64(s.seed)
+	rngState, err := s.pcg.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(rngState)
 	w.U64(s.count)
 	w.F64(s.min)
 	w.F64(s.max)
@@ -474,8 +482,8 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. Like KLL, the
-// decoded sketch re-seeds its coin-flip RNG; error guarantees are
-// unaffected.
+// decoded sketch restores the exact PCG state of its coin-flip RNG, so
+// it continues bit-identically to the original.
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	r := sketch.NewReader(data)
 	if err := r.Header(sketch.TagReq); err != nil {
@@ -484,6 +492,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	k := int(r.U32())
 	hra := r.Byte() == 1
 	seed := r.U64()
+	rngState := r.Blob()
 	count := r.U64()
 	minV := r.F64()
 	maxV := r.F64()
@@ -494,8 +503,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if k < minSectionSize || k > 1<<20 || numLevels < 1 || numLevels > 64 {
 		return sketch.ErrCorrupt
 	}
-	ns := NewWithSeed(k, hra, seed^count)
-	ns.seed = seed
+	ns := NewWithSeed(k, hra, seed)
+	if err := ns.pcg.UnmarshalBinary(rngState); err != nil {
+		return sketch.ErrCorrupt
+	}
 	ns.count = count
 	ns.min = minV
 	ns.max = maxV

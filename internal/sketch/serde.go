@@ -22,7 +22,10 @@ const (
 )
 
 // SerdeVersion is bumped whenever any sketch's wire layout changes.
-const SerdeVersion byte = 1
+// Version 2 added the exact RNG state of the randomized sketches
+// (KLL/REQ/MRL) so a decoded sketch continues bit-identically to the
+// original — the property checkpoint/restore recovery is built on.
+const SerdeVersion byte = 2
 
 // Writer appends primitive values to a byte buffer in the shared codec.
 type Writer struct {
@@ -70,6 +73,12 @@ func (w *Writer) I64s(vs []int64) {
 	for _, v := range vs {
 		w.I64(v)
 	}
+}
+
+// Blob appends a length-prefixed opaque byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
 }
 
 // Header writes the standard (tag, version) prefix.
@@ -169,6 +178,21 @@ func (r *Reader) I64s() []int64 {
 		vs[i] = r.I64()
 	}
 	return vs
+}
+
+// Blob reads a length-prefixed opaque byte slice (a copy, never an
+// alias of the input buffer).
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || n > len(r.buf)-r.off {
+		if r.err == nil {
+			r.err = ErrCorrupt
+		}
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.take(n))
+	return b
 }
 
 // Header consumes and validates the (tag, version) prefix.

@@ -52,7 +52,10 @@ type SlidingAssigner struct {
 	Size, Slide time.Duration
 }
 
-// Assign implements Assigner.
+// Assign implements Assigner. It panics when the assigner is
+// misconfigured (Slide outside (0, Size]); that is a programming error
+// caught on the first event, before any recovery machinery is armed,
+// not a runtime fault the checkpoint layer should mask.
 func (a SlidingAssigner) Assign(t time.Duration) []Window {
 	if a.Slide <= 0 || a.Size < a.Slide {
 		panic("stream: sliding window needs 0 < Slide <= Size")

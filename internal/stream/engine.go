@@ -6,7 +6,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/sketch"
 )
@@ -39,8 +41,20 @@ type Config struct {
 	Workers int
 	// Values supplies the event payloads in generation order.
 	Values datagen.Source
+	// NewValues returns a fresh copy of the Values source, positioned at
+	// its start. Sources are forward-only, so crash recovery re-derives
+	// the event stream from a fresh source and fast-forwards it to the
+	// checkpointed offset: Resume and RunRecovering require NewValues.
+	// When set, every run draws from its own NewValues() result and
+	// Values may be nil.
+	NewValues func() datagen.Source
 	// Delay is the network-delay model; nil means ZeroDelay.
 	Delay DelayModel
+	// NewDelay is NewValues for the delay model. Stateless models
+	// (ZeroDelay, ConstantDelay) do not need it; a stateful model
+	// (ExponentialDelay) must provide it for Resume to reproduce the
+	// original delay sequence.
+	NewDelay func() DelayModel
 	// Builder constructs the sketch under test; one (per partition) per
 	// window.
 	Builder sketch.Builder
@@ -49,10 +63,25 @@ type Config struct {
 	CollectValues bool
 	// Metrics, when non-nil, receives engine-level counters (generated,
 	// inserted, dropped-late, rejected, window fires, watermark lag,
-	// batch-queue depth) as the run progresses. Counters accumulate
-	// across runs sharing the same EngineMetrics. Nil disables recording
-	// at the cost of one predictable branch per event.
+	// batch-queue depth, checkpoint/restore activity) as the run
+	// progresses. Counters accumulate across runs sharing the same
+	// EngineMetrics. Nil disables recording at the cost of one
+	// predictable branch per event.
 	Metrics *obs.EngineMetrics
+	// CheckpointStore, when non-nil, enables fault tolerance: the engine
+	// persists a sealed snapshot of its full state (watermark, stats,
+	// in-flight events, per-window × per-partition sketch blobs, source
+	// offset) at window-fire barriers. Resume restores the newest valid
+	// snapshot and replays the rest of the run bit-identically.
+	CheckpointStore checkpoint.Store
+	// CheckpointEvery is the snapshot cadence in fired windows; values
+	// below 1 default to 1 (a snapshot after every fired window).
+	CheckpointEvery int
+	// Faults, when non-nil, injects the configured deterministic faults
+	// (worker panics, partition stalls, duplicate batch deliveries) into
+	// the run — see internal/faultinject. Nil costs one predictable
+	// branch per event on the insert path.
+	Faults *faultinject.Plan
 }
 
 // WindowResult is the outcome of one fired tumbling window.
@@ -85,7 +114,8 @@ type WindowResult struct {
 //	Generated == Accepted + DroppedLate + RejectedInput
 //
 // holds on the serial, parallel and generic paths alike (enforced by
-// TestStatsIdentity / TestParallelDrainLosesNothing).
+// TestStatsIdentity / TestParallelDrainLosesNothing), and survives a
+// crash-and-resume cycle intact (TestCrashRecoveryDeterminism).
 type Stats struct {
 	// Generated is the number of events the source produced within the
 	// measured run (GenTime < NumWindows·WindowSize). Grace-period
@@ -125,6 +155,17 @@ type partialSink interface {
 	// every insert for that window applied. It is the fire barrier: the
 	// window's state is removed from the sink.
 	partials(win int) []sketch.Sketch
+	// snapshot returns, for every open window, one sealed checkpoint
+	// envelope per partition holding that partition sketch's serialized
+	// state (nil entries for partitions without a sketch). It is a
+	// barrier: every insert issued before the call is reflected.
+	snapshot() (map[int][][]byte, error)
+	// restore seeds window win's partition sketches from a decoded
+	// snapshot. It must be called before any insert for that window.
+	restore(win int, parts []sketch.Sketch)
+	// err reports a failure captured inside the sink (a worker panic)
+	// since the run began; the engine checks it at every fire barrier.
+	err() error
 	// close releases worker resources; the sink is unusable afterwards.
 	close()
 }
@@ -159,7 +200,40 @@ func (s *seqSink) partials(win int) []sketch.Sketch {
 	return ps
 }
 
+func (s *seqSink) snapshot() (map[int][][]byte, error) {
+	out := make(map[int][][]byte, len(s.open))
+	for win, ps := range s.open {
+		blobs := make([][]byte, s.partitions)
+		for part, sk := range ps {
+			if sk == nil {
+				continue
+			}
+			sealed, err := sealPartial(sk)
+			if err != nil {
+				return nil, err
+			}
+			blobs[part] = sealed
+		}
+		out[win] = blobs
+	}
+	return out, nil
+}
+
+func (s *seqSink) restore(win int, parts []sketch.Sketch) { s.open[win] = parts }
+
+func (s *seqSink) err() error { return nil }
+
 func (s *seqSink) close() {}
+
+// sealPartial serializes one partition sketch and wraps it in a named,
+// checksummed checkpoint envelope.
+func sealPartial(sk sketch.Sketch) ([]byte, error) {
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("stream: snapshot partial: %w", err)
+	}
+	return checkpoint.Seal(sk.Name(), blob)
+}
 
 // windowState accumulates the engine-side counters of one open window;
 // the partition sketches live in the partialSink.
@@ -194,14 +268,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers > cfg.Partitions {
 		cfg.Workers = cfg.Partitions
 	}
-	if cfg.Values == nil {
-		return nil, errors.New("stream: Values source is required")
+	if cfg.Values == nil && cfg.NewValues == nil {
+		return nil, errors.New("stream: Values source (or NewValues factory) is required")
 	}
 	if cfg.Builder == nil {
 		return nil, errors.New("stream: Builder is required")
 	}
 	if cfg.Delay == nil {
 		cfg.Delay = ZeroDelay{}
+	}
+	if cfg.CheckpointStore != nil && cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
 	}
 	return &Engine{cfg: cfg}, nil
 }
@@ -216,180 +293,297 @@ func (e *Engine) Run(emit func(WindowResult)) (Stats, error) {
 }
 
 func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
+	rs, err := e.newRunState(emit)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	defer rs.sink.close()
+	err = rs.loop()
+	return rs.stats, rs.lateOf, err
+}
+
+// runState is one run's mutable state, factored out of the run loop so
+// checkpoint restore can rebuild it mid-stream: a resumed run and an
+// uninterrupted run traverse the identical state sequence from the
+// snapshot point on.
+type runState struct {
+	cfg  Config
+	emit func(WindowResult)
+	met  *obs.EngineMetrics
+	sink partialSink
+
+	vals  datagen.Source
+	delay DelayModel
+
+	interval time.Duration
+	runEnd   time.Duration
+	genEnd   time.Duration
+
+	stats     Stats
+	inFlight  minHeap[Event]
+	open      map[int]*windowState
+	watermark time.Duration
+	nextFire  int           // next window index to fire
+	lateOf    map[int]int64 // window index → late drops (post-fire arrivals)
+
+	drawn     int64  // source draws so far (event n was draw n, zero-based)
+	fired     uint64 // windows fired so far (checkpoint sequence basis)
+	sinceSnap int    // fires since the last snapshot
+	snapEvery int    // snapshot cadence; math.MaxInt disables
+
+	builderName string // cached Builder product name for envelopes
+
+	serialFaults  *faultinject.Plan // non-nil only on the serial insert path
+	serialInserts int64             // engine-goroutine ("worker 0") insert count
+	partInserts   []int64           // per-partition insert counts (fault hooks)
+}
+
+func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
 	cfg := e.cfg
 	interval := time.Second / time.Duration(cfg.Rate)
 	if interval <= 0 {
-		return Stats{}, nil, fmt.Errorf("stream: rate %d too high for ns resolution", cfg.Rate)
+		return nil, fmt.Errorf("stream: rate %d too high for ns resolution", cfg.Rate)
 	}
 	runEnd := cfg.WindowSize * time.Duration(cfg.NumWindows)
-	// Grace period past the end so the final watermark passes runEnd:
-	// one window of extra events (discarded, they belong to window
-	// NumWindows) is plenty for realistic delay tails.
-	genEnd := runEnd + cfg.WindowSize
-
-	var sink partialSink
+	rs := &runState{
+		cfg:       cfg,
+		emit:      emit,
+		met:       cfg.Metrics,
+		vals:      cfg.Values,
+		delay:     cfg.Delay,
+		interval:  interval,
+		runEnd:    runEnd,
+		// Grace period past the end so the final watermark passes runEnd:
+		// one window of extra events (discarded, they belong to window
+		// NumWindows) is plenty for realistic delay tails.
+		genEnd:    runEnd + cfg.WindowSize,
+		open:      map[int]*windowState{},
+		watermark: -1,
+		lateOf:    map[int]int64{},
+		snapEvery: math.MaxInt,
+	}
+	if cfg.NewValues != nil {
+		rs.vals = cfg.NewValues()
+	}
+	if cfg.NewDelay != nil {
+		rs.delay = cfg.NewDelay()
+	}
 	if cfg.Workers > 1 {
-		sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics)
+		rs.sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics, cfg.Faults)
 	} else {
-		sink = newSeqSink(cfg.Builder, cfg.Partitions)
+		rs.sink = newSeqSink(cfg.Builder, cfg.Partitions)
+		rs.serialFaults = cfg.Faults
 	}
-	defer sink.close()
+	if rs.serialFaults != nil {
+		rs.partInserts = make([]int64, cfg.Partitions)
+	}
+	if cfg.CheckpointStore != nil {
+		rs.snapEvery = cfg.CheckpointEvery
+		rs.builderName = cfg.Builder().Name()
+	}
+	return rs, nil
+}
 
-	var (
-		stats     Stats
-		inFlight  minHeap[Event]
-		open                    = map[int]*windowState{}
-		watermark time.Duration = -1
-		nextFire  int           // next window index to fire
-	)
+// fire merges window w's partition sketches and emits the result. It is
+// the barrier at which worker failures surface and checkpoint cadence
+// advances.
+func (rs *runState) fire(w *windowState) error {
+	merged := rs.cfg.Builder()
+	parts := rs.sink.partials(w.index)
+	if err := rs.sink.err(); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if err := merged.Merge(p); err != nil {
+			return fmt.Errorf("stream: window merge: %w", err)
+		}
+	}
+	if rs.met != nil {
+		rs.met.WindowFires.Inc()
+	}
+	rs.fired++
+	rs.sinceSnap++
+	rs.emit(WindowResult{
+		Index:    w.index,
+		Start:    rs.cfg.WindowSize * time.Duration(w.index),
+		End:      rs.cfg.WindowSize * time.Duration(w.index+1),
+		Sketch:   merged,
+		Values:   w.values,
+		Accepted: w.accepted,
+	})
+	return nil
+}
 
-	met := cfg.Metrics
-
-	fire := func(w *windowState) error {
-		merged := cfg.Builder()
-		for _, p := range sink.partials(w.index) {
-			if p == nil {
-				continue
-			}
-			if err := merged.Merge(p); err != nil {
-				return fmt.Errorf("stream: window merge: %w", err)
+// process routes one arrived event: reject invalid payloads, drop late
+// events, insert the rest, then advance the watermark and fire every
+// window whose end it passed.
+func (rs *runState) process(ev Event) error {
+	cfg := &rs.cfg
+	wi := int(ev.GenTime / cfg.WindowSize)
+	switch {
+	case math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0):
+		// Poisoned payload: rejected before reaching any sketch or
+		// the collected values. The event still advances the
+		// watermark below — its timestamp is sound. Counted only
+		// inside the measured run so the Stats identity stays exact.
+		if wi >= 0 && wi < cfg.NumWindows {
+			rs.stats.RejectedInput++
+			if rs.met != nil {
+				rs.met.RejectedInput.Inc()
 			}
 		}
-		if met != nil {
-			met.WindowFires.Inc()
+	case wi < rs.nextFire:
+		// Window already fired: late event, dropped. Its GenTime is
+		// below the watermark by construction, so falling through to
+		// the watermark advance is a no-op.
+		if wi >= 0 && wi < cfg.NumWindows {
+			rs.lateOf[wi]++
+			rs.stats.DroppedLate++
+			if rs.met != nil {
+				rs.met.DroppedLate.Inc()
+			}
 		}
-		emit(WindowResult{
-			Index:    w.index,
-			Start:    cfg.WindowSize * time.Duration(w.index),
-			End:      cfg.WindowSize * time.Duration(w.index+1),
-			Sketch:   merged,
-			Values:   w.values,
-			Accepted: w.accepted,
-		})
-		return nil
+	case wi < cfg.NumWindows:
+		w := rs.open[wi]
+		if w == nil {
+			w = &windowState{index: wi}
+			rs.open[wi] = w
+		}
+		part := ev.Partition % cfg.Partitions
+		if rs.serialFaults != nil {
+			rs.serialFaults.OnEvent(0, part, rs.serialInserts, rs.partInserts[part])
+			rs.serialInserts++
+			rs.partInserts[part]++
+		}
+		rs.sink.insert(wi, part, ev.Value)
+		w.accepted++
+		rs.stats.Accepted++
+		if rs.met != nil {
+			rs.met.Inserted.Inc()
+		}
+		if cfg.CollectValues {
+			w.values = append(w.values, ev.Value)
+		}
 	}
-
-	lateOf := map[int]int64{} // window index → late drops (post-fire arrivals)
-
-	process := func(ev Event) error {
-		wi := int(ev.GenTime / cfg.WindowSize)
-		switch {
-		case math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0):
-			// Poisoned payload: rejected before reaching any sketch or
-			// the collected values. The event still advances the
-			// watermark below — its timestamp is sound. Counted only
-			// inside the measured run so the Stats identity stays exact.
-			if wi >= 0 && wi < cfg.NumWindows {
-				stats.RejectedInput++
-				if met != nil {
-					met.RejectedInput.Inc()
-				}
+	if ev.GenTime > rs.watermark {
+		rs.watermark = ev.GenTime
+		// Fire every window whose end the watermark has passed.
+		for rs.nextFire < cfg.NumWindows {
+			end := cfg.WindowSize * time.Duration(rs.nextFire+1)
+			if rs.watermark < end {
+				break
 			}
-		case wi < nextFire:
-			// Window already fired: late event, dropped. Its GenTime is
-			// below the watermark by construction, so falling through to
-			// the watermark advance is a no-op.
-			if wi >= 0 && wi < cfg.NumWindows {
-				lateOf[wi]++
-				stats.DroppedLate++
-				if met != nil {
-					met.DroppedLate.Inc()
-				}
-			}
-		case wi < cfg.NumWindows:
-			w := open[wi]
+			w := rs.open[rs.nextFire]
 			if w == nil {
-				w = &windowState{index: wi}
-				open[wi] = w
+				w = &windowState{index: rs.nextFire}
 			}
-			sink.insert(wi, ev.Partition%cfg.Partitions, ev.Value)
-			w.accepted++
-			stats.Accepted++
-			if met != nil {
-				met.Inserted.Inc()
+			delete(rs.open, rs.nextFire)
+			// Late counts accrue after firing; attach the state so the
+			// final accounting can pick them up via lateOf.
+			if err := rs.fire(w); err != nil {
+				return err
 			}
-			if cfg.CollectValues {
-				w.values = append(w.values, ev.Value)
-			}
+			rs.nextFire++
 		}
-		if ev.GenTime > watermark {
-			watermark = ev.GenTime
-			// Fire every window whose end the watermark has passed.
-			for nextFire < cfg.NumWindows {
-				end := cfg.WindowSize * time.Duration(nextFire+1)
-				if watermark < end {
-					break
-				}
-				w := open[nextFire]
-				if w == nil {
-					w = &windowState{index: nextFire}
-				}
-				delete(open, nextFire)
-				// Late counts accrue after firing; attach the state so the
-				// final accounting can pick them up via lateOf.
-				if err := fire(w); err != nil {
-					return err
-				}
-				nextFire++
-			}
-		}
-		if met != nil {
-			// How far arrival order ran ahead of event time: the delay
-			// model's effective disorder, as seen by the engine.
-			if lag := int64(ev.Arrival - watermark); lag > 0 {
-				met.MaxWatermarkLagNS.Max(lag)
-			}
-		}
-		return nil
 	}
+	if rs.met != nil {
+		// How far arrival order ran ahead of event time: the delay
+		// model's effective disorder, as seen by the engine.
+		if lag := int64(ev.Arrival - rs.watermark); lag > 0 {
+			rs.met.MaxWatermarkLagNS.Max(lag)
+		}
+	}
+	return nil
+}
 
-	part := 0
-	for gen := time.Duration(0); gen < genEnd; gen += interval {
-		v := cfg.Values.Next()
-		d := cfg.Delay.Delay()
-		if gen < runEnd {
+// drain processes every in-flight event that has arrived by gen. Any
+// event generated later arrives at ≥ its own gen time ≥ gen, so
+// everything in flight with arrival ≤ gen is safe to process.
+func (rs *runState) drain(gen time.Duration) error {
+	for rs.inFlight.Len() > 0 && rs.inFlight.Min().Arrival <= gen {
+		if err := rs.process(rs.inFlight.Pop()); err != nil {
+			return err
+		}
+		if rs.sinceSnap >= rs.snapEvery {
+			if err := rs.maybeSnapshot(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loop is the run driver: generate, drain, fire, until the source is
+// exhausted and every tracked window has fired. On a resumed state
+// (drawn > 0) it first finishes the arrival drain the snapshot
+// interrupted, then continues generating from the checkpointed source
+// offset — the exact state sequence of an uninterrupted run. Panics on
+// the engine goroutine (including injected faults on the serial insert
+// path) are converted into a *PanicError result.
+func (rs *runState) loop() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = asPanicError(r)
+		}
+	}()
+	cfg := rs.cfg
+	if rs.drawn > 0 {
+		if err := rs.drain(rs.interval * time.Duration(rs.drawn-1)); err != nil {
+			return err
+		}
+	}
+	part := int(rs.drawn % int64(cfg.Partitions))
+	for gen := rs.interval * time.Duration(rs.drawn); gen < rs.genEnd; gen += rs.interval {
+		v := rs.vals.Next()
+		d := rs.delay.Delay()
+		if gen < rs.runEnd {
 			// Grace-period events (gen ≥ runEnd) exist only to push the
 			// watermark past the final boundary; they belong to no
 			// tracked window and are excluded from the accounting so
 			// Generated == Accepted + DroppedLate + RejectedInput holds
 			// exactly.
-			stats.Generated++
-			if met != nil {
-				met.Generated.Inc()
+			rs.stats.Generated++
+			if rs.met != nil {
+				rs.met.Generated.Inc()
 			}
 		}
-		inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v, Partition: part})
+		rs.drawn++
+		rs.inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v, Partition: part})
 		part++
 		if part == cfg.Partitions {
 			part = 0
 		}
-		// Any event generated later arrives at ≥ its own gen time ≥ gen,
-		// so everything in flight with arrival ≤ gen is safe to process.
-		for inFlight.Len() > 0 && inFlight.Min().Arrival <= gen {
-			if err := process(inFlight.Pop()); err != nil {
-				return stats, lateOf, err
-			}
+		if err := rs.drain(gen); err != nil {
+			return err
 		}
 	}
-	for inFlight.Len() > 0 {
-		if err := process(inFlight.Pop()); err != nil {
-			return stats, lateOf, err
+	for rs.inFlight.Len() > 0 {
+		if err := rs.process(rs.inFlight.Pop()); err != nil {
+			return err
+		}
+		if rs.sinceSnap >= rs.snapEvery {
+			if err := rs.maybeSnapshot(); err != nil {
+				return err
+			}
 		}
 	}
 	// Fire any windows still open (source exhausted before watermark
 	// passed their end — only possible for the final window on extreme
 	// delays).
-	for ; nextFire < cfg.NumWindows; nextFire++ {
-		w := open[nextFire]
+	for ; rs.nextFire < cfg.NumWindows; rs.nextFire++ {
+		w := rs.open[rs.nextFire]
 		if w == nil {
-			w = &windowState{index: nextFire}
+			w = &windowState{index: rs.nextFire}
 		}
-		delete(open, nextFire)
-		if err := fire(w); err != nil {
-			return stats, lateOf, err
+		delete(rs.open, rs.nextFire)
+		if err := rs.fire(w); err != nil {
+			return err
 		}
 	}
-	return stats, lateOf, nil
+	return nil
 }
 
 // RunCollect is Run but returning the window results as a slice, with

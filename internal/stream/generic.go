@@ -7,7 +7,9 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/sketch"
 )
@@ -41,8 +43,13 @@ type GenericConfig struct {
 	WatermarkLag time.Duration
 	// Values supplies event payloads in generation order.
 	Values datagen.Source
+	// NewValues returns a fresh copy of the Values source (see
+	// Config.NewValues); required by ResumeGeneric.
+	NewValues func() datagen.Source
 	// Delay is the network-delay model; nil means ZeroDelay.
 	Delay DelayModel
+	// NewDelay is NewValues for the delay model (see Config.NewDelay).
+	NewDelay func() DelayModel
 	// Builder constructs the per-window sketch.
 	Builder sketch.Builder
 	// CollectValues materializes accepted events per window.
@@ -50,6 +57,16 @@ type GenericConfig struct {
 	// Metrics, when non-nil, receives engine-level counters as the run
 	// progresses (see Config.Metrics).
 	Metrics *obs.EngineMetrics
+	// CheckpointStore, when non-nil, enables snapshots at window-fire
+	// points (see Config.CheckpointStore).
+	CheckpointStore checkpoint.Store
+	// CheckpointEvery is the snapshot cadence in fired windows; values
+	// below 1 default to 1.
+	CheckpointEvery int
+	// Faults, when non-nil, injects deterministic faults into the run
+	// (see Config.Faults). The generic engine is single-threaded, so
+	// hooks fire as worker 0, partition 0.
+	Faults *faultinject.Plan
 }
 
 // GenericResult is one fired window from the generic engine.
@@ -81,14 +98,17 @@ func NewGenericEngine(cfg GenericConfig) (*GenericEngine, error) {
 	if cfg.RunLength <= 0 {
 		return nil, errors.New("stream: RunLength must be positive")
 	}
-	if cfg.Values == nil {
-		return nil, errors.New("stream: Values source is required")
+	if cfg.Values == nil && cfg.NewValues == nil {
+		return nil, errors.New("stream: Values source (or NewValues factory) is required")
 	}
 	if cfg.Builder == nil {
 		return nil, errors.New("stream: Builder is required")
 	}
 	if cfg.Delay == nil {
 		cfg.Delay = ZeroDelay{}
+	}
+	if cfg.CheckpointStore != nil && cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
 	}
 	return &GenericEngine{cfg: cfg}, nil
 }
@@ -101,140 +121,171 @@ type genWindowState struct {
 	accepted int64
 }
 
-// Run executes the job, emitting windows ordered by (End, Start). It
-// returns engine stats; late events (arriving after their window fired,
-// beyond AllowedLateness) are dropped and counted.
-func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
+// genRunState is one generic run's mutable state, factored out like
+// runState so checkpoint restore can rebuild it mid-stream.
+type genRunState struct {
+	cfg  GenericConfig
+	emit func(GenericResult)
+	met  *obs.EngineMetrics
+
+	vals  datagen.Source
+	delay DelayModel
+
+	interval time.Duration
+
+	stats     Stats
+	inFlight  minHeap[Event]
+	open      map[Window]*genWindowState
+	watermark time.Duration
+
+	drawn     int64
+	fired     uint64
+	sinceSnap int
+	snapEvery int
+
+	builderName string
+	inserts     int64 // fault-hook insert count (worker 0, partition 0)
+}
+
+func (e *GenericEngine) newRunState(emit func(GenericResult)) (*genRunState, error) {
 	cfg := e.cfg
 	interval := time.Second / time.Duration(cfg.Rate)
 	if interval <= 0 {
-		return Stats{}, fmt.Errorf("stream: rate %d too high for ns resolution", cfg.Rate)
+		return nil, fmt.Errorf("stream: rate %d too high for ns resolution", cfg.Rate)
 	}
+	rs := &genRunState{
+		cfg:       cfg,
+		emit:      emit,
+		met:       cfg.Metrics,
+		vals:      cfg.Values,
+		delay:     cfg.Delay,
+		interval:  interval,
+		open:      map[Window]*genWindowState{},
+		watermark: -1,
+		snapEvery: math.MaxInt,
+	}
+	if cfg.NewValues != nil {
+		rs.vals = cfg.NewValues()
+	}
+	if cfg.NewDelay != nil {
+		rs.delay = cfg.NewDelay()
+	}
+	if cfg.CheckpointStore != nil {
+		rs.snapEvery = cfg.CheckpointEvery
+		rs.builderName = cfg.Builder().Name()
+	}
+	return rs, nil
+}
 
-	var (
-		stats     Stats
-		inFlight  minHeap[Event]
-		open                    = map[Window]*genWindowState{}
-		watermark time.Duration = -1
-	)
-	met := cfg.Metrics
+func (rs *genRunState) fire(w *genWindowState) {
+	if rs.met != nil {
+		rs.met.WindowFires.Inc()
+	}
+	rs.fired++
+	rs.sinceSnap++
+	rs.emit(GenericResult{Window: w.win, Sketch: w.sk, Values: w.values, Accepted: w.accepted})
+}
 
-	fire := func(w *genWindowState) {
-		if met != nil {
-			met.WindowFires.Inc()
+// fireReady fires every open window whose end (+lateness) the
+// watermark has passed, in deterministic (End, Start) order.
+func (rs *genRunState) fireReady() {
+	var ready []*genWindowState
+	for win, w := range rs.open {
+		if rs.watermark >= win.End+rs.cfg.AllowedLateness {
+			ready = append(ready, w)
 		}
-		emit(GenericResult{Window: w.win, Sketch: w.sk, Values: w.values, Accepted: w.accepted})
 	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].win.End != ready[j].win.End {
+			return ready[i].win.End < ready[j].win.End
+		}
+		return ready[i].win.Start < ready[j].win.Start
+	})
+	for _, w := range ready {
+		delete(rs.open, w.win)
+		rs.fire(w)
+	}
+}
 
-	// fireReady fires every open window whose end (+lateness) the
-	// watermark has passed, in deterministic (End, Start) order.
-	fireReady := func() {
-		var ready []*genWindowState
-		for win, w := range open {
-			if watermark >= win.End+cfg.AllowedLateness {
-				ready = append(ready, w)
+func (rs *genRunState) process(ev Event) error {
+	cfg := rs.cfg
+	eventTime := ev.GenTime
+	if cfg.UseIngestionTime {
+		eventTime = ev.Arrival
+	}
+	if math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0) {
+		// Poisoned payload: rejected before window assignment or any
+		// sketch insert; the event still advances the watermark.
+		rs.stats.RejectedInput++
+		if rs.met != nil {
+			rs.met.RejectedInput.Inc()
+		}
+	} else {
+		wins := cfg.Assigner.Assign(eventTime)
+		if cfg.Assigner.MergesWindows() {
+			merged, err := rs.mergeSessions(wins[0])
+			if err != nil {
+				return err
 			}
+			wins = merged
 		}
-		sort.Slice(ready, func(i, j int) bool {
-			if ready[i].win.End != ready[j].win.End {
-				return ready[i].win.End < ready[j].win.End
+		accepted := false
+		for _, win := range wins {
+			// A window that already fired (its end passed the fired
+			// horizon and it is no longer open) rejects the event.
+			if rs.watermark >= win.End+cfg.AllowedLateness && rs.open[win] == nil {
+				continue
 			}
-			return ready[i].win.Start < ready[j].win.Start
-		})
-		for _, w := range ready {
-			delete(open, w.win)
-			fire(w)
+			w := rs.open[win]
+			if w == nil {
+				w = &genWindowState{win: win, sk: cfg.Builder()}
+				rs.open[win] = w
+			}
+			if cfg.Faults != nil {
+				cfg.Faults.OnEvent(0, 0, rs.inserts, rs.inserts)
+				rs.inserts++
+			}
+			w.sk.Insert(ev.Value)
+			w.accepted++
+			if cfg.CollectValues {
+				w.values = append(w.values, ev.Value)
+			}
+			accepted = true
 		}
-	}
-
-	process := func(ev Event) {
-		eventTime := ev.GenTime
-		if cfg.UseIngestionTime {
-			eventTime = ev.Arrival
-		}
-		if math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0) {
-			// Poisoned payload: rejected before window assignment or any
-			// sketch insert; the event still advances the watermark.
-			stats.RejectedInput++
-			if met != nil {
-				met.RejectedInput.Inc()
+		if accepted {
+			rs.stats.Accepted++
+			if rs.met != nil {
+				rs.met.Inserted.Inc()
 			}
 		} else {
-			wins := cfg.Assigner.Assign(eventTime)
-			if cfg.Assigner.MergesWindows() {
-				wins = e.mergeSessions(open, wins[0])
-			}
-			accepted := false
-			for _, win := range wins {
-				// A window that already fired (its end passed the fired
-				// horizon and it is no longer open) rejects the event.
-				if watermark >= win.End+cfg.AllowedLateness && open[win] == nil {
-					continue
-				}
-				w := open[win]
-				if w == nil {
-					w = &genWindowState{win: win, sk: cfg.Builder()}
-					open[win] = w
-				}
-				w.sk.Insert(ev.Value)
-				w.accepted++
-				if cfg.CollectValues {
-					w.values = append(w.values, ev.Value)
-				}
-				accepted = true
-			}
-			if accepted {
-				stats.Accepted++
-				if met != nil {
-					met.Inserted.Inc()
-				}
-			} else {
-				stats.DroppedLate++
-				if met != nil {
-					met.DroppedLate.Inc()
-				}
-			}
-		}
-		if wm := eventTime - cfg.WatermarkLag; wm > watermark {
-			watermark = wm
-			fireReady()
-		}
-		if met != nil {
-			if lag := int64(ev.Arrival - watermark); lag > 0 {
-				met.MaxWatermarkLagNS.Max(lag)
+			rs.stats.DroppedLate++
+			if rs.met != nil {
+				rs.met.DroppedLate.Inc()
 			}
 		}
 	}
-
-	genEnd := cfg.RunLength
-	for gen := time.Duration(0); gen < genEnd; gen += interval {
-		v := cfg.Values.Next()
-		d := cfg.Delay.Delay()
-		stats.Generated++
-		if met != nil {
-			met.Generated.Inc()
-		}
-		inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v})
-		for inFlight.Len() > 0 && inFlight.Min().Arrival <= gen {
-			process(inFlight.Pop())
+	if wm := eventTime - cfg.WatermarkLag; wm > rs.watermark {
+		rs.watermark = wm
+		rs.fireReady()
+	}
+	if rs.met != nil {
+		if lag := int64(ev.Arrival - rs.watermark); lag > 0 {
+			rs.met.MaxWatermarkLagNS.Max(lag)
 		}
 	}
-	for inFlight.Len() > 0 {
-		process(inFlight.Pop())
-	}
-	// Source exhausted: advance the watermark to +∞ and flush.
-	watermark = 1 << 62
-	fireReady()
-	return stats, nil
+	return nil
 }
 
 // mergeSessions folds the proto-window into any overlapping open session
 // windows, transferring their state into the union window. It returns
-// the single resulting window.
-func (e *GenericEngine) mergeSessions(open map[Window]*genWindowState, proto Window) []Window {
+// the single resulting window. A sketch merge failure — same-builder
+// sketches normally always merge — propagates as an error that aborts
+// the run rather than panicking, so a harness driving many
+// configurations can report the failed one and continue.
+func (rs *genRunState) mergeSessions(proto Window) ([]Window, error) {
 	union := proto
 	var absorbed []*genWindowState
-	for win, w := range open {
+	for win, w := range rs.open {
 		if win.Start < union.End && union.Start < win.End { // overlap
 			if win.Start < union.Start {
 				union.Start = win.Start
@@ -246,24 +297,253 @@ func (e *GenericEngine) mergeSessions(open map[Window]*genWindowState, proto Win
 		}
 	}
 	if len(absorbed) == 0 {
-		return []Window{union}
+		return []Window{union}, nil
 	}
 	if len(absorbed) == 1 && absorbed[0].win == union {
-		return []Window{union}
+		return []Window{union}, nil
 	}
 	// Deterministic merge order.
 	sort.Slice(absorbed, func(i, j int) bool { return absorbed[i].win.Start < absorbed[j].win.Start })
-	merged := &genWindowState{win: union, sk: e.cfg.Builder()}
+	merged := &genWindowState{win: union, sk: rs.cfg.Builder()}
 	for _, w := range absorbed {
-		delete(open, w.win)
+		delete(rs.open, w.win)
 		if err := merged.sk.Merge(w.sk); err != nil {
-			// Same-builder sketches always merge; a failure here is a
-			// programming error worth failing loudly on.
-			panic(fmt.Sprintf("stream: session merge: %v", err))
+			return nil, fmt.Errorf("stream: session merge [%v, %v) into [%v, %v): %w",
+				w.win.Start, w.win.End, union.Start, union.End, err)
 		}
 		merged.accepted += w.accepted
 		merged.values = append(merged.values, w.values...)
 	}
-	open[union] = merged
-	return []Window{union}
+	rs.open[union] = merged
+	return []Window{union}, nil
+}
+
+// maybeSnapshot is the generic engine's checkpoint cadence check,
+// mirroring runState.maybeSnapshot.
+func (rs *genRunState) maybeSnapshot() error {
+	if rs.sinceSnap < rs.snapEvery {
+		return nil
+	}
+	rs.sinceSnap = 0
+	return rs.snapshot()
+}
+
+// snapshot captures the generic run state. Open windows are stored with
+// Index -1 and their [Start, End) span, each with a single sealed
+// sketch blob (the generic engine has no partitions).
+func (rs *genRunState) snapshot() error {
+	snap := &checkpoint.Snapshot{
+		Seq:           rs.fired,
+		SketchName:    rs.builderName,
+		Drawn:         rs.drawn,
+		Watermark:     int64(rs.watermark),
+		Generated:     rs.stats.Generated,
+		Accepted:      rs.stats.Accepted,
+		DroppedLate:   rs.stats.DroppedLate,
+		RejectedInput: rs.stats.RejectedInput,
+	}
+	snap.InFlight = make([]checkpoint.Event, len(rs.inFlight.data))
+	for i, ev := range rs.inFlight.data {
+		snap.InFlight[i] = checkpoint.Event{
+			Gen:       int64(ev.GenTime),
+			Arrival:   int64(ev.Arrival),
+			Value:     ev.Value,
+			Partition: int64(ev.Partition),
+		}
+	}
+	wins := make([]Window, 0, len(rs.open))
+	for win := range rs.open {
+		wins = append(wins, win)
+	}
+	sort.Slice(wins, func(i, j int) bool {
+		if wins[i].Start != wins[j].Start {
+			return wins[i].Start < wins[j].Start
+		}
+		return wins[i].End < wins[j].End
+	})
+	for _, win := range wins {
+		w := rs.open[win]
+		sealed, err := sealPartial(w.sk)
+		if err != nil {
+			return err
+		}
+		ws := checkpoint.WindowSnap{
+			Index:    -1,
+			Start:    int64(win.Start),
+			End:      int64(win.End),
+			Accepted: w.accepted,
+			Partials: [][]byte{sealed},
+		}
+		if w.values != nil {
+			ws.HasValues = true
+			ws.Values = w.values
+		}
+		snap.Windows = append(snap.Windows, ws)
+	}
+	data, err := checkpoint.EncodeSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("stream: checkpoint encode: %w", err)
+	}
+	if err := rs.cfg.CheckpointStore.Put(snap.Seq, data); err != nil {
+		return fmt.Errorf("stream: checkpoint put: %w", err)
+	}
+	if rs.met != nil {
+		rs.met.SnapshotsTaken.Inc()
+		rs.met.SnapshotBytes.Add(int64(len(data)))
+	}
+	return nil
+}
+
+// restore rebuilds the generic run state from a decoded snapshot.
+func (rs *genRunState) restore(snap *checkpoint.Snapshot) error {
+	if snap.SketchName != rs.builderName {
+		return fmt.Errorf("stream: snapshot holds %q sketches, engine builds %q", snap.SketchName, rs.builderName)
+	}
+	if snap.Drawn < 0 {
+		return fmt.Errorf("stream: snapshot state out of range for this config: %w", checkpoint.ErrCorrupt)
+	}
+	rs.drawn = snap.Drawn
+	rs.fired = snap.Seq
+	rs.watermark = time.Duration(snap.Watermark)
+	rs.stats = Stats{
+		Generated:     snap.Generated,
+		Accepted:      snap.Accepted,
+		DroppedLate:   snap.DroppedLate,
+		RejectedInput: snap.RejectedInput,
+	}
+	rs.inFlight.data = make([]Event, len(snap.InFlight))
+	for i, ev := range snap.InFlight {
+		rs.inFlight.data[i] = Event{
+			GenTime:   time.Duration(ev.Gen),
+			Arrival:   time.Duration(ev.Arrival),
+			Value:     ev.Value,
+			Partition: int(ev.Partition),
+		}
+	}
+	for i := range snap.Windows {
+		ws := &snap.Windows[i]
+		if ws.Index != -1 || len(ws.Partials) != 1 || ws.Partials[0] == nil {
+			return fmt.Errorf("stream: snapshot window %d is not a generic-engine window: %w", i, checkpoint.ErrCorrupt)
+		}
+		sk, err := decodePartial(rs.cfg.Builder, rs.builderName, ws.Partials[0])
+		if err != nil {
+			return err
+		}
+		win := Window{Start: time.Duration(ws.Start), End: time.Duration(ws.End)}
+		w := &genWindowState{win: win, sk: sk, accepted: ws.Accepted}
+		if ws.HasValues {
+			w.values = ws.Values
+		}
+		rs.open[win] = w
+	}
+	for i := int64(0); i < snap.Drawn; i++ {
+		rs.vals.Next()
+		rs.delay.Delay()
+	}
+	if rs.met != nil {
+		rs.met.Restores.Inc()
+		rs.met.ReplayedEvents.Add(snap.Drawn)
+	}
+	return nil
+}
+
+// loop drives the generic run; on a resumed state (drawn > 0) it first
+// finishes the interrupted arrival drain, then continues generating
+// from the checkpointed source offset. Panics (including injected
+// faults) are converted into a *PanicError result.
+func (rs *genRunState) loop() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = asPanicError(r)
+		}
+	}()
+	cfg := rs.cfg
+	drainTo := func(gen time.Duration) error {
+		for rs.inFlight.Len() > 0 && rs.inFlight.Min().Arrival <= gen {
+			if err := rs.process(rs.inFlight.Pop()); err != nil {
+				return err
+			}
+			if err := rs.maybeSnapshot(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if rs.drawn > 0 {
+		if err := drainTo(rs.interval * time.Duration(rs.drawn-1)); err != nil {
+			return err
+		}
+	}
+	for gen := rs.interval * time.Duration(rs.drawn); gen < cfg.RunLength; gen += rs.interval {
+		v := rs.vals.Next()
+		d := rs.delay.Delay()
+		rs.drawn++
+		rs.stats.Generated++
+		if rs.met != nil {
+			rs.met.Generated.Inc()
+		}
+		rs.inFlight.Push(Event{GenTime: gen, Arrival: gen + d, Value: v})
+		if err := drainTo(gen); err != nil {
+			return err
+		}
+	}
+	for rs.inFlight.Len() > 0 {
+		if err := rs.process(rs.inFlight.Pop()); err != nil {
+			return err
+		}
+		if err := rs.maybeSnapshot(); err != nil {
+			return err
+		}
+	}
+	// Source exhausted: advance the watermark to +∞ and flush.
+	rs.watermark = 1 << 62
+	rs.fireReady()
+	return nil
+}
+
+// Run executes the job, emitting windows ordered by (End, Start). It
+// returns engine stats; late events (arriving after their window fired,
+// beyond AllowedLateness) are dropped and counted.
+func (e *GenericEngine) Run(emit func(GenericResult)) (Stats, error) {
+	rs, err := e.newRunState(emit)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := rs.loop(); err != nil {
+		return Stats{}, err
+	}
+	return rs.stats, nil
+}
+
+// ResumeGeneric restores the newest valid snapshot in
+// cfg.CheckpointStore and runs the generic job to completion from
+// there, emitting the windows fired after the snapshot point. Requires
+// CheckpointStore and NewValues, like Resume.
+func ResumeGeneric(cfg GenericConfig, emit func(GenericResult)) (Stats, error) {
+	e, err := NewGenericEngine(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	cfg = e.cfg
+	if cfg.CheckpointStore == nil {
+		return Stats{}, errors.New("stream: ResumeGeneric requires CheckpointStore")
+	}
+	if cfg.NewValues == nil {
+		return Stats{}, errors.New("stream: ResumeGeneric requires NewValues (sources are forward-only)")
+	}
+	snap, _, _, err := checkpoint.LatestValid(cfg.CheckpointStore)
+	if err != nil {
+		return Stats{}, err
+	}
+	rs, err := e.newRunState(emit)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := rs.restore(snap); err != nil {
+		return Stats{}, err
+	}
+	if err := rs.loop(); err != nil {
+		return Stats{}, err
+	}
+	return rs.stats, nil
 }

@@ -1,0 +1,193 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/kll"
+	"repro/internal/sketch"
+)
+
+// brokenMergeSketch wraps a sketch and fails every Merge — the fault a
+// mismatched or corrupted partial produces in production.
+type brokenMergeSketch struct {
+	sketch.Sketch
+}
+
+func (b *brokenMergeSketch) Merge(sketch.Sketch) error {
+	return errors.New("deliberate merge failure")
+}
+
+// TestSessionMergeErrorPropagates is the regression test for the
+// session-merge failure path: a sketch Merge error during session
+// window merging must surface as the run's error — not a panic that
+// kills a harness driving many configurations.
+func TestSessionMergeErrorPropagates(t *testing.T) {
+	eng, err := NewGenericEngine(GenericConfig{
+		Assigner:  SessionAssigner{Gap: 2 * time.Second},
+		Rate:      100,
+		RunLength: time.Second,
+		Values:    datagen.NewUniform(1, 2, 9),
+		Builder: func() sketch.Sketch {
+			return &brokenMergeSketch{Sketch: kll.NewWithSeed(64, 1)}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("session merge failure escaped as a panic: %v", r)
+		}
+	}()
+	_, err = eng.Run(func(GenericResult) {})
+	if err == nil {
+		t.Fatal("merge failure did not surface as a run error")
+	}
+	if !strings.Contains(err.Error(), "session merge") {
+		t.Errorf("error %q does not identify the session merge", err)
+	}
+	if !strings.Contains(err.Error(), "deliberate merge failure") {
+		t.Errorf("error %q does not wrap the sketch's merge error", err)
+	}
+}
+
+// genericRecoveryCfg drives sliding windows (every event lands in two
+// windows) with late drops, so the generic engine's checkpoint covers
+// overlapping open windows.
+func genericRecoveryCfg() GenericConfig {
+	return GenericConfig{
+		Assigner:      SlidingAssigner{Size: 400 * time.Millisecond, Slide: 200 * time.Millisecond},
+		Rate:          2000,
+		RunLength:     5 * time.Second,
+		NewValues:     func() datagen.Source { return datagen.NewPareto(1, 1, 17) },
+		NewDelay:      func() DelayModel { return NewExponentialDelay(80*time.Millisecond, 19) },
+		Builder:       func() sketch.Sketch { return kll.NewWithSeed(128, 23) },
+		CollectValues: true,
+		Metrics:       testMetrics.Engine(),
+	}
+}
+
+// collectGeneric runs cfg, collecting results keyed by window span so a
+// re-emission after recovery overwrites its (bit-identical) original.
+func collectGeneric(t *testing.T, cfg GenericConfig, into map[Window]GenericResult) (Stats, error) {
+	t.Helper()
+	eng, err := NewGenericEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run(func(r GenericResult) { into[r.Window] = r })
+}
+
+// TestGenericCrashRecoveryDeterminism is the fault-tolerance contract
+// on the generic path: crash mid-run, resume from the newest snapshot,
+// and the union of pre-crash and post-resume emissions must be
+// bit-identical to an uninterrupted run.
+func TestGenericCrashRecoveryDeterminism(t *testing.T) {
+	baseline := map[Window]GenericResult{}
+	baseStats, err := collectGeneric(t, genericRecoveryCfg(), baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.DroppedLate == 0 {
+		t.Fatal("want late drops so recovery is tested under late-accounting pressure")
+	}
+
+	cfg := genericRecoveryCfg()
+	cfg.CheckpointStore = checkpoint.NewMemStore()
+	cfg.Faults = faultinject.New().WithPanic(0, 6000)
+
+	got := map[Window]GenericResult{}
+	_, err = collectGeneric(t, cfg, got)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected fault surfaced as %v, want *PanicError", err)
+	}
+	stats, err := ResumeGeneric(cfg, func(r GenericResult) { got[r.Window] = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stats != baseStats {
+		t.Errorf("recovered stats %+v, want %+v", stats, baseStats)
+	}
+	if len(got) != len(baseline) {
+		t.Fatalf("recovered %d windows, want %d", len(got), len(baseline))
+	}
+	for win, want := range baseline {
+		g, ok := got[win]
+		if !ok {
+			t.Errorf("window %v missing after recovery", win)
+			continue
+		}
+		if g.Accepted != want.Accepted || len(g.Values) != len(want.Values) {
+			t.Errorf("window %v: accepted=%d values=%d, want accepted=%d values=%d",
+				win, g.Accepted, len(g.Values), want.Accepted, len(want.Values))
+		}
+		if !bytes.Equal(marshal(t, g.Sketch), marshal(t, want.Sketch)) {
+			t.Errorf("window %v: sketch differs from uninterrupted run", win)
+		}
+	}
+	if got := cfg.Metrics.Restores.Load(); got == 0 {
+		t.Error("resume did not record a restore")
+	}
+}
+
+// TestGenericSessionCheckpoint crashes and resumes a session-window run:
+// session state (merged, variable-span windows) must round-trip through
+// the snapshot.
+func TestGenericSessionCheckpoint(t *testing.T) {
+	// Gap below the 5 ms generation interval, so sessions split and fire
+	// throughout the run (snapshots exist before the crash), while the
+	// delay model reorders arrivals enough that overlapping proto-windows
+	// still merge open sessions.
+	cfg := GenericConfig{
+		Assigner:  SessionAssigner{Gap: 4 * time.Millisecond},
+		Rate:      200,
+		RunLength: 5 * time.Second,
+		NewValues: func() datagen.Source { return datagen.NewUniform(1, 100, 31) },
+		NewDelay:  func() DelayModel { return NewExponentialDelay(20*time.Millisecond, 37) },
+		Builder:   func() sketch.Sketch { return kll.NewWithSeed(64, 41) },
+	}
+	baseline := map[Window]GenericResult{}
+	baseStats, err := collectGeneric(t, cfg, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := cfg
+	chaos.CheckpointStore = checkpoint.NewMemStore()
+	chaos.Faults = faultinject.New().WithPanic(0, 500)
+	got := map[Window]GenericResult{}
+	_, err = collectGeneric(t, chaos, got)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected fault surfaced as %v, want *PanicError", err)
+	}
+	stats, err := ResumeGeneric(chaos, func(r GenericResult) { got[r.Window] = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != baseStats {
+		t.Errorf("recovered stats %+v, want %+v", stats, baseStats)
+	}
+	if len(got) != len(baseline) {
+		t.Fatalf("recovered %d session windows, want %d", len(got), len(baseline))
+	}
+	for win, want := range baseline {
+		g, ok := got[win]
+		if !ok {
+			t.Errorf("session %v missing after recovery", win)
+			continue
+		}
+		if !bytes.Equal(marshal(t, g.Sketch), marshal(t, want.Sketch)) {
+			t.Errorf("session %v: sketch differs from uninterrupted run", win)
+		}
+	}
+}

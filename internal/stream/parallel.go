@@ -2,7 +2,9 @@ package stream
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/sketch"
 )
@@ -17,9 +19,13 @@ const batchSize = 256
 // eventBatch carries a run of accepted events for one partition. wins
 // and vals are parallel slices; wins is non-decreasing (events arrive
 // in watermark order), so workers can split it into per-window runs and
-// feed each run to the sketch's batched insert path in one call.
+// feed each run to the sketch's batched insert path in one call. seq is
+// the partition-local ship sequence number (1-based): workers drop any
+// batch whose seq they have already seen, so duplicate delivery (the
+// faultinject dup fault, or a retry layer above the pool) is idempotent.
 type eventBatch struct {
 	part int32
+	seq  uint64
 	wins []int32
 	vals []float64
 }
@@ -29,12 +35,40 @@ func (b *eventBatch) reset() {
 	b.vals = b.vals[:0]
 }
 
-// workerMsg is one message to a worker: either an event batch or, when
-// reply is non-nil, a fire barrier for window fireWin.
+// workerSnap is a worker's reply to a snapshot barrier: one sealed
+// envelope per (window, owned-partition) sketch it holds, or the error
+// that prevented serialization.
+type workerSnap struct {
+	entries []snapEntry
+	err     error
+}
+
+// snapEntry is one partition sketch's sealed state. local is the
+// worker-local partition index; the coordinator maps it back to the
+// global partition w + local·workers.
+type snapEntry struct {
+	win   int32
+	local int32
+	blob  []byte
+}
+
+// restoreMsg seeds one partition sketch into a worker's open-window
+// state during checkpoint resume.
+type restoreMsg struct {
+	win   int32
+	local int32
+	sk    sketch.Sketch
+}
+
+// workerMsg is one message to a worker: an event batch, a restore seed,
+// a snapshot barrier (snap non-nil), or a fire barrier (reply non-nil)
+// for window fireWin.
 type workerMsg struct {
 	batch   *eventBatch
 	fireWin int32
 	reply   chan<- []sketch.Sketch
+	snap    chan<- workerSnap
+	restore *restoreMsg
 }
 
 // workerPool is the parallel partialSink: partition p is owned by
@@ -44,28 +78,42 @@ type workerMsg struct {
 // worker in arrival order, and the engine collects partials at fire
 // barriers and merges them in partition order, the results are
 // bit-identical to the sequential sink at any worker count.
+//
+// Workers run under a recover guard: a panic (injected fault or real
+// bug) poisons the worker — it stops inserting but keeps draining its
+// channel, replying empty to barriers, so the coordinator never
+// deadlocks; the captured *PanicError surfaces through err() at the
+// next fire barrier.
 type workerPool struct {
 	builder    sketch.Builder
 	partitions int
 	workers    int
 
 	pending []*eventBatch // one per partition, nil when empty
+	seqs    []uint64      // per-partition ship sequence numbers
+	shipped int64         // total batches shipped (faultinject dup basis)
 	chans   []chan workerMsg
 	replies []chan []sketch.Sketch
+	snaps   []chan workerSnap
 	pool    sync.Pool // *eventBatch recycling (coordinator ⇄ workers)
 	wg      sync.WaitGroup
 	met     *obs.EngineMetrics // nil disables queue-depth recording
+	faults  *faultinject.Plan  // nil disables fault hooks
+	failure atomic.Pointer[PanicError]
 }
 
-func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics) *workerPool {
+func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics, faults *faultinject.Plan) *workerPool {
 	p := &workerPool{
 		builder:    builder,
 		partitions: partitions,
 		workers:    workers,
 		pending:    make([]*eventBatch, partitions),
+		seqs:       make([]uint64, partitions),
 		chans:      make([]chan workerMsg, workers),
 		replies:    make([]chan []sketch.Sketch, workers),
+		snaps:      make([]chan workerSnap, workers),
 		met:        met,
+		faults:     faults,
 	}
 	p.pool.New = func() any {
 		return &eventBatch{
@@ -79,10 +127,39 @@ func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.Eng
 		// compactions.
 		p.chans[w] = make(chan workerMsg, 32)
 		p.replies[w] = make(chan []sketch.Sketch, 1)
+		p.snaps[w] = make(chan workerSnap, 1)
 		p.wg.Add(1)
 		go p.runWorker(w)
 	}
 	return p
+}
+
+// ship stamps b with its partition's next sequence number and sends it
+// to the owning worker — duplicated when the fault plan says so (the
+// duplicate carries the same seq, so the worker's dedupe drops it).
+func (p *workerPool) ship(part int, b *eventBatch) {
+	p.seqs[part]++
+	b.seq = p.seqs[part]
+	var dup *eventBatch
+	if p.faults != nil && p.faults.DuplicateBatch(p.shipped) {
+		// Clone before sending: once shipped, the worker owns b.
+		dup = p.pool.Get().(*eventBatch)
+		dup.part = b.part
+		dup.seq = b.seq
+		dup.wins = append(dup.wins[:0], b.wins...)
+		dup.vals = append(dup.vals[:0], b.vals...)
+	}
+	p.shipped++
+	ch := p.chans[part%p.workers]
+	ch <- workerMsg{batch: b}
+	if dup != nil {
+		ch <- workerMsg{batch: dup}
+	}
+	if p.met != nil {
+		// Sampled right after the send: how far this worker's queue
+		// backed up (insert hiccups, compaction stalls).
+		p.met.MaxBatchQueueDepth.Max(int64(len(ch)))
+	}
 }
 
 // insert implements partialSink: append to the partition's pending
@@ -97,13 +174,18 @@ func (p *workerPool) insert(win, part int, v float64) {
 	b.wins = append(b.wins, int32(win))
 	b.vals = append(b.vals, v)
 	if len(b.vals) == batchSize {
-		ch := p.chans[part%p.workers]
-		ch <- workerMsg{batch: b}
 		p.pending[part] = nil
-		if p.met != nil {
-			// Sampled right after the send: how far this worker's queue
-			// backed up (insert hiccups, compaction stalls).
-			p.met.MaxBatchQueueDepth.Max(int64(len(ch)))
+		p.ship(part, b)
+	}
+}
+
+// flushPending ships every partially filled batch — the prelude to any
+// barrier, so the barrier observes all inserts issued before it.
+func (p *workerPool) flushPending() {
+	for part, b := range p.pending {
+		if b != nil {
+			p.pending[part] = nil
+			p.ship(part, b)
 		}
 	}
 }
@@ -113,16 +195,7 @@ func (p *workerPool) insert(win, part int, v float64) {
 // sketches in partition order. The channel send/receive pair gives the
 // coordinator a happens-before edge on all of the window's inserts.
 func (p *workerPool) partials(win int) []sketch.Sketch {
-	for part, b := range p.pending {
-		if b != nil {
-			ch := p.chans[part%p.workers]
-			ch <- workerMsg{batch: b}
-			p.pending[part] = nil
-			if p.met != nil {
-				p.met.MaxBatchQueueDepth.Max(int64(len(ch)))
-			}
-		}
-	}
+	p.flushPending()
 	for w := 0; w < p.workers; w++ {
 		p.chans[w] <- workerMsg{fireWin: int32(win), reply: p.replies[w]}
 	}
@@ -133,6 +206,66 @@ func (p *workerPool) partials(win int) []sketch.Sketch {
 		}
 	}
 	return out
+}
+
+// snapshot implements partialSink: flush pending batches, then barrier
+// every worker and reassemble the sealed per-partition blobs per open
+// window. Every worker is always drained even when one reports an
+// error, keeping the channels balanced.
+func (p *workerPool) snapshot() (map[int][][]byte, error) {
+	p.flushPending()
+	for w := 0; w < p.workers; w++ {
+		p.chans[w] <- workerMsg{snap: p.snaps[w]}
+	}
+	out := make(map[int][][]byte)
+	var firstErr error
+	for w := 0; w < p.workers; w++ {
+		res := <-p.snaps[w]
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		for _, e := range res.entries {
+			win := int(e.win)
+			blobs := out[win]
+			if blobs == nil {
+				blobs = make([][]byte, p.partitions)
+				out[win] = blobs
+			}
+			blobs[w+int(e.local)*p.workers] = e.blob
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// restore implements partialSink: route each decoded partition sketch
+// to its owning worker. Channel FIFO ordering guarantees the seed is in
+// place before any later batch for the window; no barrier is needed.
+func (p *workerPool) restore(win int, parts []sketch.Sketch) {
+	for part, sk := range parts {
+		if sk == nil {
+			continue
+		}
+		p.chans[part%p.workers] <- workerMsg{restore: &restoreMsg{
+			win:   int32(win),
+			local: int32(part / p.workers),
+			sk:    sk,
+		}}
+	}
+}
+
+// err implements partialSink: the first worker panic captured this run,
+// if any.
+func (p *workerPool) err() error {
+	if pe := p.failure.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }
 
 // close implements partialSink: stop the workers and wait for them to
@@ -152,42 +285,137 @@ func (p *workerPool) ownedPartitions(w int) int {
 	return (p.partitions-1-w)/p.workers + 1
 }
 
-// runWorker consumes worker w's channel: batches are split into
-// per-window runs and bulk-inserted into the owning partition's sketch;
-// fire barriers hand the window's local partials back to the
-// coordinator.
+// runWorker runs worker w's message loop under the recover guard. If
+// the loop panics, the worker turns into a drain: it consumes the rest
+// of its channel, replying empty to fire barriers and the captured
+// error to snapshot barriers, so the coordinator's sends never block on
+// a dead worker. The failure itself surfaces via err().
 func (p *workerPool) runWorker(w int) {
 	defer p.wg.Done()
+	if p.workerLoop(w) {
+		return
+	}
+	for msg := range p.chans[w] {
+		switch {
+		case msg.reply != nil:
+			msg.reply <- nil
+		case msg.snap != nil:
+			msg.snap <- workerSnap{err: p.err()}
+		case msg.batch != nil:
+			msg.batch.reset()
+			p.pool.Put(msg.batch)
+		}
+	}
+}
+
+// workerLoop consumes worker w's channel: batches are split into
+// per-window runs and bulk-inserted into the owning partition's sketch;
+// fire barriers hand the window's local partials back to the
+// coordinator; snapshot barriers seal them; restore seeds adopt decoded
+// sketches. Returns true when the channel closed cleanly, false when a
+// panic was recovered (recorded in p.failure).
+func (p *workerPool) workerLoop(w int) (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := asPanicError(r)
+			if pe.Worker < 0 {
+				pe.Worker = w
+			}
+			p.failure.CompareAndSwap(nil, pe)
+		}
+	}()
 	nOwned := p.ownedPartitions(w)
 	open := make(map[int32][]sketch.Sketch)
+	seen := make([]uint64, nOwned)    // per-partition last-seen batch seq
+	var inserted int64                // worker-local insert count (fault hooks)
+	partEvents := make([]int64, nOwned) // partition-local insert counts
 	for msg := range p.chans[w] {
-		if msg.batch == nil {
+		switch {
+		case msg.restore != nil:
+			rm := msg.restore
+			sks := open[rm.win]
+			if sks == nil {
+				sks = make([]sketch.Sketch, nOwned)
+				open[rm.win] = sks
+			}
+			sks[rm.local] = rm.sk
+		case msg.snap != nil:
+			// sealOpen recovers its own panics, so the reply always
+			// arrives and the coordinator cannot deadlock on a snapshot
+			// barrier.
+			msg.snap <- p.sealOpen(open)
+		case msg.reply != nil:
 			// Fire barrier: relinquish the window's partials.
 			local := open[msg.fireWin]
 			delete(open, msg.fireWin)
 			msg.reply <- local
-			continue
+		default:
+			b := msg.batch
+			local := int(b.part) / p.workers
+			if b.seq <= seen[local] {
+				// Duplicate delivery: already applied, drop it.
+				b.reset()
+				p.pool.Put(b)
+				continue
+			}
+			seen[local] = b.seq
+			for i := 0; i < len(b.wins); {
+				win := b.wins[i]
+				j := i + 1
+				for j < len(b.wins) && b.wins[j] == win {
+					j++
+				}
+				sks := open[win]
+				if sks == nil {
+					sks = make([]sketch.Sketch, nOwned)
+					open[win] = sks
+				}
+				if sks[local] == nil {
+					sks[local] = p.builder()
+				}
+				if p.faults == nil {
+					sketch.InsertAll(sks[local], b.vals[i:j])
+				} else {
+					// Per-value loop so the fault hooks see exact
+					// worker-local and partition-local event indices.
+					part := int(b.part)
+					sk := sks[local]
+					for _, v := range b.vals[i:j] {
+						p.faults.OnEvent(w, part, inserted, partEvents[local])
+						inserted++
+						partEvents[local]++
+						sk.Insert(v)
+					}
+				}
+				i = j
+			}
+			b.reset()
+			p.pool.Put(b)
 		}
-		b := msg.batch
-		local := int(b.part) / p.workers
-		for i := 0; i < len(b.wins); {
-			win := b.wins[i]
-			j := i + 1
-			for j < len(b.wins) && b.wins[j] == win {
-				j++
-			}
-			sks := open[win]
-			if sks == nil {
-				sks = make([]sketch.Sketch, nOwned)
-				open[win] = sks
-			}
-			if sks[local] == nil {
-				sks[local] = p.builder()
-			}
-			sketch.InsertAll(sks[local], b.vals[i:j])
-			i = j
-		}
-		b.reset()
-		p.pool.Put(b)
 	}
+	return true
+}
+
+// sealOpen serializes every open partition sketch into snapshot
+// entries, converting any panic into an error reply.
+func (p *workerPool) sealOpen(open map[int32][]sketch.Sketch) (ws workerSnap) {
+	defer func() {
+		if r := recover(); r != nil {
+			ws = workerSnap{err: asPanicError(r)}
+		}
+	}()
+	var entries []snapEntry
+	for win, sks := range open {
+		for local, sk := range sks {
+			if sk == nil {
+				continue
+			}
+			blob, err := sealPartial(sk)
+			if err != nil {
+				return workerSnap{err: err}
+			}
+			entries = append(entries, snapEntry{win: win, local: int32(local), blob: blob})
+		}
+	}
+	return workerSnap{entries: entries}
 }

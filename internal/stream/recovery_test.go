@@ -1,0 +1,310 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/kll"
+	"repro/internal/sketch"
+)
+
+// recoveryCfg is the shared configuration of the crash-recovery tests:
+// KLL makes the comparison strict (compaction coin flips depend on the
+// exact insert sequence AND the exact RNG state, so a resume that
+// diverged anywhere would show in the serialized sketches), and the
+// exponential delay produces late drops, so the late-accounting state
+// is exercised across the crash too.
+func recoveryCfg(workers, partitions int) Config {
+	return Config{
+		WindowSize:    time.Second,
+		Rate:          5000,
+		NumWindows:    4,
+		Partitions:    partitions,
+		Workers:       workers,
+		NewValues:     func() datagen.Source { return datagen.NewPareto(1, 1, 41) },
+		NewDelay:      func() DelayModel { return NewExponentialDelay(150*time.Millisecond, 43) },
+		Builder:       func() sketch.Sketch { return kll.NewWithSeed(128, 99) },
+		CollectValues: true,
+		Metrics:       testMetrics.Engine(),
+	}
+}
+
+// mustRunCollect runs cfg without faults and returns the collected
+// results and stats.
+func mustRunCollect(t *testing.T, cfg Config) ([]WindowResult, Stats) {
+	t.Helper()
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, stats
+}
+
+// assertSameRun asserts two runs produced bit-identical windows and
+// equal stats, and that the accounting identity held.
+func assertSameRun(t *testing.T, label string, got []WindowResult, gotStats Stats, want []WindowResult, wantStats Stats) {
+	t.Helper()
+	if gotStats != wantStats {
+		t.Errorf("%s: stats %+v, want %+v", label, gotStats, wantStats)
+	}
+	if gotStats.Generated != gotStats.Accepted+gotStats.DroppedLate+gotStats.RejectedInput {
+		t.Errorf("%s: stats identity violated: %+v", label, gotStats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d windows, want %d", label, len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Index != w.Index || g.Start != w.Start || g.End != w.End ||
+			g.Accepted != w.Accepted || g.DroppedLate != w.DroppedLate {
+			t.Errorf("%s window %d: header %+v, want %+v", label, i, g, w)
+		}
+		if len(g.Values) != len(w.Values) {
+			t.Fatalf("%s window %d: %d values, want %d", label, i, len(g.Values), len(w.Values))
+		}
+		for j := range w.Values {
+			if g.Values[j] != w.Values[j] {
+				t.Fatalf("%s window %d value %d: %v, want %v", label, i, j, g.Values[j], w.Values[j])
+			}
+		}
+		if !bytes.Equal(marshal(t, g.Sketch), marshal(t, w.Sketch)) {
+			t.Errorf("%s window %d: merged sketch differs", label, i)
+		}
+	}
+}
+
+// TestCrashRecoveryDeterminism is the fault-tolerance contract: a run
+// that crashes (injected worker panic) and resumes from its last
+// checkpoint produces windows bit-identical to an uninterrupted run,
+// with the stats identity intact, across the workers × partitions
+// matrix on both the serial and parallel paths. The baseline runs
+// WITHOUT checkpointing, so this also proves snapshots are transparent
+// to the results.
+func TestCrashRecoveryDeterminism(t *testing.T) {
+	for _, partitions := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			baseline, baseStats := mustRunCollect(t, recoveryCfg(workers, partitions))
+
+			cfg := recoveryCfg(workers, partitions)
+			cfg.CheckpointStore = checkpoint.NewMemStore()
+			// Crash a worker that exists after clamping (workers >
+			// partitions collapse to the serial path's worker 0) midway
+			// through the run, after checkpoints exist.
+			worker := 0
+			if workers > 1 && partitions > 1 {
+				worker = 1
+			}
+			cfg.Faults = faultinject.New().WithPanic(worker, 2500)
+
+			results, stats, err := RunRecovering(cfg)
+			if err != nil {
+				t.Fatalf("workers=%d partitions=%d: %v", workers, partitions, err)
+			}
+			label := "recovered"
+			assertSameRun(t, label, results, stats, baseline, baseStats)
+			if got := cfg.Metrics.RecoveredPanics.Load(); got == 0 {
+				t.Errorf("workers=%d partitions=%d: fault did not fire (RecoveredPanics=0)", workers, partitions)
+			}
+		}
+	}
+}
+
+// TestRecoveryBeforeFirstCheckpoint crashes before any window fires:
+// the store is empty, so RunRecovering must fall back to a clean
+// restart — which cannot re-crash, because faults are one-shot.
+func TestRecoveryBeforeFirstCheckpoint(t *testing.T) {
+	baseline, baseStats := mustRunCollect(t, recoveryCfg(1, 4))
+
+	cfg := recoveryCfg(1, 4)
+	cfg.CheckpointStore = checkpoint.NewMemStore()
+	cfg.Faults = faultinject.New().WithPanic(0, 10)
+	results, stats, err := RunRecovering(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRun(t, "restarted", results, stats, baseline, baseStats)
+}
+
+// TestResumeContinuesCompletedStore exercises the explicit Resume entry
+// point: after a full checkpointed run, Resume restores the newest
+// snapshot and re-emits exactly the windows fired after it,
+// bit-identical to the original emissions.
+func TestResumeContinuesCompletedStore(t *testing.T) {
+	cfg := recoveryCfg(1, 4)
+	store := checkpoint.NewMemStore()
+	cfg.CheckpointStore = store
+	baseline, baseStats := mustRunCollect(t, cfg)
+
+	snap, seq, skipped, err := checkpoint.LatestValid(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean store reports %d corrupt snapshots", skipped)
+	}
+	if int(snap.NextFire) >= cfg.NumWindows {
+		t.Fatalf("latest snapshot (seq %d) has nothing left to fire", seq)
+	}
+
+	var resumed []WindowResult
+	stats, err := Resume(cfg, func(r WindowResult) { resumed = append(resumed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != baseStats {
+		t.Errorf("resumed stats %+v, want %+v", stats, baseStats)
+	}
+	want := baseline[snap.NextFire:]
+	if len(resumed) != len(want) {
+		t.Fatalf("resume emitted %d windows, want %d (from window %d on)", len(resumed), len(want), snap.NextFire)
+	}
+	for i, w := range want {
+		if resumed[i].Index != w.Index || resumed[i].Accepted != w.Accepted {
+			t.Errorf("resumed window %d: %+v, want %+v", i, resumed[i], w)
+		}
+		if !bytes.Equal(marshal(t, resumed[i].Sketch), marshal(t, w.Sketch)) {
+			t.Errorf("resumed window %d: sketch differs from original emission", w.Index)
+		}
+	}
+}
+
+// TestCorruptCheckpointFallback damages the newest checkpoint on its
+// way into the store, then crashes: recovery must skip the corrupt
+// snapshot (checksum validation), fall back to the previous valid one,
+// and still converge to the uninterrupted result.
+func TestCorruptCheckpointFallback(t *testing.T) {
+	for _, mode := range []string{faultinject.CorruptTruncate, faultinject.CorruptBitflip} {
+		baseline, baseStats := mustRunCollect(t, recoveryCfg(1, 4))
+
+		cfg := recoveryCfg(1, 4)
+		// Corrupt the seq-2 snapshot (after the second window fires) and
+		// panic during window 3, so the newest snapshot at crash time is
+		// the corrupt one.
+		cfg.Faults = faultinject.New().
+			WithCorruptCheckpoint(2, mode).
+			WithPanic(0, 11_000)
+		cfg.CheckpointStore = cfg.Faults.WrapStore(checkpoint.NewMemStore())
+
+		results, stats, err := RunRecovering(cfg)
+		if err != nil {
+			t.Fatalf("mode=%s: %v", mode, err)
+		}
+		assertSameRun(t, "fallback-"+mode, results, stats, baseline, baseStats)
+	}
+}
+
+// TestResumeAllCorrupt asserts the clean-error contract: when every
+// stored snapshot fails validation, Resume reports an error wrapping
+// checkpoint.ErrNoSnapshot — never a panic, never a silent fresh run.
+func TestResumeAllCorrupt(t *testing.T) {
+	store := checkpoint.NewMemStore()
+	if err := store.Put(1, []byte("not a snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := checkpoint.Seal("engine-snapshot", []byte{0xff, 0xff, 0xff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x01 // break the checksum
+	if err := store.Put(2, blob); err != nil {
+		t.Fatal(err)
+	}
+	cfg := recoveryCfg(1, 4)
+	cfg.CheckpointStore = store
+	_, err = Resume(cfg, func(WindowResult) {})
+	if !errors.Is(err, checkpoint.ErrNoSnapshot) {
+		t.Fatalf("got %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestResumeWrongSketch asserts a snapshot taken with one sketch family
+// cannot be restored into an engine building another.
+func TestResumeWrongSketch(t *testing.T) {
+	cfg := recoveryCfg(1, 4)
+	store := checkpoint.NewMemStore()
+	cfg.CheckpointStore = store
+	mustRunCollect(t, cfg)
+
+	cfg.Builder = ddBuilder
+	_, err := Resume(cfg, func(WindowResult) {})
+	if err == nil {
+		t.Fatal("resume with a different builder succeeded")
+	}
+}
+
+// TestDuplicateBatchDelivery injects a duplicated batch on the parallel
+// path: the workers' per-partition sequence numbers must drop the
+// second copy, keeping the run bit-identical to the clean baseline.
+func TestDuplicateBatchDelivery(t *testing.T) {
+	baseline, baseStats := mustRunCollect(t, recoveryCfg(4, 4))
+
+	cfg := recoveryCfg(4, 4)
+	cfg.Faults = faultinject.New().WithDuplicateBatch(5)
+	results, stats := mustRunCollect(t, cfg)
+	assertSameRun(t, "deduped", results, stats, baseline, baseStats)
+}
+
+// TestStallFault stalls one partition mid-run: pure backpressure, no
+// state loss, results bit-identical.
+func TestStallFault(t *testing.T) {
+	baseline, baseStats := mustRunCollect(t, recoveryCfg(4, 4))
+
+	cfg := recoveryCfg(4, 4)
+	cfg.Faults = faultinject.New().WithStall(1, 500, 20*time.Millisecond)
+	results, stats := mustRunCollect(t, cfg)
+	assertSameRun(t, "stalled", results, stats, baseline, baseStats)
+}
+
+// TestWorkerPanicSurfacesAsError asserts a worker panic without
+// recovery configured aborts the run with a *PanicError (not a crash,
+// not a deadlock) naming the panicking worker.
+func TestWorkerPanicSurfacesAsError(t *testing.T) {
+	cfg := recoveryCfg(4, 4)
+	cfg.Faults = faultinject.New().WithPanic(2, 100)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = eng.RunCollect()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Worker != 2 {
+		t.Errorf("panic attributed to worker %d, want 2", pe.Worker)
+	}
+}
+
+// TestCheckpointCadence asserts CheckpointEvery thins the snapshot
+// stream: every=2 over 4 windows stores roughly half the snapshots of
+// every=1.
+func TestCheckpointCadence(t *testing.T) {
+	count := func(every int) int {
+		cfg := recoveryCfg(1, 2)
+		store := checkpoint.NewMemStore()
+		cfg.CheckpointStore = store
+		cfg.CheckpointEvery = every
+		mustRunCollect(t, cfg)
+		seqs, err := store.Seqs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(seqs)
+	}
+	dense, sparse := count(1), count(2)
+	if dense == 0 || sparse == 0 {
+		t.Fatalf("no snapshots stored (dense=%d sparse=%d)", dense, sparse)
+	}
+	if sparse >= dense {
+		t.Errorf("CheckpointEvery=2 stored %d snapshots, CheckpointEvery=1 stored %d", sparse, dense)
+	}
+}

@@ -51,6 +51,14 @@ gate sketchlint go run ./cmd/sketchlint ./...
 gate tests go test ./...
 gate invariant-tests go test -tags invariants ./internal/...
 gate race go test -race ./internal/stream ./internal/harness
+# Crash-recovery / corruption matrix under the race detector: injected
+# worker panics at every worker×partition shape, corrupt and truncated
+# checkpoints, duplicate batch delivery, stalls, the generic-engine
+# recovery paths, the checkpoint envelope/store suite, and the
+# random-kill soak — recovered output must stay bit-identical.
+gate chaos go test -race \
+	-run 'CrashRecovery|Recovery|Resume|Corrupt|Fault|Duplicate|Stall|Checkpoint|Envelope|Snapshot|Store' \
+	./internal/stream ./internal/checkpoint ./internal/faultinject ./internal/harness .
 # Smoke-run the perf-gate benchmarks (fixed iteration count: checks
 # they still execute, not their timing — scripts/bench.sh does that).
 gate bench-smoke-stream go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .

@@ -1,12 +1,20 @@
 package quantiles_test
 
 import (
+	"bytes"
 	"math"
 	"testing"
+	"time"
 
 	quantiles "repro"
+	"repro/internal/checkpoint"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/kll"
+	"repro/internal/obs"
+	"repro/internal/sketch"
 	"repro/internal/stats"
+	"repro/internal/stream"
 )
 
 // TestSoakAgainstOracle runs every sketch against the exact oracle over
@@ -129,5 +137,101 @@ func TestSoakAgainstOracle(t *testing.T) {
 			}
 			checkpoint("reset+rebuild")
 		})
+	}
+}
+
+// TestSoakCrashRecovery is the long-form fault-tolerance soak: one
+// uninterrupted baseline run, then the same workload killed at a
+// pseudo-random (worker, event) point over and over, each time
+// recovering from the newest checkpoint. Every recovered run must
+// reproduce the baseline exactly — the stream accounting identity
+// intact, every window's collected values and serialized sketch
+// bit-identical — no matter where the crash landed.
+func TestSoakCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	mkCfg := func() stream.Config {
+		return stream.Config{
+			WindowSize:    time.Second,
+			Rate:          4000,
+			NumWindows:    5,
+			Partitions:    4,
+			Workers:       4,
+			NewValues:     func() datagen.Source { return datagen.NewPareto(1.2, 1, 55) },
+			NewDelay:      func() stream.DelayModel { return stream.NewExponentialDelay(120*time.Millisecond, 57) },
+			Builder:       func() sketch.Sketch { return kll.NewWithSeed(128, 53) },
+			CollectValues: true,
+		}
+	}
+	eng, err := stream.NewEngine(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, baseStats, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.Generated != baseStats.Accepted+baseStats.DroppedLate+baseStats.RejectedInput {
+		t.Fatalf("baseline violates the accounting identity: %+v", baseStats)
+	}
+	baseBlobs := make([][]byte, len(baseline))
+	for i, r := range baseline {
+		if baseBlobs[i], err = r.Sketch.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Each of the 4 workers owns one partition and inserts ~1/4 of the
+	// accepted events, so a kill point inside [0, total/5) is guaranteed
+	// to be reached by whichever worker it lands on.
+	perWorker := int64(baseStats.Generated) / 5
+	met := obs.NewRegistry().Engine()
+	seedState := uint64(0x50a4beef)
+	for iter := 0; iter < 10; iter++ {
+		worker := int(datagen.SplitMix64(&seedState) % 4)
+		event := int64(datagen.SplitMix64(&seedState) % uint64(perWorker))
+		cfg := mkCfg()
+		cfg.CheckpointStore = checkpoint.NewMemStore()
+		cfg.CheckpointEvery = 1
+		cfg.Faults = faultinject.New().WithPanic(worker, event)
+		cfg.Metrics = met
+		results, st, err := stream.RunRecovering(cfg)
+		if err != nil {
+			t.Fatalf("iter %d (kill worker %d at event %d): %v", iter, worker, event, err)
+		}
+		if st != baseStats {
+			t.Fatalf("iter %d: stats diverged: got %+v want %+v", iter, st, baseStats)
+		}
+		if st.Generated != st.Accepted+st.DroppedLate+st.RejectedInput {
+			t.Fatalf("iter %d: accounting identity broken: %+v", iter, st)
+		}
+		if len(results) != len(baseline) {
+			t.Fatalf("iter %d: %d windows, want %d", iter, len(results), len(baseline))
+		}
+		for i, r := range results {
+			b := baseline[i]
+			if r.Index != b.Index || r.Accepted != b.Accepted || r.DroppedLate != b.DroppedLate {
+				t.Fatalf("iter %d window %d: header diverged: got %+v want %+v", iter, i, r, b)
+			}
+			if len(r.Values) != len(b.Values) {
+				t.Fatalf("iter %d window %d: %d values, want %d", iter, i, len(r.Values), len(b.Values))
+			}
+			for j := range r.Values {
+				if math.Float64bits(r.Values[j]) != math.Float64bits(b.Values[j]) {
+					t.Fatalf("iter %d window %d: value %d diverged", iter, i, j)
+				}
+			}
+			blob, err := r.Sketch.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, baseBlobs[i]) {
+				t.Fatalf("iter %d window %d: recovered sketch is not bit-identical to the baseline", iter, i)
+			}
+		}
+	}
+	if got := met.RecoveredPanics.Load(); got != 10 {
+		t.Errorf("recovered %d panics over 10 kills, want 10 (some kill points never fired)", got)
 	}
 }
