@@ -1,44 +1,70 @@
 // Command sketchlint is this repository's custom static analyzer. It
-// enforces the correctness contracts that go vet cannot see:
+// enforces the correctness contracts that go vet cannot see — per-
+// package rules (unchecked-err, float-eq, global-rand, panic,
+// container-heap, quantile-loop, naked-panic, recover-swallow,
+// hotpath-alloc) and whole-module rules that walk a conservative call
+// graph across function and package boundaries (purity, atomic-mix).
+// Run `sketchlint -help` for the rule list with one-line docs.
 //
-//	unchecked-err  errors from Quantile/Rank/Merge/UnmarshalBinary must
-//	               not be discarded in non-test code
-//	float-eq       no == / != between non-constant floats (use an
-//	               epsilon, math.Float64bits, or math.IsNaN)
-//	global-rand    internal/ packages must use seeded generators
-//	               (internal/datagen), never the global math/rand
-//	panic          sketch packages may panic only in invariant files or
-//	               functions whose doc comment documents the panic
+// Findings can be suppressed case by case with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the flagged line or the line above it; suppressions that stop
+// matching anything are themselves reported (unused-suppression).
 //
 // Usage:
 //
 //	go run ./cmd/sketchlint ./...          # whole module
-//	go run ./cmd/sketchlint ./internal/kll # specific packages
+//	go run ./cmd/sketchlint ./internal/kll # filter output to packages
+//	go run ./cmd/sketchlint -json ./...    # machine-readable findings
 //
-// It exits 1 when findings are reported, 2 on analysis failure. Built
-// only on the standard library (go/parser, go/types); see internal/lint.
+// The whole module is always loaded and analyzed (the cross-package
+// rules need every compilation unit); package arguments filter which
+// findings are reported. It exits 1 when findings are reported, 2 on
+// analysis failure. Built only on the standard library (go/parser,
+// go/types); see internal/lint.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"repro/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one finding, consumed by CI.
+type jsonFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+}
+
 func main() {
 	var (
-		rules = flag.String("rules", "", "comma-separated rule names to enable (default: all)")
-		quiet = flag.Bool("q", false, "suppress the summary line")
+		rules    = flag.String("rules", "", "comma-separated rule names to enable (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout (for CI)")
+		quiet    = flag.Bool("q", false, "suppress the summary line")
+		listDocs = flag.Bool("list", false, "list every rule with its one-line doc and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sketchlint [flags] [./... | packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *listDocs {
+		docs := lint.RuleDocs()
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-20s %s\n", r, docs[r])
+		}
+		return
+	}
 
 	root, err := findModuleRoot()
 	if err != nil {
@@ -47,24 +73,20 @@ func main() {
 	}
 	// Validate -rules up front: a typo'd rule name must not silently
 	// filter every finding and report a clean tree.
-	if *rules != "" {
-		for _, r := range strings.Split(*rules, ",") {
-			if !lint.KnownRule(strings.TrimSpace(r)) {
-				fmt.Fprintf(os.Stderr, "sketchlint: unknown rule %q (known: %s)\n",
-					strings.TrimSpace(r), strings.Join(lint.Rules(), ", "))
-				os.Exit(2)
-			}
-		}
+	enabledRules, err := lint.ValidateRules(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(2)
 	}
 	findings, err := run(root, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sketchlint:", err)
 		os.Exit(2)
 	}
-	if *rules != "" {
-		enabled := make(map[string]bool)
-		for _, r := range strings.Split(*rules, ",") {
-			enabled[strings.TrimSpace(r)] = true
+	if enabledRules != nil {
+		enabled := make(map[string]bool, len(enabledRules))
+		for _, r := range enabledRules {
+			enabled[r] = true
 		}
 		kept := findings[:0]
 		for _, f := range findings {
@@ -74,59 +96,78 @@ func main() {
 		}
 		findings = kept
 	}
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+	for i, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
 		}
-		fmt.Println(rel)
+	}
+	if *jsonOut {
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column, Rule: f.Rule, Msg: f.Msg}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sketchlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		if !*quiet {
+		if !*quiet && !*jsonOut {
 			fmt.Fprintf(os.Stderr, "sketchlint: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)
 	}
 }
 
-// run loads and checks the requested packages. With no arguments or a
-// "./..." pattern it checks the whole module.
+// run analyzes the whole module and filters the findings to the
+// requested packages. Cross-function rules (purity, atomic-mix) need
+// every package loaded regardless of what was asked for, so the load
+// always covers the module and the arguments select output only.
 func run(root string, args []string) ([]lint.Finding, error) {
-	cfg := lint.DefaultConfig()
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	loader, err := lint.NewLoader(root)
+	findings, err := lint.CheckAll(root, lint.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	var findings []lint.Finding
-	seen := make(map[string]bool)
-	check := func(pkg *lint.Package) {
-		if pkg == nil || seen[pkg.ImportPath] {
-			return
-		}
-		seen[pkg.ImportPath] = true
-		findings = append(findings, lint.Check(pkg, cfg)...)
+	if wantAll(args) {
+		return findings, nil
 	}
+	dirs := make(map[string]bool, len(args))
 	for _, arg := range args {
-		if arg == "./..." || arg == "..." || arg == "all" {
-			pkgs, err := loader.LoadAll()
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range pkgs {
-				check(p)
-			}
-			continue
-		}
-		pkg, err := loader.LoadDir(arg)
+		abs, err := filepath.Abs(arg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", arg, err)
 		}
-		check(pkg)
+		if _, err := os.Stat(abs); err != nil {
+			return nil, fmt.Errorf("%s: %w", arg, err)
+		}
+		dirs[abs] = true
 	}
-	return findings, nil
+	kept := findings[:0]
+	for _, f := range findings {
+		if dirs[filepath.Dir(f.Pos.Filename)] {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// wantAll reports whether args ask for the whole module.
+func wantAll(args []string) bool {
+	if len(args) == 0 {
+		return true
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "all" {
+			return true
+		}
+	}
+	return false
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

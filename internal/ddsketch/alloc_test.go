@@ -1,0 +1,84 @@
+package ddsketch
+
+import (
+	"testing"
+)
+
+// allocInputs returns a deterministic pseudo-random batch in [1, 1000):
+// positive so every value is indexable, varied so the store sees a
+// realistic index range.
+func allocInputs(n int) []float64 {
+	xs := make([]float64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = 1 + float64(state>>11)/float64(1<<53)*999
+	}
+	return xs
+}
+
+// TestMappingIndexAllocs pins the //sketch:hotpath contract on the
+// mapping index functions: zero allocations per call. Boxing the
+// receiver or a math call that escapes would show up here immediately.
+func TestMappingIndexAllocs(t *testing.T) {
+	xs := allocInputs(1024)
+	exact, err := NewMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubic, err := NewCubicMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	for name, index := range map[string]func(float64) int{
+		"logarithmic": exact.Index,
+		"cubic":       cubic.Index,
+	} {
+		avg := testing.AllocsPerRun(100, func() {
+			for _, x := range xs {
+				sink += index(x)
+			}
+		})
+		if avg > 0 {
+			t.Errorf("%s Index allocates %.1f times per 1024 calls, want 0", name, avg)
+		}
+	}
+	_ = sink
+}
+
+// TestDenseStoreAddOnesAllocs pins the bulk-increment path: once the
+// backing array spans the batch's index range, AddOnes must be pure
+// array arithmetic.
+func TestDenseStoreAddOnesAllocs(t *testing.T) {
+	m, err := NewMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 0, 1024)
+	for _, x := range allocInputs(1024) {
+		idx = append(idx, m.Index(x))
+	}
+	s := NewDenseStore()
+	s.AddOnes(idx) // warm: grows the array to the index span
+	avg := testing.AllocsPerRun(100, func() { s.AddOnes(idx) })
+	if avg > 0 {
+		t.Errorf("DenseStore.AddOnes allocates %.1f times per batch, want 0", avg)
+	}
+}
+
+// TestInsertBatchAllocs pins the sketch-level batch kernel: after the
+// scratch slices and the dense stores have grown to the working range,
+// a 1024-value batch must not allocate. One interface box per value
+// would read as ~1024 here.
+func TestInsertBatchAllocs(t *testing.T) {
+	s := New(0.01)
+	xs := allocInputs(1024)
+	for i := 0; i < 8; i++ {
+		s.InsertBatch(xs) // warm scratch and store capacity
+	}
+	avg := testing.AllocsPerRun(100, func() { s.InsertBatch(xs) })
+	if avg > 0 {
+		t.Errorf("InsertBatch allocates %.1f times per 1024-value batch, want 0", avg)
+	}
+}

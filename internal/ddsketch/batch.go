@@ -20,6 +20,8 @@ var (
 // resulting distribution state. Collapsing (and other non-dense) stores
 // fall back to per-element Add in stream order, because which buckets a
 // collapsing store folds depends on the order indices arrive.
+//
+//sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return

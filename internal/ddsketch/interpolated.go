@@ -142,6 +142,8 @@ func (m *polyMapping) approxLogInverse(y float64) float64 {
 }
 
 // Index implements IndexMapping.
+//
+//sketch:hotpath
 func (m *polyMapping) Index(x float64) int {
 	return int(math.Ceil(m.approxLog(x) * m.multiplier))
 }

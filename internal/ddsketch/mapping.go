@@ -41,6 +41,8 @@ func (m Mapping) Alpha() float64 { return m.alpha }
 func (m Mapping) Gamma() float64 { return m.gamma }
 
 // Index returns the bucket index for a positive value: ⌈log_γ(x)⌉.
+//
+//sketch:hotpath
 func (m Mapping) Index(x float64) int {
 	return int(math.Ceil(math.Log(x) / m.logGamma))
 }

@@ -79,6 +79,8 @@ func (s *DenseStore) Add(index int, count int64) {
 // Equivalent to calling Add(i, 1) for each index, except that the
 // array's spare capacity (and hence NumbersHeld) may differ slightly
 // from the per-element growth sequence; the held counts are identical.
+//
+//sketch:hotpath
 func (s *DenseStore) AddOnes(indexes []int) {
 	if len(indexes) == 0 {
 		return

@@ -1,0 +1,26 @@
+package kll
+
+import "testing"
+
+// TestInsertBatchAllocs pins the //sketch:hotpath contract on the batch
+// kernel: once the compactor levels have grown to the working size, a
+// 1024-value batch allocates (amortized) nothing — compaction reuses
+// its buffers. Interface boxing on the insert path would read as ~1024
+// allocations per batch here; the bound of 4 leaves headroom only for
+// a rare level-growth reallocation.
+func TestInsertBatchAllocs(t *testing.T) {
+	s := New(200)
+	xs := make([]float64, 1024)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = 1 + float64(state>>11)/float64(1<<53)*999
+	}
+	for i := 0; i < 200; i++ {
+		s.InsertBatch(xs) // warm: grow levels past the measured window
+	}
+	avg := testing.AllocsPerRun(200, func() { s.InsertBatch(xs) })
+	if avg > 4 {
+		t.Errorf("InsertBatch allocates %.2f times per 1024-value batch, want ~0 (boxing would be ~1024)", avg)
+	}
+}

@@ -18,6 +18,8 @@ var (
 // scalar path — state is written back before every compress and the
 // buffer/capacity are re-read after, since compaction empties level 0
 // and growing the hierarchy reshapes the capacity schedule.
+//
+//sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return

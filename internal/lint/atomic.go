@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkAtomicMix enforces the all-or-nothing discipline of sync/atomic:
+// once any code path accesses a struct field through an atomic
+// operation, every other read and write of that field races unless it
+// is atomic too (or happens in the constructor, before the value is
+// shared). This is the precondition for the concurrent shared-sketch
+// work: a field that is "mostly atomic" is a data race waiting for the
+// scheduler to expose it, and the race detector only catches the
+// interleavings a test happens to produce. The pass is module-global —
+// the atomic access and the plain access are usually in different
+// functions, often different packages.
+func checkAtomicMix(c *Checker) []Finding {
+	// Pass 1: every field whose address is taken by a sync/atomic call.
+	atomicAt := make(map[*types.Var]token.Pos) // field → first atomic access
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, node := range c.sortedNodes() {
+		pkg := node.pkg
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pkg, call) || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldObj(pkg, sel)
+			if field == nil {
+				return true
+			}
+			inAtomicCall[sel] = true
+			if _, seen := atomicAt[field]; !seen {
+				atomicAt[field] = sel.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector touching one of those fields is a
+	// plain (racy) access, unless it sits in a constructor.
+	var out []Finding
+	for _, node := range c.sortedNodes() {
+		if isConstructor(node.decl) {
+			continue
+		}
+		pkg := node.pkg
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			field := fieldObj(pkg, sel)
+			if field == nil {
+				return true
+			}
+			firstAt, isAtomic := atomicAt[field]
+			if !isAtomic {
+				return true
+			}
+			first := pkg.Fset.Position(firstAt)
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Rule: RuleAtomicMix,
+				Msg: fmt.Sprintf("plain access to field %s, which is accessed via sync/atomic at %s:%d; mixing plain and atomic access races — use atomic ops everywhere outside the constructor",
+					field.Name(), shortFile(first.Filename), first.Line),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic
+// package-level function (AddInt64, LoadUint32, StorePointer, ...).
+// Methods on the typed atomics (atomic.Int64 etc.) are safe by
+// construction and need no tracking: the field cannot be touched
+// plainly without copying the struct, which go vet already rejects.
+func isSyncAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldObj resolves a selector to the struct field it denotes, or nil.
+func fieldObj(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isConstructor reports whether decl is allowed to touch
+// atomically-accessed fields plainly: conventional constructors (New*,
+// new*) and package init, where the value is not yet shared between
+// goroutines.
+func isConstructor(decl *ast.FuncDecl) bool {
+	name := decl.Name.Name
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+// shortFile trims a filename to its last two path segments for
+// messages.
+func shortFile(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// sortFindings orders findings by file, line, column.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Checker runs the rule suite over a whole loaded module. Per-package
+// rules see one package at a time; module rules (purity, atomic-mix)
+// see every package at once through the conservative call graph built
+// here, so facts can flow across function and package boundaries.
+type Checker struct {
+	// Pkgs are the loaded packages, sorted by import path.
+	Pkgs []*Package
+	// Cfg is the rule configuration.
+	Cfg Config
+
+	// nodes indexes every declared function/method with a body.
+	nodes map[*types.Func]*funcNode
+	// concreteTypes are the named non-interface types of the module, in
+	// deterministic (package, name) order, used for interface method-set
+	// expansion.
+	concreteTypes []*types.Named
+	// implCache memoizes interface-method → concrete-method expansion.
+	implCache map[*types.Func][]*types.Func
+}
+
+// opKind classifies a purity-forbidden operation found in a function
+// body.
+type opKind int
+
+const (
+	opTimeNow opKind = iota
+	opGlobalRand
+	opMapRange
+)
+
+// forbiddenOp is one nondeterminism source recorded during the body
+// scan: a wall-clock read, a draw from the process-global RNG, or a
+// map iteration whose body leaks iteration order.
+type forbiddenOp struct {
+	pos  token.Pos
+	kind opKind
+	// detail names the offending call ("time.Now") or map expression.
+	detail string
+}
+
+// funcNode is one function in the call graph.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// callees are the statically resolvable outgoing edges, in source
+	// order: direct calls, interface calls expanded over module method
+	// sets, and functions referenced as values (conservatively assumed
+	// called).
+	callees []*types.Func
+	// ops are the purity-forbidden operations in this body.
+	ops []forbiddenOp
+}
+
+// shortName renders a function for path reporting: "Type.Method" or
+// "pkg.Func".
+func shortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// NewChecker indexes pkgs and builds the call graph. It fails when the
+// configuration names scopes, files, or purity roots that match nothing
+// in the loaded module: a dead scope silently disables a gate, which is
+// exactly the failure mode the linter exists to prevent.
+func NewChecker(pkgs []*Package, cfg Config) (*Checker, error) {
+	c := &Checker{
+		Pkgs:      pkgs,
+		Cfg:       cfg,
+		nodes:     make(map[*types.Func]*funcNode),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	c.collectTypes()
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				c.nodes[fn] = &funcNode{fn: fn, decl: fd, pkg: pkg}
+			}
+		}
+	}
+	for _, node := range c.sortedNodes() {
+		c.scanBody(node)
+	}
+	if missing := c.unmatchedConfig(); len(missing) > 0 {
+		return nil, fmt.Errorf("lint: config entries match nothing in the module: %s", strings.Join(missing, ", "))
+	}
+	return c, nil
+}
+
+// sortedNodes returns the graph nodes in deterministic source order.
+func (c *Checker) sortedNodes() []*funcNode {
+	out := make([]*funcNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].decl.Pos() < out[j].decl.Pos() })
+	return out
+}
+
+// collectTypes gathers the module's named concrete types for interface
+// expansion, in deterministic order.
+func (c *Checker) collectTypes() {
+	for _, pkg := range c.Pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			c.concreteTypes = append(c.concreteTypes, named)
+		}
+	}
+}
+
+// implementations expands an interface method to every module method
+// that can satisfy it: for each named concrete type whose method set
+// (value or pointer) implements the interface, the concrete method of
+// the same name. This is what makes the purity walk sound across
+// dynamic dispatch — Store.ForEach reaches every store implementation.
+func (c *Checker) implementations(ifaceMethod *types.Func) []*types.Func {
+	if out, ok := c.implCache[ifaceMethod]; ok {
+		return out
+	}
+	var out []*types.Func
+	sig := ifaceMethod.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		c.implCache[ifaceMethod] = nil
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		c.implCache[ifaceMethod] = nil
+		return nil
+	}
+	for _, named := range c.concreteTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		sel := types.NewMethodSet(ptr).Lookup(ifaceMethod.Pkg(), ifaceMethod.Name())
+		if sel == nil {
+			continue
+		}
+		if m, ok := sel.Obj().(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	c.implCache[ifaceMethod] = out
+	return out
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// timeForbidden are the time package functions that read the wall
+// clock.
+var timeForbidden = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// scanBody records node's outgoing call edges and purity-forbidden
+// operations. Function literals nested in the body are attributed to
+// the enclosing declaration: a closure handed to Store.ForEach runs on
+// the encode path even though no static call site names it.
+func (c *Checker) scanBody(node *funcNode) {
+	pkg := node.pkg
+	// calleeIdents marks identifiers appearing in call position so the
+	// value-reference pass below doesn't double-count them.
+	calleeIdents := make(map[*ast.Ident]bool)
+	addCallee := func(fn *types.Func) {
+		if fn == nil {
+			return
+		}
+		if isInterfaceMethod(fn) {
+			node.callees = append(node.callees, c.implementations(fn)...)
+			return
+		}
+		node.callees = append(node.callees, fn)
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn, id := c.resolveCallee(pkg, x)
+			if id != nil {
+				calleeIdents[id] = true
+			}
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil {
+				switch p := fn.Pkg().Path(); {
+				case p == "time" && timeForbidden[fn.Name()]:
+					node.ops = append(node.ops, forbiddenOp{pos: x.Pos(), kind: opTimeNow, detail: "time." + fn.Name()})
+				case (p == "math/rand" || p == "math/rand/v2") && !globalRandAllowed[fn.Name()] && sig(fn).Recv() == nil:
+					node.ops = append(node.ops, forbiddenOp{pos: x.Pos(), kind: opGlobalRand, detail: fn.Pkg().Name() + "." + fn.Name()})
+				}
+			}
+			addCallee(fn)
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && mapRangeLeaksOrder(pkg, x.Body) {
+					node.ops = append(node.ops, forbiddenOp{pos: x.Pos(), kind: opMapRange, detail: exprString(x.X)})
+				}
+			}
+		}
+		return true
+	})
+	// Second pass: functions referenced as values (sort.Slice(less),
+	// callbacks stored in fields) are conservatively assumed called.
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || calleeIdents[id] {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			addCallee(fn)
+		}
+		return true
+	})
+}
+
+// sig returns fn's signature.
+func sig(fn *types.Func) *types.Signature { return fn.Type().(*types.Signature) }
+
+// resolveCallee statically resolves a call expression to a function
+// object, also returning the identifier that named it (for the
+// value-reference pass). Conversions and builtins resolve to nil.
+func (c *Checker) resolveCallee(pkg *Package, call *ast.CallExpr) (*types.Func, *ast.Ident) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn, fun
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn, fun.Sel
+		}
+		// Qualified call into another package: pkg.Func(...).
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn, fun.Sel
+	}
+	return nil, nil
+}
+
+// orderInsensitiveBuiltins may appear inside a map-range body without
+// leaking iteration order: they only build local state that a later
+// (sorted) pass can canonicalize.
+var orderInsensitiveBuiltins = map[string]bool{
+	"append": true, "len": true, "cap": true, "delete": true,
+	"copy": true, "min": true, "max": true, "make": true, "new": true,
+}
+
+// mapRangeLeaksOrder reports whether a map-range body can leak the
+// iteration order into observable output. Pure local accumulation
+// (append, arithmetic, min/max tracking) is order-insensitive — that is
+// exactly the collect-keys-then-sort idiom — but calling any function,
+// returning, or sending on a channel inside the loop emits per-element
+// effects in map order.
+func mapRangeLeaksOrder(pkg *Package, body *ast.BlockStmt) bool {
+	leaks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && orderInsensitiveBuiltins[id.Name] {
+					return true
+				}
+			}
+			leaks = true
+		case *ast.ReturnStmt, *ast.SendStmt:
+			leaks = true
+		}
+		return true
+	})
+	return leaks
+}
+
+// exprString renders a short source-ish form of an expression for
+// messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "expression"
+}
+
+// relFile returns the module-relative path of the file containing pos.
+func (c *Checker) relFile(pkg *Package, pos token.Pos) string {
+	base := pkg.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if pkg.RelPath == "" {
+		return base
+	}
+	return pkg.RelPath + "/" + base
+}
+
+// inScopes reports whether a module-relative package path falls under
+// any of the listed scope prefixes.
+func inScopes(rel string, scopes []string) bool {
+	for _, s := range scopes {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// unmatchedConfig lists configuration entries that match nothing in the
+// loaded module.
+func (c *Checker) unmatchedConfig() []string {
+	pkgSet := make(map[string]bool, len(c.Pkgs))
+	fileSet := make(map[string]bool)
+	funcSet := make(map[string]bool)
+	methodSet := make(map[string]bool)
+	for _, pkg := range c.Pkgs {
+		pkgSet[pkg.RelPath] = true
+		for _, f := range pkg.Files {
+			fileSet[c.relFile(pkg, f.Pos())] = true
+		}
+	}
+	for fn, node := range c.nodes {
+		funcSet[node.pkg.RelPath+"."+fn.Name()] = true
+		if sig(fn).Recv() != nil {
+			methodSet[fn.Name()] = true
+		}
+	}
+	anyPrefix := func(scope string) bool {
+		for rel := range pkgSet {
+			if rel == scope || strings.HasPrefix(rel, scope+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	var missing []string
+	add := func(kind, entry string) { missing = append(missing, kind+" "+entry) }
+	for _, p := range c.Cfg.SketchPackages {
+		if !pkgSet[p] {
+			add("sketch package", p)
+		}
+	}
+	for _, scopes := range [][]string{c.Cfg.GlobalRandScopes, c.Cfg.ContainerHeapScopes, c.Cfg.NoPanicScopes, c.Cfg.RecoverScopes} {
+		for _, s := range scopes {
+			if !anyPrefix(s) {
+				add("scope", s)
+			}
+		}
+	}
+	for _, files := range [][]string{c.Cfg.FloatEqAllowFiles, c.Cfg.QuantileLoopAllowFiles} {
+		for _, f := range files {
+			if !fileSet[f] {
+				add("file", f)
+			}
+		}
+	}
+	for _, fn := range c.Cfg.PurityRootFuncs {
+		if !funcSet[fn] {
+			add("purity root func", fn)
+		}
+	}
+	for _, m := range c.Cfg.PurityRootMethods {
+		if !methodSet[m] {
+			add("purity root method", m)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function as allocation-sensitive: the
+// per-event insert/batch kernels and mapping index functions whose
+// cost the benchmarks gate. The annotation is a contract, enforced
+// here and by the AllocsPerRun regression tests that accompany it.
+const hotpathDirective = "//sketch:hotpath"
+
+// checkHotpathAlloc analyses every function annotated //sketch:hotpath
+// for the three allocation patterns that silently wreck a kernel:
+//
+//   - interface boxing: passing a concrete value where an interface
+//     parameter is expected heap-allocates per call (one escape per
+//     event on an insert path);
+//   - escaping closures: a func literal that captures variables
+//     allocates its environment;
+//   - unbounded append: appending inside a loop to a slice that
+//     provably starts with zero capacity reallocates log₂(n) times —
+//     hot-path slices come from reusable scratch or a sized make.
+func checkHotpathAlloc(c *Checker, pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			out = append(out, hotpathBoxing(pkg, fd)...)
+			out = append(out, hotpathClosures(pkg, fd)...)
+			out = append(out, hotpathAppends(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// isHotpath reports whether fd carries the //sketch:hotpath directive.
+// The raw comment list is inspected because go/ast strips directive
+// comments from Doc.Text().
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, l := range fd.Doc.List {
+		if strings.TrimSpace(l.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathBoxing flags call arguments that box a concrete value into an
+// interface parameter.
+func hotpathBoxing(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[call.Fun]; !ok || tv.IsType() {
+			return true // conversion, or untyped (builtin)
+		}
+		sigT, ok := pkg.Info.Types[call.Fun].Type.(*types.Signature)
+		if !ok {
+			return true
+		}
+		params := sigT.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sigT.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // s... passes the slice through, no boxing
+				}
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+				continue
+			}
+			at := pkg.Info.Types[arg].Type
+			if at == nil || types.Identical(at, types.Typ[types.UntypedNil]) {
+				continue
+			}
+			if _, argIface := at.Underlying().(*types.Interface); argIface {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(arg.Pos()),
+				Rule: RuleHotpathAlloc,
+				Msg:  fmt.Sprintf("hotpath function %s boxes %s into interface parameter of %s (heap allocation per call); use a concrete type or move the call off the hot path", fd.Name.Name, at, exprString(call.Fun)),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// hotpathClosures flags func literals that capture enclosing variables:
+// the captured environment escapes and allocates. Capture-free literals
+// compile to static function values and stay.
+func hotpathClosures(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if captured := capturedVar(pkg, lit); captured != nil {
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(lit.Pos()),
+				Rule: RuleHotpathAlloc,
+				Msg:  fmt.Sprintf("hotpath function %s builds a closure capturing %q (environment allocation); hoist the closure out of the kernel or pass state explicitly", fd.Name.Name, captured.Name()),
+			})
+			return false // one finding per literal; skip nested re-reports
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar returns a variable the literal captures from its
+// enclosing function, or nil.
+func capturedVar(pkg *Package, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures; anything declared
+		// outside the literal's span but inside some function is.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+		}
+		return true
+	})
+	return captured
+}
+
+// hotpathAppends flags appends inside loops whose destination slice
+// provably starts at zero capacity (var s []T, s := []T{}, or a
+// two-argument make). Slices sourced from fields, parameters, reslices
+// (scratch[:0]) or a sized make are assumed managed.
+func hotpathAppends(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				return true
+			}
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[dst].(*types.Var)
+			if !ok {
+				return true
+			}
+			if zeroCapSlice(pkg, fd, obj) {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: RuleHotpathAlloc,
+					Msg:  fmt.Sprintf("hotpath function %s appends to %s inside a loop, and %s starts with zero capacity; preallocate with make(..., 0, n) or reuse a scratch buffer", fd.Name.Name, dst.Name, dst.Name),
+				})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// zeroCapSlice reports whether every initialization of obj inside fd is
+// a provably zero-capacity form. Unknown or managed forms (field loads,
+// reslices, sized makes, call results) veto the finding.
+func zeroCapSlice(pkg *Package, fd *ast.FuncDecl, obj *types.Var) bool {
+	found, zero := false, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if pkg.Info.Defs[name] != obj {
+						continue
+					}
+					found = true
+					if len(vs.Values) > i {
+						zero = zero && zeroCapExpr(pkg, vs.Values[i], obj)
+					}
+					// var s []T with no value: zero capacity — keep zero.
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(st.Rhs) {
+					continue
+				}
+				if pkg.Info.Defs[id] != obj && pkg.Info.Uses[id] != obj {
+					continue
+				}
+				found = true
+				zero = zero && zeroCapExpr(pkg, st.Rhs[i], obj)
+			}
+		}
+		return true
+	})
+	return found && zero
+}
+
+// zeroCapExpr reports whether e provably yields a zero-capacity slice.
+// `append(obj, ...)` feeding back into the same variable keeps the
+// verdict of the other initializations.
+func zeroCapExpr(pkg *Package, e ast.Expr, obj *types.Var) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make":
+					return len(x.Args) < 3 // make([]T, n) — no spare capacity
+				case "append":
+					if dst, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && pkg.Info.Uses[dst] == obj {
+						return true // self-append: judged by the true initializer
+					}
+				}
+			}
+		}
+		return false // other call results: assume managed
+	case *ast.Ident:
+		return x.Name == "nil"
+	}
+	return false
+}

@@ -20,6 +20,9 @@ func fixtureConfig() Config {
 		ContainerHeapScopes:    []string{"internal/streamimpl"},
 		QuantileLoopAllowFiles: []string{"internal/quantloop/allowed.go"},
 		NoPanicScopes:          []string{"internal/streamimpl"},
+		RecoverScopes:          []string{"internal/recoverimpl"},
+		PurityRootMethods:      []string{"MarshalBinary"},
+		PurityRootFuncs:        []string{"internal/purityfix.EncodeState"},
 	}
 }
 

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under t.TempDir and returns
+// its root. files maps module-relative paths to contents; a go.mod is
+// added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module broken\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadUnparseableFile checks that a syntax error surfaces as a load
+// error naming the broken file rather than a silent skip: a file the
+// linter cannot read is a file the linter cannot vouch for.
+func TestLoadUnparseableFile(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/bad/bad.go": "package bad\n\nfunc Broken( {\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadAll(); err == nil {
+		t.Fatal("LoadAll succeeded on an unparseable file; want a syntax error")
+	} else if !strings.Contains(err.Error(), "bad.go") {
+		t.Fatalf("error does not name the broken file: %v", err)
+	}
+}
+
+// TestLoadMissingGoMod checks the loader refuses roots that are not a
+// module.
+func TestLoadMissingGoMod(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader succeeded without a go.mod; want an error")
+	}
+}
+
+// TestValidateRulesUnknown checks the CLI-facing rule parser rejects
+// unknown names instead of silently filtering every finding.
+func TestValidateRulesUnknown(t *testing.T) {
+	if _, err := ValidateRules("purity,definitely-not-a-rule"); err == nil {
+		t.Fatal("ValidateRules accepted an unknown rule name")
+	} else if !strings.Contains(err.Error(), "definitely-not-a-rule") {
+		t.Fatalf("error does not name the unknown rule: %v", err)
+	}
+	got, err := ValidateRules(" purity , atomic-mix ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != RulePurity || got[1] != RuleAtomicMix {
+		t.Fatalf("ValidateRules = %v, want [purity atomic-mix]", got)
+	}
+	if got, err := ValidateRules(""); err != nil || got != nil {
+		t.Fatalf("ValidateRules(\"\") = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestCheckerRejectsDeadConfig checks NewChecker fails when a config
+// entry matches nothing in the module: a dead scope silently disables
+// a gate.
+func TestCheckerRejectsDeadConfig(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/ok/ok.go": "package ok\n\n// F does nothing.\nfunc F() {}\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"scope", Config{GlobalRandScopes: []string{"internal/nonexistent"}}, "scope internal/nonexistent"},
+		{"recover scope", Config{RecoverScopes: []string{"internal/gone"}}, "scope internal/gone"},
+		{"sketch package", Config{SketchPackages: []string{"internal/nosuchsketch"}}, "sketch package internal/nosuchsketch"},
+		{"allow file", Config{FloatEqAllowFiles: []string{"internal/ok/missing.go"}}, "file internal/ok/missing.go"},
+		{"purity root func", Config{PurityRootFuncs: []string{"internal/ok.Missing"}}, "purity root func internal/ok.Missing"},
+		{"purity root method", Config{PurityRootMethods: []string{"MarshalBinary"}}, "purity root method MarshalBinary"},
+	}
+	for _, tc := range cases {
+		_, err := NewChecker(pkgs, tc.cfg)
+		if err == nil {
+			t.Errorf("%s: NewChecker accepted dead config entry", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// The empty config matches trivially and must pass.
+	if _, err := NewChecker(pkgs, Config{}); err != nil {
+		t.Errorf("NewChecker rejected an empty config: %v", err)
+	}
+}

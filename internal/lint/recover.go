@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkRecoverSwallow flags recover() calls whose value is thrown away:
+// bare expression statements, assignments to the blank identifier, and
+// comparisons that never bind the value (`recover() != nil`). The
+// repository's containment discipline (PR 5) is that a recovered panic
+// becomes a *PanicError carrying the original value and stack — a
+// swallowed recover masks the failure entirely, and a compared-but-
+// unbound recover loses the panic value the error needs. The accepted
+// shape is `if r := recover(); r != nil { ... asPanicError(r) ... }`
+// (or passing recover() directly into a converter).
+func checkRecoverSwallow(c *Checker, pkg *Package) []Finding {
+	if !inScopes(pkg.RelPath, c.Cfg.RecoverScopes) {
+		return nil
+	}
+	var out []Finding
+	flag := func(call *ast.CallExpr, how string) {
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: RuleRecoverSwallow,
+			Msg:  "recover() " + how + "; bind the value and convert it to an error (asPanicError-style) so the failure is contained, not hidden",
+		})
+	}
+	for _, f := range pkg.Files {
+		// Track the node stack: ast.Inspect calls f(nil) after each
+		// subtree, so push on non-nil and pop on nil.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRecoverCall(pkg, call) {
+				return true
+			}
+			switch parent := nearestParent(stack).(type) {
+			case *ast.ExprStmt:
+				flag(call, "result is discarded")
+			case *ast.DeferStmt:
+				flag(call, "result is discarded (deferred recover() alone suppresses the panic silently)")
+			case *ast.GoStmt:
+				flag(call, "result is discarded")
+			case *ast.AssignStmt:
+				for i, rhs := range parent.Rhs {
+					if ast.Unparen(rhs) != call || i >= len(parent.Lhs) {
+						continue
+					}
+					if id, ok := parent.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						flag(call, "result is assigned to _")
+					}
+				}
+			case *ast.BinaryExpr:
+				flag(call, "result is compared but never bound")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// nearestParent returns the closest enclosing node of the call at the
+// top of the stack, skipping parentheses.
+func nearestParent(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// isRecoverCall reports whether call invokes the recover builtin.
+func isRecoverCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return false
+	}
+	_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -6,11 +6,11 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
-// Rule names, used in findings and for enabling/disabling.
+// Rule names, used in findings, suppression directives, and for
+// enabling/disabling on the CLI.
 const (
 	// RuleUncheckedErr flags discarded errors from the sketch contract
 	// methods (Quantile, Rank, Merge, UnmarshalBinary).
@@ -31,21 +31,97 @@ const (
 	// RuleNakedPanic flags undocumented panic calls in the fault-tolerant
 	// scopes (stream engine, checkpoint layer).
 	RuleNakedPanic = "naked-panic"
+	// RulePurity flags nondeterminism (wall clock, global RNG,
+	// order-leaking map iteration) reachable from serialization roots.
+	RulePurity = "purity"
+	// RuleAtomicMix flags plain accesses to fields that are accessed via
+	// sync/atomic elsewhere.
+	RuleAtomicMix = "atomic-mix"
+	// RuleRecoverSwallow flags recover() calls whose value is discarded
+	// instead of being converted to an error.
+	RuleRecoverSwallow = "recover-swallow"
+	// RuleHotpathAlloc flags allocation patterns (interface boxing,
+	// capturing closures, zero-capacity appends in loops) inside
+	// functions annotated //sketch:hotpath.
+	RuleHotpathAlloc = "hotpath-alloc"
+	// RuleUnusedSuppression flags //lint:ignore directives that are
+	// malformed or no longer suppress anything.
+	RuleUnusedSuppression = "unused-suppression"
 )
+
+// ruleInfo is one registered rule: its name, a one-line doc string, and
+// exactly one pass — per-package (pkgPass) for local rules, or
+// whole-module (modPass) for rules that need the call graph or
+// cross-package facts. Registration, Rules(), KnownRule and dispatch
+// all read this single table, so adding a rule is one entry here plus
+// its pass function.
+type ruleInfo struct {
+	name    string
+	doc     string
+	pkgPass func(c *Checker, pkg *Package) []Finding
+	modPass func(c *Checker) []Finding
+}
+
+// ruleTable registers every rule, in reporting order.
+var ruleTable = []ruleInfo{
+	{RuleUncheckedErr, "errors from sketch contract methods must not be discarded", checkUncheckedErr, nil},
+	{RuleFloatEq, "no == / != between non-constant floats", checkFloatEq, nil},
+	{RuleGlobalRand, "seeded generators only; never the process-global math/rand", checkGlobalRand, nil},
+	{RulePanic, "sketch packages panic only in invariant files or documented guards", checkPanic, nil},
+	{RuleContainerHeap, "stream engine uses the generic non-boxing heap, not container/heap", checkContainerHeap, nil},
+	{RuleQuantileLoop, "batch quantile targets through Quantiles/QuantileAll, not per-q loops", checkQuantileLoop, nil},
+	{RuleNakedPanic, "fault-tolerant scopes turn failures into errors, not panics", checkNakedPanic, nil},
+	{RulePurity, "encode paths must be pure: no clock, no global RNG, no map-order leaks", nil, checkPurity},
+	{RuleAtomicMix, "a field accessed via sync/atomic is never accessed plainly outside its constructor", nil, checkAtomicMix},
+	{RuleRecoverSwallow, "recover() values become errors; never discarded", checkRecoverSwallow, nil},
+	{RuleHotpathAlloc, "//sketch:hotpath functions avoid boxing, capturing closures, zero-cap appends", checkHotpathAlloc, nil},
+	{RuleUnusedSuppression, "//lint:ignore directives must be well-formed and still suppress something", nil, nil},
+}
 
 // Rules lists every rule name, in reporting order.
 func Rules() []string {
-	return []string{RuleUncheckedErr, RuleFloatEq, RuleGlobalRand, RulePanic, RuleContainerHeap, RuleQuantileLoop, RuleNakedPanic}
+	out := make([]string, len(ruleTable))
+	for i, r := range ruleTable {
+		out[i] = r.name
+	}
+	return out
+}
+
+// RuleDocs returns a name → one-line description map for usage output.
+func RuleDocs() map[string]string {
+	out := make(map[string]string, len(ruleTable))
+	for _, r := range ruleTable {
+		out[r.name] = r.doc
+	}
+	return out
 }
 
 // KnownRule reports whether name is a recognized rule.
 func KnownRule(name string) bool {
-	for _, r := range Rules() {
-		if r == name {
+	for _, r := range ruleTable {
+		if r.name == name {
 			return true
 		}
 	}
 	return false
+}
+
+// ValidateRules parses a comma-separated rule list (as given to the
+// CLI's -rules flag) and rejects unknown names: a typo'd rule must not
+// silently filter every finding and report a clean tree.
+func ValidateRules(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, r := range strings.Split(spec, ",") {
+		r = strings.TrimSpace(r)
+		if !KnownRule(r) {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(Rules(), ", "))
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // Finding is one rule violation at a source position.
@@ -83,6 +159,15 @@ type Config struct {
 	// calls are forbidden (the fault-tolerant engine and checkpoint
 	// layers, where a stray panic defeats containment and recovery).
 	NoPanicScopes []string
+	// RecoverScopes are module-relative path prefixes where the
+	// recover-swallow rule applies.
+	RecoverScopes []string
+	// PurityRootMethods are method names that root the purity walk
+	// wherever they are declared (the serialization entry points).
+	PurityRootMethods []string
+	// PurityRootFuncs are "relpath.Name" entries rooting the purity walk
+	// at specific functions (checkpoint/snapshot encoders).
+	PurityRootFuncs []string
 }
 
 // DefaultConfig returns the configuration used for this repository.
@@ -114,34 +199,45 @@ func DefaultConfig() Config {
 		// failures into errors (or documents the panic as a programming-
 		// error guard); an undocumented panic escapes the recovery layer.
 		NoPanicScopes: []string{"internal/stream", "internal/checkpoint"},
+		// Anywhere a panic is caught, its value must travel onward as an
+		// error (the *PanicError discipline).
+		RecoverScopes: []string{"internal", "cmd"},
+		// Every sketch serializer, plus the engine-state encoders the
+		// crash-recovery bit-identity proofs depend on.
+		PurityRootMethods: []string{"MarshalBinary"},
+		PurityRootFuncs: []string{
+			"internal/checkpoint.EncodeSnapshot",
+			"internal/stream.snapshot",
+		},
 	}
 }
 
-// Check runs every rule over one loaded package and returns the
-// findings sorted by position.
-func Check(pkg *Package, cfg Config) []Finding {
+// Run executes every registered rule over the checker's module, applies
+// the //lint:ignore suppressions, reports malformed or unused
+// directives, and returns the surviving findings sorted by position.
+func (c *Checker) Run() []Finding {
 	var out []Finding
-	out = append(out, checkUncheckedErr(pkg, cfg)...)
-	out = append(out, checkFloatEq(pkg, cfg)...)
-	out = append(out, checkGlobalRand(pkg, cfg)...)
-	out = append(out, checkPanic(pkg, cfg)...)
-	out = append(out, checkContainerHeap(pkg, cfg)...)
-	out = append(out, checkQuantileLoop(pkg, cfg)...)
-	out = append(out, checkNakedPanic(pkg, cfg)...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	for _, r := range ruleTable {
+		if r.modPass != nil {
+			out = append(out, r.modPass(c)...)
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if r.pkgPass == nil {
+			continue
 		}
-		return a.Column < b.Column
-	})
+		for _, pkg := range c.Pkgs {
+			out = append(out, r.pkgPass(c, pkg)...)
+		}
+	}
+	var directives []*directive
+	for _, pkg := range c.Pkgs {
+		directives = append(directives, parseDirectives(pkg)...)
+	}
+	out = applySuppressions(out, directives)
+	sortFindings(out)
 	return out
 }
 
-// CheckAll loads every package under root and runs the rules.
+// CheckAll loads every package under root and runs the full rule suite.
 func CheckAll(root string, cfg Config) ([]Finding, error) {
 	l, err := NewLoader(root)
 	if err != nil {
@@ -151,11 +247,11 @@ func CheckAll(root string, cfg Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		out = append(out, Check(pkg, cfg)...)
+	c, err := NewChecker(pkgs, cfg)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return c.Run(), nil
 }
 
 // errorType is the universe error interface.
@@ -217,7 +313,8 @@ func checkedCall(pkg *Package, cfg Config, call *ast.CallExpr) (string, bool) {
 // checkUncheckedErr flags contract-method calls whose error result is
 // discarded: expression statements, go/defer statements, and blank
 // assignments.
-func checkUncheckedErr(pkg *Package, cfg Config) []Finding {
+func checkUncheckedErr(c *Checker, pkg *Package) []Finding {
+	cfg := c.Cfg
 	var out []Finding
 	flag := func(call *ast.CallExpr, name string) {
 		out = append(out, Finding{
@@ -310,7 +407,8 @@ func isFloatOperand(pkg *Package, e ast.Expr) (isFloat, isConst bool) {
 // floats. Exact float equality is almost never what a rank or merge
 // comparison wants; the fix is math.Abs(a-b) < eps for tolerances,
 // math.Float64bits for exact-representation identity, or math.IsNaN.
-func checkFloatEq(pkg *Package, cfg Config) []Finding {
+func checkFloatEq(c *Checker, pkg *Package) []Finding {
+	cfg := c.Cfg
 	allow := make(map[string]bool, len(cfg.FloatEqAllowFiles))
 	for _, f := range cfg.FloatEqAllowFiles {
 		allow[f] = true
@@ -358,15 +456,8 @@ var globalRandAllowed = map[string]bool{
 // explicit seed, so internal packages go through a seeded *rand.Rand
 // (internal/datagen.NewRand / SplitMix64), never the process-global
 // source.
-func checkGlobalRand(pkg *Package, cfg Config) []Finding {
-	inScope := false
-	for _, scope := range cfg.GlobalRandScopes {
-		if pkg.RelPath == scope || strings.HasPrefix(pkg.RelPath, scope+"/") {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+func checkGlobalRand(c *Checker, pkg *Package) []Finding {
+	if !inScopes(pkg.RelPath, c.Cfg.GlobalRandScopes) {
 		return nil
 	}
 	var out []Finding
@@ -408,15 +499,8 @@ func checkGlobalRand(pkg *Package, cfg Config) []Finding {
 // interface-boxed heap.Interface costs two allocations per event and an
 // indirect call per sift comparison; those packages must use the
 // non-boxing generic minHeap instead.
-func checkContainerHeap(pkg *Package, cfg Config) []Finding {
-	inScope := false
-	for _, scope := range cfg.ContainerHeapScopes {
-		if pkg.RelPath == scope || strings.HasPrefix(pkg.RelPath, scope+"/") {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+func checkContainerHeap(c *Checker, pkg *Package) []Finding {
+	if !inScopes(pkg.RelPath, c.Cfg.ContainerHeapScopes) {
 		return nil
 	}
 	var out []Finding
@@ -442,7 +526,8 @@ func checkContainerHeap(pkg *Package, cfg Config) []Finding {
 // a per-q loop rebuilds the CDF snapshot (or re-solves max-entropy)
 // once per target. Errorless Quantile helpers (exact reference values)
 // are exempt, as are the files in QuantileLoopAllowFiles.
-func checkQuantileLoop(pkg *Package, cfg Config) []Finding {
+func checkQuantileLoop(c *Checker, pkg *Package) []Finding {
+	cfg := c.Cfg
 	allow := make(map[string]bool, len(cfg.QuantileLoopAllowFiles))
 	for _, f := range cfg.QuantileLoopAllowFiles {
 		allow[f] = true
@@ -525,15 +610,8 @@ func rangeVarObjs(pkg *Package, rs *ast.RangeStmt) map[types.Object]bool {
 // function whose doc comment documents the panic as a deliberate
 // programming-error guard. Test files are never loaded, so injected-
 // fault panics in tests are out of scope by construction.
-func checkNakedPanic(pkg *Package, cfg Config) []Finding {
-	inScope := false
-	for _, scope := range cfg.NoPanicScopes {
-		if pkg.RelPath == scope || strings.HasPrefix(pkg.RelPath, scope+"/") {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+func checkNakedPanic(c *Checker, pkg *Package) []Finding {
+	if !inScopes(pkg.RelPath, c.Cfg.NoPanicScopes) {
 		return nil
 	}
 	var out []Finding
@@ -573,9 +651,9 @@ func checkNakedPanic(pkg *Package, cfg Config) []Finding {
 // checkPanic flags panic calls in sketch packages. Allowed escapes:
 // files whose name contains "invariant" (the build-tag-gated assertion
 // hooks), and functions whose doc comment documents the panic.
-func checkPanic(pkg *Package, cfg Config) []Finding {
+func checkPanic(c *Checker, pkg *Package) []Finding {
 	isSketchPkg := false
-	for _, p := range cfg.SketchPackages {
+	for _, p := range c.Cfg.SketchPackages {
 		if pkg.RelPath == p {
 			isSketchPkg = true
 			break

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed either at the end of the flagged line or alone on the line
+// immediately above it. The reason is mandatory — a suppression is a
+// reviewed, explained exception, not an off switch. Directives that
+// suppress nothing are themselves findings (unused-suppression), so
+// stale exceptions cannot linger after the code they excused changes.
+const ignorePrefix = "lint:ignore "
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos    token.Position
+	rules  []string
+	reason string
+	// bad holds a diagnostic for a malformed directive; such directives
+	// suppress nothing.
+	bad string
+	// used counts how many findings the directive suppressed.
+	used int
+}
+
+// parseDirectives extracts every suppression directive from pkg's
+// files.
+func parseDirectives(pkg *Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text, ok := strings.CutPrefix(cm.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				body, ok := strings.CutPrefix(strings.TrimSpace(text), ignorePrefix)
+				if !ok {
+					if strings.HasPrefix(strings.TrimSpace(text), "lint:ignore") {
+						out = append(out, &directive{
+							pos: pkg.Fset.Position(cm.Pos()),
+							bad: "malformed //lint:ignore directive: want //lint:ignore <rule> <reason>",
+						})
+					}
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(cm.Pos())}
+				fields := strings.Fields(body)
+				if len(fields) < 2 {
+					d.bad = "suppression needs both a rule and a reason: //lint:ignore <rule> <reason>"
+					out = append(out, d)
+					continue
+				}
+				d.rules = strings.Split(fields[0], ",")
+				d.reason = strings.Join(fields[1:], " ")
+				for _, r := range d.rules {
+					if !KnownRule(r) {
+						d.bad = fmt.Sprintf("suppression names unknown rule %q (known: %s)", r, strings.Join(Rules(), ", "))
+						break
+					}
+					if r == RuleUnusedSuppression {
+						d.bad = "unused-suppression cannot itself be suppressed"
+						break
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions removes findings covered by a well-formed directive
+// on the same or the immediately preceding line, then reports malformed
+// and unused directives as findings of their own.
+func applySuppressions(findings []Finding, directives []*directive) []Finding {
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	index := make(map[key][]*directive)
+	for _, d := range directives {
+		if d.bad != "" {
+			continue
+		}
+		for _, r := range d.rules {
+			index[key{d.pos.Filename, d.pos.Line, r}] = append(index[key{d.pos.Filename, d.pos.Line, r}], d)
+			index[key{d.pos.Filename, d.pos.Line + 1, r}] = append(index[key{d.pos.Filename, d.pos.Line + 1, r}], d)
+		}
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		ds := index[key{f.Pos.Filename, f.Pos.Line, f.Rule}]
+		if len(ds) == 0 {
+			kept = append(kept, f)
+			continue
+		}
+		for _, d := range ds {
+			d.used++
+		}
+	}
+	for _, d := range directives {
+		switch {
+		case d.bad != "":
+			kept = append(kept, Finding{Pos: d.pos, Rule: RuleUnusedSuppression, Msg: d.bad})
+		case d.used == 0:
+			kept = append(kept, Finding{
+				Pos:  d.pos,
+				Rule: RuleUnusedSuppression,
+				Msg: fmt.Sprintf("//lint:ignore %s suppresses nothing; the excused finding is gone — delete the directive (reason was: %s)",
+					strings.Join(d.rules, ","), d.reason),
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg parses src as a single-file package for directive tests; no
+// type information is needed.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}}
+}
+
+// TestParseDirectivesMalformed covers the malformed shapes: a bare
+// directive, a directive missing its reason, an unknown rule, and an
+// attempt to suppress unused-suppression itself. All must surface as
+// bad directives that suppress nothing.
+func TestParseDirectivesMalformed(t *testing.T) {
+	src := `package fix
+
+//lint:ignore
+func A() {}
+
+//lint:ignore purity
+func B() {}
+
+//lint:ignore purity,bogus reason text
+func C() {}
+
+//lint:ignore unused-suppression trying to silence the auditor
+func D() {}
+
+//lint:ignore purity,atomic-mix both rules share one excuse
+func E() {}
+`
+	ds := parseDirectives(parsePkg(t, src))
+	if len(ds) != 5 {
+		t.Fatalf("parsed %d directives, want 5", len(ds))
+	}
+	for i, wantBad := range []string{
+		"malformed",
+		"needs both a rule and a reason",
+		`unknown rule "bogus"`,
+		"cannot itself be suppressed",
+		"",
+	} {
+		if wantBad == "" {
+			if ds[i].bad != "" {
+				t.Errorf("directive %d unexpectedly bad: %s", i, ds[i].bad)
+			}
+			continue
+		}
+		if !strings.Contains(ds[i].bad, wantBad) {
+			t.Errorf("directive %d: bad = %q, want mention of %q", i, ds[i].bad, wantBad)
+		}
+	}
+	// The multi-rule directive parses both rule names.
+	if got := strings.Join(ds[4].rules, ","); got != "purity,atomic-mix" {
+		t.Errorf("multi-rule directive parsed rules %q", got)
+	}
+}
+
+// TestApplySuppressionsLines checks the placement contract: a directive
+// suppresses findings on its own line and the line below, nothing else,
+// and every bad or unused directive becomes an unused-suppression
+// finding.
+func TestApplySuppressionsLines(t *testing.T) {
+	src := `package fix
+
+//lint:ignore purity excused on the next line
+func A() {}
+
+//lint:ignore purity excused two lines down, out of range
+//
+func B() {}
+`
+	pkg := parsePkg(t, src)
+	ds := parseDirectives(pkg)
+	if len(ds) != 2 {
+		t.Fatalf("parsed %d directives, want 2", len(ds))
+	}
+	findings := []Finding{
+		{Pos: token.Position{Filename: "fix.go", Line: 4}, Rule: RulePurity, Msg: "next-line finding"},
+		{Pos: token.Position{Filename: "fix.go", Line: 8}, Rule: RulePurity, Msg: "too far away"},
+	}
+	kept := applySuppressions(findings, ds)
+	var rules []string
+	for _, f := range kept {
+		rules = append(rules, f.Rule)
+	}
+	// The line-4 finding is suppressed; the line-8 finding survives; the
+	// second directive (line 6, covering lines 6-7 only) is unused.
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings (%v), want 2", len(kept), rules)
+	}
+	if kept[0].Rule != RulePurity || kept[0].Pos.Line != 8 {
+		t.Errorf("surviving finding = %+v, want the line-8 purity finding", kept[0])
+	}
+	if kept[1].Rule != RuleUnusedSuppression || kept[1].Pos.Line != 6 {
+		t.Errorf("unused directive finding = %+v, want unused-suppression at line 6", kept[1])
+	}
+}

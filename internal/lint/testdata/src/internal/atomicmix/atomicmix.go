@@ -1,0 +1,40 @@
+// Package atomicmix is a lint fixture for the atomic-mix rule: a field
+// touched through sync/atomic anywhere must be touched that way
+// everywhere outside its constructor.
+package atomicmix
+
+import "sync/atomic"
+
+// Gauge mixes access disciplines across its fields.
+type Gauge struct {
+	// Hits is exported so internal/atomicpeer can misread it from the
+	// other side of the package boundary.
+	Hits  int64
+	total int64
+	safe  int64
+}
+
+// NewGauge may initialize plainly: the value is not shared yet.
+func NewGauge() *Gauge {
+	g := &Gauge{}
+	g.Hits = 0  // constructor: allowed
+	g.total = 0 // constructor: allowed
+	return g
+}
+
+// Inc updates every counter atomically, marking the fields.
+func (g *Gauge) Inc() {
+	atomic.AddInt64(&g.Hits, 1)
+	atomic.AddInt64(&g.total, 1)
+	atomic.AddInt64(&g.safe, 1)
+}
+
+// Total reads total plainly while Inc updates it atomically: racy.
+func (g *Gauge) Total() int64 {
+	return g.total // want atomic-mix
+}
+
+// Safe reads its field the correct way: no finding.
+func (g *Gauge) Safe() int64 {
+	return atomic.LoadInt64(&g.safe)
+}

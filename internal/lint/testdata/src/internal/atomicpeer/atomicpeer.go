@@ -1,0 +1,11 @@
+// Package atomicpeer misuses atomicmix.Gauge from another package: the
+// atomic-mix rule is module-global, so the plain read here is caught
+// even though every atomic access lives in atomicmix.
+package atomicpeer
+
+import "fixture/internal/atomicmix"
+
+// Drain snapshots the counter without the required atomic load.
+func Drain(g *atomicmix.Gauge) int64 {
+	return g.Hits // want atomic-mix
+}

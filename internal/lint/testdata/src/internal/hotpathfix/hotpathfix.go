@@ -1,0 +1,66 @@
+// Package hotpathfix is a lint fixture for the hotpath-alloc rule:
+// functions annotated //sketch:hotpath must not box values into
+// interfaces, build capturing closures, or append in a loop to a slice
+// that provably starts with zero capacity. Unannotated functions may
+// do all of that freely.
+package hotpathfix
+
+import "fmt"
+
+// Stat is the interface used to demonstrate boxing.
+type Stat interface{ Observe(x float64) }
+
+// counter implements Stat.
+type counter struct{ n int }
+
+// Observe implements Stat.
+func (c *counter) Observe(float64) { c.n++ }
+
+// record takes an interface parameter, so concrete arguments box.
+func record(s Stat, x float64) { s.Observe(x) }
+
+// sink consumes pre-boxed values; a slice passed through with ... does
+// not box again.
+func sink(vs ...any) int { return len(vs) }
+
+// Kernel is annotated hot: each allocation pattern below is a finding.
+//
+//sketch:hotpath
+func Kernel(xs []float64, c *counter) float64 {
+	var out []float64
+	total := 0.0
+	for _, x := range xs {
+		record(c, x)           // want hotpath-alloc
+		out = append(out, x)   // want hotpath-alloc
+		label := fmt.Sprint(x) // want hotpath-alloc
+		total += x + float64(len(label))
+	}
+	f := func() float64 { return total } // want hotpath-alloc
+	_ = out
+	return f()
+}
+
+// KernelClean is hot but allocation-free: concrete calls, a sized
+// make, a variadic slice passthrough, and no captures.
+//
+//sketch:hotpath
+func KernelClean(xs []float64, pre []any, c *counter) float64 {
+	out := make([]float64, 0, len(xs))
+	total := 0.0
+	for _, x := range xs {
+		c.Observe(x) // concrete receiver: no boxing
+		out = append(out, x)
+		total += x
+	}
+	return total + float64(len(out)+sink(pre...))
+}
+
+// Slow is not annotated: the same patterns are fine off the hot path.
+func Slow(xs []float64, c *counter) []float64 {
+	var out []float64
+	for _, x := range xs {
+		record(c, x)
+		out = append(out, x)
+	}
+	return out
+}

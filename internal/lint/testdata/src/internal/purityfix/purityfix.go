@@ -1,0 +1,83 @@
+// Package purityfix is a lint fixture for the purity rule: the
+// call-graph walk from the encode roots (the MarshalBinary method and
+// the configured EncodeState root func) must flag wall-clock reads and
+// order-leaking map ranges wherever they are reachable — including
+// behind interface dispatch — while the collect-then-sort idiom and
+// helpers off the encode paths stay clean.
+package purityfix
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+)
+
+// Hist is a map-backed fixture sketch with an encode entry point.
+type Hist struct {
+	counts map[int]int64
+	stamp  int64
+}
+
+// MarshalBinary roots the purity walk; the wall-clock read sits in the
+// root itself.
+func (h *Hist) MarshalBinary() ([]byte, error) {
+	h.stamp = time.Now().UnixNano() // want purity
+	var buf []byte
+	for _, k := range h.sortedKeys() {
+		buf = binary.AppendVarint(buf, int64(k))
+		buf = binary.AppendVarint(buf, h.counts[k])
+	}
+	return h.appendRaw(buf), nil
+}
+
+// appendRaw leaks map iteration order into the encoded bytes, one call
+// below the root.
+func (h *Hist) appendRaw(buf []byte) []byte {
+	for k, v := range h.counts { // want purity
+		buf = binary.AppendVarint(buf, int64(k))
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// sortedKeys is the canonical deterministic form: the map range only
+// accumulates locally, and the sort canonicalizes the order.
+func (h *Hist) sortedKeys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// store is the dispatch fixture: EncodeState sees only the interface,
+// and the walk must still reach the implementation.
+type store interface {
+	visit(fn func(k int, v int64))
+}
+
+// mapStore implements store with an order-leaking range.
+type mapStore struct{ m map[int]int64 }
+
+func (s *mapStore) visit(fn func(k int, v int64)) {
+	for k, v := range s.m { // want purity
+		fn(k, v)
+	}
+}
+
+// EncodeState is a configured purity root (PurityRootFuncs): the leak
+// sits behind the dynamic call to store.visit.
+func EncodeState(s store, buf []byte) []byte {
+	s.visit(func(k int, v int64) {
+		buf = binary.AppendVarint(buf, int64(k))
+		buf = binary.AppendVarint(buf, v)
+	})
+	return buf
+}
+
+// debugDump is unreachable from any encode root: wall-clock use is
+// allowed off the encode paths.
+func debugDump(h *Hist) int64 {
+	return time.Now().UnixNano() + h.stamp
+}

@@ -1,0 +1,74 @@
+// Package recoverimpl is a lint fixture for the recover-swallow rule:
+// a recovered panic value must be bound and converted to an error, not
+// discarded, blanked, or compared without binding.
+package recoverimpl
+
+import "fmt"
+
+// Run demonstrates the accepted containment shape: bind, test, convert.
+func Run(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil { // bound and converted: allowed
+			err = fmt.Errorf("contained panic: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Convert passes the recovered value straight into a converter: the
+// value still travels onward, so this is allowed too.
+func Convert(fn func()) (err error) {
+	defer func() {
+		err = asError(recover())
+	}()
+	fn()
+	return
+}
+
+// asError turns a recovered value into an error.
+func asError(r any) error {
+	if r == nil {
+		return nil
+	}
+	return fmt.Errorf("panic: %v", r)
+}
+
+// Swallow discards the recover result entirely.
+func Swallow(fn func()) {
+	defer func() {
+		recover() // want recover-swallow
+	}()
+	fn()
+}
+
+// Blank assigns the recovered value to the blank identifier.
+func Blank(fn func()) {
+	defer func() {
+		_ = recover() // want recover-swallow
+	}()
+	fn()
+}
+
+// Compare tests the result without ever binding the panic value.
+func Compare(fn func()) (ok bool) {
+	ok = true
+	defer func() {
+		if recover() != nil { // want recover-swallow
+			ok = false
+		}
+	}()
+	fn()
+	return ok
+}
+
+// DirectDefer defers recover alone, suppressing any panic silently.
+func DirectDefer(fn func()) {
+	defer recover() // want recover-swallow
+	fn()
+}
+
+// Inline calls recover outside any defer and drops the result.
+func Inline() {
+	recover() // want recover-swallow
+}

@@ -1,0 +1,32 @@
+// Package suppressfix is a lint fixture for //lint:ignore handling: a
+// reasoned directive suppresses exactly the named finding on its own
+// line or the line below, and directives that excuse nothing (or name
+// unknown rules) are findings themselves.
+package suppressfix
+
+import "math/rand/v2"
+
+// Jitter draws from the global generator; the directive on the line
+// above excuses it, so the global-rand finding is suppressed.
+func Jitter() float64 {
+	//lint:ignore global-rand fixture: exercising a used next-line suppression
+	return rand.Float64()
+}
+
+// SameLine exercises the trailing-comment placement.
+func SameLine() float64 {
+	return rand.Float64() //lint:ignore global-rand fixture: same-line suppression placement
+}
+
+// Stale carries a directive whose finding is gone: the directive is
+// itself reported.
+func Stale() int {
+	//lint:ignore global-rand stale excuse, nothing left to suppress // want unused-suppression
+	return 4
+}
+
+// Unknown names a rule that does not exist: malformed, reported.
+func Unknown() int {
+	//lint:ignore not-a-rule reasons do not save a bad rule name // want unused-suppression
+	return 5
+}

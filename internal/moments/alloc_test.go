@@ -1,0 +1,21 @@
+package moments
+
+import "testing"
+
+// TestInsertBatchAllocs pins the //sketch:hotpath contract on the fused
+// power-sum loop: the kernel is pure arithmetic on preallocated state,
+// so a batch of any size must allocate nothing.
+func TestInsertBatchAllocs(t *testing.T) {
+	s := New(10)
+	xs := make([]float64, 1024)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = 1 + float64(state>>11)/float64(1<<53)*999
+	}
+	s.InsertBatch(xs) // warm (nothing to grow, but symmetrical with the others)
+	avg := testing.AllocsPerRun(100, func() { s.InsertBatch(xs) })
+	if avg > 0 {
+		t.Errorf("InsertBatch allocates %.1f times per 1024-value batch, want 0", avg)
+	}
+}

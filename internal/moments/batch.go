@@ -17,6 +17,8 @@ var (
 // powers directly into s.powerSums in stream order (power-sum addition
 // is not associative in floating point, so accumulating into a local
 // and adding once would change the result).
+//
+//sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return

@@ -396,6 +396,7 @@ func (s *Sketch) discardWarmStarts() {
 	if s.solver != nil {
 		s.solver.DiscardWarm()
 	}
+	//lint:ignore purity each DiscardWarm clears one solver's private cache and emits nothing; the visit order cannot reach the encoded bytes
 	for _, sub := range s.fallback {
 		sub.DiscardWarm()
 	}

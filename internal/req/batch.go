@@ -19,6 +19,8 @@ var (
 // shrinks the buffer and may advance the section schedule (changing the
 // capacity). The bottom compactor pointer is stable: compress never
 // replaces compactors[0], only appends higher levels.
+//
+//sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return

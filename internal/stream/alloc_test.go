@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMinHeapAllocs pins the //sketch:hotpath contract on the generic
+// heap: once the backing array has capacity, a Push/Pop cycle must not
+// allocate — the whole point of replacing container/heap, which boxes
+// every element through `any` on both operations.
+func TestMinHeapAllocs(t *testing.T) {
+	var h minHeap[Event]
+	events := make([]Event, 256)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range events {
+		state = state*6364136223846793005 + 1442695040888963407
+		events[i] = Event{
+			GenTime: time.Duration(state >> 40),
+			Arrival: time.Duration(state >> 38),
+			Value:   float64(i),
+		}
+	}
+	for _, e := range events {
+		h.Push(e) // warm capacity
+	}
+	for h.Len() > 0 {
+		h.Pop()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, e := range events {
+			h.Push(e)
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if avg > 0 {
+		t.Errorf("minHeap Push/Pop cycle allocates %.1f times per 256 events, want 0", avg)
+	}
+}

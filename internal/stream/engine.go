@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -201,8 +202,17 @@ func (s *seqSink) partials(win int) []sketch.Sketch {
 }
 
 func (s *seqSink) snapshot() (map[int][][]byte, error) {
+	// Seal windows in ascending index order: map-order iteration would
+	// make the encode call sequence — and which window's failure is
+	// reported when several seals error — depend on the iteration seed.
+	wins := make([]int, 0, len(s.open))
+	for win := range s.open {
+		wins = append(wins, win)
+	}
+	sort.Ints(wins)
 	out := make(map[int][][]byte, len(s.open))
-	for win, ps := range s.open {
+	for _, win := range wins {
+		ps := s.open[win]
 		blobs := make([][]byte, s.partitions)
 		for part, sk := range ps {
 			if sk == nil {
@@ -346,13 +356,13 @@ func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
 	}
 	runEnd := cfg.WindowSize * time.Duration(cfg.NumWindows)
 	rs := &runState{
-		cfg:       cfg,
-		emit:      emit,
-		met:       cfg.Metrics,
-		vals:      cfg.Values,
-		delay:     cfg.Delay,
-		interval:  interval,
-		runEnd:    runEnd,
+		cfg:      cfg,
+		emit:     emit,
+		met:      cfg.Metrics,
+		vals:     cfg.Values,
+		delay:    cfg.Delay,
+		interval: interval,
+		runEnd:   runEnd,
 		// Grace period past the end so the final watermark passes runEnd:
 		// one window of extra events (discarded, they belong to window
 		// NumWindows) is plenty for realistic delay tails.

@@ -27,6 +27,8 @@ func (h *minHeap[T]) Len() int { return len(h.data) }
 func (h *minHeap[T]) Min() T { return h.data[0] }
 
 // Push adds x.
+//
+//sketch:hotpath
 func (h *minHeap[T]) Push(x T) {
 	h.data = append(h.data, x)
 	// Sift up.
@@ -43,6 +45,8 @@ func (h *minHeap[T]) Push(x T) {
 
 // Pop removes and returns the smallest element. It must not be called
 // on an empty heap.
+//
+//sketch:hotpath
 func (h *minHeap[T]) Pop() T {
 	d := h.data
 	top := d[0]

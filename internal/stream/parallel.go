@@ -326,8 +326,8 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 	}()
 	nOwned := p.ownedPartitions(w)
 	open := make(map[int32][]sketch.Sketch)
-	seen := make([]uint64, nOwned)    // per-partition last-seen batch seq
-	var inserted int64                // worker-local insert count (fault hooks)
+	seen := make([]uint64, nOwned)      // per-partition last-seen batch seq
+	var inserted int64                  // worker-local insert count (fault hooks)
 	partEvents := make([]int64, nOwned) // partition-local insert counts
 	for msg := range p.chans[w] {
 		switch {

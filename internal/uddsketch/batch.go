@@ -17,6 +17,8 @@ var (
 // collapse squares γ, which changes every subsequent index — so
 // collapses trigger at exactly the scalar path's points; the hoisted
 // mapping state is refreshed after each collapse.
+//
+//sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return

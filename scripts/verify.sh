@@ -20,20 +20,36 @@ gate() {
 	fi
 }
 
+# gofmt_clean fails (listing the offenders) when any tracked Go file,
+# fixtures included, is not gofmt-formatted.
+gofmt_clean() {
+	local out
+	out="$(gofmt -l .)"
+	if [ -n "$out" ]; then
+		echo "gofmt must be run on:" >&2
+		echo "$out" >&2
+		return 1
+	fi
+}
+
 # metrics_smoke boots quantbench with the HTTP observability endpoint
 # and scrapes /metrics once — the flag wiring, mux and Prometheus
-# rendering all have to work for the grep to succeed.
+# rendering all have to work for the grep to succeed. Port 0 lets the
+# kernel pick a free port (parallel CI jobs must not collide on a fixed
+# one); quantbench prints the bound address on stderr and the poll
+# below parses it from the log.
 metrics_smoke() {
-	local port=19833
-	local bin
+	local bin log addr
 	bin="$(mktemp -t quantbench.XXXXXX)"
+	log="$(mktemp -t quantbench.log.XXXXXX)"
 	go build -o "$bin" ./cmd/quantbench
 	"$bin" -run table3 -scale 0.02 -quiet -metrics \
-		-http "127.0.0.1:${port}" -linger 30s >/dev/null 2>&1 &
+		-http "127.0.0.1:0" -linger 30s >/dev/null 2>"$log" &
 	local pid=$!
 	local ok=0
 	for _ in $(seq 1 50); do
-		if curl -sf "http://127.0.0.1:${port}/metrics" | grep -q '^quantstream_engine_generated_total'; then
+		addr="$(sed -n 's#^quantbench: serving metrics on http://\([^/]*\)/metrics$#\1#p' "$log" | head -n 1)"
+		if [ -n "$addr" ] && curl -sf "http://${addr}/metrics" | grep -q '^quantstream_engine_generated_total'; then
 			ok=1
 			break
 		fi
@@ -41,14 +57,27 @@ metrics_smoke() {
 	done
 	kill "$pid" 2>/dev/null || true
 	wait "$pid" 2>/dev/null || true
-	rm -f "$bin"
+	rm -f "$bin" "$log"
 	[ "$ok" = 1 ]
 }
 
 gate build go build ./...
+gate gofmt gofmt_clean
 gate vet go vet ./...
 gate sketchlint go run ./cmd/sketchlint ./...
+# The cross-function and hot-path rules also run as individual gates so
+# a failure names the broken contract directly in CI output.
+gate sketchlint-purity go run ./cmd/sketchlint -q -rules purity ./...
+gate sketchlint-atomic-mix go run ./cmd/sketchlint -q -rules atomic-mix ./...
+gate sketchlint-recover-swallow go run ./cmd/sketchlint -q -rules recover-swallow ./...
+gate sketchlint-hotpath-alloc go run ./cmd/sketchlint -q -rules hotpath-alloc ./...
+gate sketchlint-suppressions go run ./cmd/sketchlint -q -rules unused-suppression ./...
 gate tests go test ./...
+# The //sketch:hotpath annotations are backed by AllocsPerRun
+# regression tests; run them by name so an allocation regression is
+# called out as its own gate.
+gate hotpath-allocs go test -run 'Allocs' ./internal/kll ./internal/req \
+	./internal/ddsketch ./internal/uddsketch ./internal/moments ./internal/stream
 gate invariant-tests go test -tags invariants ./internal/...
 gate race go test -race ./internal/stream ./internal/harness
 # Crash-recovery / corruption matrix under the race detector: injected
