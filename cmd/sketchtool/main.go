@@ -54,17 +54,23 @@ func newSketch(name string, alpha float64, k int) (sketch.Sketch, error) {
 	case "gk":
 		return gk.New(alpha), nil
 	case "ddsketch-cubic":
-		m, err := ddsketch.NewCubicMapping(alpha)
+		// Kept for compatibility: the cubic mapping is ddsketch's default
+		// now, so this is the same sketch "ddsketch" builds.
+		return ddsketch.New(alpha), nil
+	case "ddsketch-log":
+		m, err := ddsketch.NewLogarithmic(alpha)
 		if err != nil {
 			return nil, err
 		}
 		return ddsketch.NewWithMapping(m, func() ddsketch.Store { return ddsketch.NewDenseStore() })
+	case "ddsketch-paginated":
+		return ddsketch.NewPaginated(alpha), nil
 	case "hdr":
 		return hdr.New(1, 100_000_000, 3)
 	case "mrl":
 		return mrl.New(mrl.DefaultBuffers, mrl.DefaultK), nil
 	default:
-		return nil, fmt.Errorf("unknown sketch %q (ddsketch, ddsketch-cubic, uddsketch, kll, req, req-lra, moments, moments-log, tdigest, gk, hdr, mrl)", name)
+		return nil, fmt.Errorf("unknown sketch %q (ddsketch, ddsketch-log, ddsketch-paginated, uddsketch, kll, req, req-lra, moments, moments-log, tdigest, gk, hdr, mrl)", name)
 	}
 }
 

@@ -30,10 +30,15 @@ func TestMappingIndexAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	linear, err := NewLinearMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sink := 0
 	for name, index := range map[string]func(float64) int{
 		"logarithmic": exact.Index,
 		"cubic":       cubic.Index,
+		"linear":      linear.Index,
 	} {
 		avg := testing.AllocsPerRun(100, func() {
 			for _, x := range xs {
@@ -67,18 +72,69 @@ func TestDenseStoreAddOnesAllocs(t *testing.T) {
 	}
 }
 
-// TestInsertBatchAllocs pins the sketch-level batch kernel: after the
-// scratch slices and the dense stores have grown to the working range,
-// a 1024-value batch must not allocate. One interface box per value
-// would read as ~1024 here.
-func TestInsertBatchAllocs(t *testing.T) {
-	s := New(0.01)
-	xs := allocInputs(1024)
-	for i := 0; i < 8; i++ {
-		s.InsertBatch(xs) // warm scratch and store capacity
+// TestPaginatedStoreAddOnesAllocs pins the buffered-paginated bulk path:
+// once the page table spans the batch's index range, AddOnes must be
+// pure shift-mask-increment arithmetic.
+func TestPaginatedStoreAddOnesAllocs(t *testing.T) {
+	m, err := NewMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
 	}
-	avg := testing.AllocsPerRun(100, func() { s.InsertBatch(xs) })
+	idx := make([]int, 0, 1024)
+	for _, x := range allocInputs(1024) {
+		idx = append(idx, m.Index(x))
+	}
+	s := NewBufferedPaginatedStore()
+	s.AddOnes(idx) // warm: allocates the touched pages
+	avg := testing.AllocsPerRun(100, func() { s.AddOnes(idx) })
 	if avg > 0 {
-		t.Errorf("InsertBatch allocates %.1f times per 1024-value batch, want 0", avg)
+		t.Errorf("BufferedPaginatedStore.AddOnes allocates %.1f times per batch, want 0", avg)
+	}
+}
+
+// TestPaginatedStoreAddAllocs pins the buffered single-insert path: with
+// the buffer at capacity and the working pages allocated, a
+// buffer-append plus periodic flush must not allocate.
+func TestPaginatedStoreAddAllocs(t *testing.T) {
+	m, err := NewMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 0, 1024)
+	for _, x := range allocInputs(1024) {
+		idx = append(idx, m.Index(x))
+	}
+	s := NewBufferedPaginatedStore()
+	for _, i := range idx {
+		s.Add(i, 1) // warm: pages allocated, buffer at capacity
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, i := range idx {
+			s.Add(i, 1)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("BufferedPaginatedStore.Add allocates %.1f times per 1024 inserts, want 0", avg)
+	}
+}
+
+// TestInsertBatchAllocs pins the sketch-level batch kernel: after the
+// scratch slices and the stores have grown to the working range, a
+// 1024-value batch must not allocate. One interface box per value
+// would read as ~1024 here. Covered for both the dense default and the
+// buffered-paginated store.
+func TestInsertBatchAllocs(t *testing.T) {
+	xs := allocInputs(1024)
+	for name, s := range map[string]*Sketch{
+		"dense":     New(0.01),
+		"paginated": NewPaginated(0.01),
+	} {
+		for i := 0; i < 8; i++ {
+			s.InsertBatch(xs) // warm scratch and store capacity
+		}
+		avg := testing.AllocsPerRun(100, func() { s.InsertBatch(xs) })
+		if avg > 0 {
+			t.Errorf("InsertBatch(%s) allocates %.1f times per 1024-value batch, want 0", name, avg)
+		}
 	}
 }

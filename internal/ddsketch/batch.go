@@ -3,6 +3,7 @@ package ddsketch
 import (
 	"math"
 
+	"repro/internal/fastlog"
 	"repro/internal/sketch"
 )
 
@@ -11,63 +12,141 @@ var (
 	_ sketch.MultiQuantiler = (*Sketch)(nil)
 )
 
+// bulkAdder is the store bulk-increment fast path InsertBatch drains
+// its staged indices through. All package stores except SparseStore
+// implement it; the collapsing store's AddOnes applies elements in
+// order through its collapse-aware Add, so staging per sign preserves
+// its collapse decisions exactly (they depend only on that store's own
+// arrival order, which staging keeps).
+type bulkAdder interface {
+	AddOnes(indexes []int)
+}
+
 // InsertBatch implements sketch.BatchInserter with a tight
-// key-computation loop: the mapping and indexability threshold are
-// hoisted, bucket indices are staged in per-sign scratch slices, and an
-// unbounded dense store absorbs each sign's indices in one bulk
-// increment (Store.AddOnes) that grows the backing array at most once.
-// Bucket counts are order-independent, so staging cannot change the
-// resulting distribution state. Collapsing (and other non-dense) stores
-// fall back to per-element Add in stream order, because which buckets a
-// collapsing store folds depends on the order indices arrive.
+// key-computation loop: the mapping is devirtualized by a one-time type
+// switch so the per-value cost of the default cubic mapping is a
+// handful of float multiply-adds (fastlog.Log2Cubic) with no interface
+// call, bucket indices are staged in per-sign scratch slices, and the
+// store absorbs each sign's indices in one bulk increment
+// (Store.AddOnes) that grows its backing storage at most once per
+// batch. Bucket counts are order-independent and staging preserves
+// per-store arrival order, so the resulting state is identical to
+// per-element insertion.
 //
 //sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return
 	}
-	m := s.mapping
-	minIndexable := m.MinIndexable()
-	posDense, posOK := s.positive.(*DenseStore)
-	negDense, negOK := s.negative.(*DenseStore)
 	pos := s.posScratch[:0]
 	neg := s.negScratch[:0]
 	minV, maxV := s.min, s.max
 	var zero int64
 	var nans int
-	for _, x := range xs {
-		if math.IsNaN(x) {
-			nans++
-			continue
+	switch m := s.mapping.(type) {
+	case Cubic:
+		mult := m.multiplier
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				nans++
+				continue
+			}
+			switch {
+			case x >= fastlog.MinIndexable:
+				pos = append(pos, int(math.Ceil(fastlog.Log2Cubic(x)*mult)))
+			case x < 0 && -x >= fastlog.MinIndexable:
+				neg = append(neg, int(math.Ceil(fastlog.Log2Cubic(-x)*mult)))
+			default:
+				zero++
+			}
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
 		}
-		switch {
-		case x > 0 && x >= minIndexable:
-			if posOK {
+	case Linear:
+		mult := m.multiplier
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				nans++
+				continue
+			}
+			switch {
+			case x >= fastlog.MinIndexable:
+				pos = append(pos, int(math.Ceil(fastlog.Log2Linear(x)*mult)))
+			case x < 0 && -x >= fastlog.MinIndexable:
+				neg = append(neg, int(math.Ceil(fastlog.Log2Linear(-x)*mult)))
+			default:
+				zero++
+			}
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
+		}
+	case Logarithmic:
+		logGamma := m.logGamma
+		minIndexable := m.MinIndexable()
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				nans++
+				continue
+			}
+			switch {
+			case x > 0 && x >= minIndexable:
+				pos = append(pos, int(math.Ceil(math.Log(x)/logGamma)))
+			case x < 0 && -x >= minIndexable:
+				neg = append(neg, int(math.Ceil(math.Log(-x)/logGamma)))
+			default:
+				zero++
+			}
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
+		}
+	default:
+		minIndexable := m.MinIndexable()
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				nans++
+				continue
+			}
+			switch {
+			case x > 0 && x >= minIndexable:
 				pos = append(pos, m.Index(x))
-			} else {
-				s.positive.Add(m.Index(x), 1)
-			}
-		case x < 0 && -x >= minIndexable:
-			if negOK {
+			case x < 0 && -x >= minIndexable:
 				neg = append(neg, m.Index(-x))
-			} else {
-				s.negative.Add(m.Index(-x), 1)
+			default:
+				zero++
 			}
-		default:
-			zero++
-		}
-		if x < minV {
-			minV = x
-		}
-		if x > maxV {
-			maxV = x
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
 		}
 	}
-	if posOK {
-		posDense.AddOnes(pos)
+	if b, ok := s.positive.(bulkAdder); ok {
+		b.AddOnes(pos)
+	} else {
+		for _, i := range pos {
+			s.positive.Add(i, 1)
+		}
 	}
-	if negOK {
-		negDense.AddOnes(neg)
+	if b, ok := s.negative.(bulkAdder); ok {
+		b.AddOnes(neg)
+	} else {
+		for _, i := range neg {
+			s.negative.Add(i, 1)
+		}
 	}
 	s.posScratch = pos[:0]
 	s.negScratch = neg[:0]

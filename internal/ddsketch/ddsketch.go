@@ -13,14 +13,14 @@ import (
 // store, and exact zeros (plus positive values too small to index) to a
 // dedicated counter, as in the reference implementation.
 type Sketch struct {
-	mapping  IndexMapping
-	positive Store
-	negative Store
-	zeroCnt  int64
-	min, max float64
-	storeFn  func() Store
-	bounded  bool // collapsing store: affects serde round-trip
-	maxBkts  int
+	mapping   IndexMapping
+	positive  Store
+	negative  Store
+	zeroCnt   int64
+	min, max  float64
+	storeFn   func() Store
+	storeKind byte // which Store the constructor built: affects serde round-trip
+	maxBkts   int
 
 	// InsertBatch scratch: bucket indices staged per sign before the
 	// dense store's bulk increment. Reused across calls; never
@@ -31,10 +31,21 @@ type Sketch struct {
 
 var _ sketch.Sketch = (*Sketch)(nil)
 
-// New returns a DDSketch with relative accuracy alpha and an unbounded
-// dense store — the configuration the study evaluates (α = 0.01,
-// γ = 1.0202). It panics on invalid alpha; use NewWithStore for checked
-// construction.
+// Store kinds a constructor can build, recorded so serde reconstructs
+// the same store implementation. The byte values are the wire encoding
+// (0/1 predate the paginated store, so old envelopes decode unchanged).
+const (
+	storeKindDense     byte = 0
+	storeKindCollapse  byte = 1
+	storeKindPaginated byte = 2
+)
+
+// New returns a DDSketch with relative accuracy alpha, the cubically
+// interpolated index mapping (no log() call per insert; ~1% more buckets
+// for the same α guarantee) and an unbounded dense store — the study's
+// configuration (α = 0.01, γ = 1.0202) on the fast default paths. Use
+// NewWithMapping with NewLogarithmic for the exact mapping. It panics on
+// invalid alpha; use NewWithStore for checked construction.
 func New(alpha float64) *Sketch {
 	s, err := NewWithStore(alpha, func() Store { return NewDenseStore() })
 	if err != nil {
@@ -52,15 +63,29 @@ func NewCollapsing(alpha float64, maxBuckets int) *Sketch {
 	if err != nil {
 		panic(err)
 	}
-	s.bounded = true
+	s.storeKind = storeKindCollapse
 	s.maxBkts = maxBuckets
 	return s
 }
 
-// NewWithStore returns a DDSketch with the exact logarithmic mapping,
-// using storeFn to construct its positive and negative stores.
+// NewPaginated returns a DDSketch with the buffered-paginated store:
+// O(1) amortized inserts like the dense store, but memory proportional
+// to the used index range (allocated page by page) instead of the full
+// span. It panics on invalid alpha.
+func NewPaginated(alpha float64) *Sketch {
+	s, err := NewWithStore(alpha, func() Store { return NewBufferedPaginatedStore() })
+	if err != nil {
+		panic(err)
+	}
+	s.storeKind = storeKindPaginated
+	return s
+}
+
+// NewWithStore returns a DDSketch with the default cubically
+// interpolated mapping, using storeFn to construct its positive and
+// negative stores.
 func NewWithStore(alpha float64, storeFn func() Store) (*Sketch, error) {
-	m, err := NewLogarithmic(alpha)
+	m, err := NewCubic(alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -351,6 +376,44 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	return nil
 }
 
+// ChangeMapping returns a copy of the sketch re-bucketed under a new
+// index mapping: every bucket's representative value is re-indexed with
+// the target mapping. This is the bridge between sketches serialized
+// before the cubic-by-default switch (exact logarithmic mapping) and
+// new-default sketches: Merge deliberately rejects mixed mappings, so
+// convert one side first. The relative error guarantee of the result
+// compounds to at most α_old + α_new + α_old·α_new, because each
+// retained value moved by ≤ α_old before being re-bucketed within
+// α_new.
+func (s *Sketch) ChangeMapping(m IndexMapping) (*Sketch, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ddsketch: nil mapping")
+	}
+	ns, err := NewWithMapping(m, s.storeFn)
+	if err != nil {
+		return nil, err
+	}
+	ns.storeKind = s.storeKind
+	ns.maxBkts = s.maxBkts
+	minIndexable := m.MinIndexable()
+	rebucket := func(src, dst Store) {
+		src.ForEach(func(i int, c int64) bool {
+			v := s.mapping.Value(i)
+			if v >= minIndexable {
+				dst.Add(m.Index(v), c)
+			} else {
+				ns.zeroCnt += c
+			}
+			return true
+		})
+	}
+	rebucket(s.positive, ns.positive)
+	rebucket(s.negative, ns.negative)
+	ns.zeroCnt += s.zeroCnt
+	ns.min, ns.max = s.min, s.max
+	return ns, nil
+}
+
 // MemoryBytes implements sketch.Sketch with the paper's numeric-size
 // accounting: 8 bytes per retained number.
 func (s *Sketch) MemoryBytes() int {
@@ -382,11 +445,10 @@ func (s *Sketch) Reset() {
 func (s *Sketch) MarshalBinary() ([]byte, error) {
 	w := sketch.NewWriter(64 + 16*(s.positive.NonEmptyBuckets()+s.negative.NonEmptyBuckets()))
 	w.Header(sketch.TagDDSketch)
-	if s.bounded {
-		w.Byte(1)
+	w.Byte(s.storeKind)
+	if s.storeKind == storeKindCollapse {
 		w.U32(uint32(s.maxBkts))
 	} else {
-		w.Byte(0)
 		w.U32(0)
 	}
 	w.Byte(mappingCode(s.mapping.Name()))
@@ -413,7 +475,7 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if err := r.Header(sketch.TagDDSketch); err != nil {
 		return err
 	}
-	bounded := r.Byte() == 1
+	storeKind := r.Byte()
 	maxBkts := int(r.U32())
 	mapCode := r.Byte()
 	alpha := r.F64()
@@ -434,19 +496,26 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return sketch.ErrCorrupt
 	}
-	storeFn := func() Store { return NewDenseStore() }
-	if bounded {
+	var storeFn func() Store
+	switch storeKind {
+	case storeKindDense:
+		storeFn = func() Store { return NewDenseStore() }
+	case storeKindCollapse:
 		if maxBkts < 2 || maxBkts > 1<<24 {
 			return sketch.ErrCorrupt
 		}
 		storeFn = func() Store { return NewCollapsingLowestDenseStore(maxBkts) }
+	case storeKindPaginated:
+		storeFn = func() Store { return NewBufferedPaginatedStore() }
+	default:
+		return sketch.ErrCorrupt
 	}
 	ns, err = NewWithMapping(m, storeFn)
 	if err != nil {
 		return sketch.ErrCorrupt
 	}
-	ns.bounded = bounded
-	if bounded {
+	ns.storeKind = storeKind
+	if storeKind == storeKindCollapse {
 		ns.maxBkts = maxBkts
 	}
 	ns.zeroCnt = zero

@@ -3,6 +3,8 @@ package ddsketch
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fastlog"
 )
 
 // IndexMapping generalizes the value→bucket mapping so the sketch can
@@ -10,7 +12,7 @@ import (
 // reference DDSketch implementation's mapping family does: the exact
 // logarithmic mapping calls log() per insert, while interpolated mappings
 // extract the binary exponent from the float representation and
-// approximate log2 on the mantissa with a polynomial.
+// approximate log2 on the mantissa with a polynomial (internal/fastlog).
 //
 // Every mapping here preserves the α guarantee *by construction*: the
 // polynomial's worst-case slope distortion relative to the true log2 is
@@ -48,139 +50,131 @@ func (l Logarithmic) MinIndexable() float64 { return l.MinIndexableValue() }
 // Name implements IndexMapping.
 func (Logarithmic) Name() string { return "logarithmic" }
 
-// polyMapping implements IndexMapping for any monotone polynomial
-// approximation P of log2(1+s) on s ∈ [0, 1) with P(0)=0, P(1)=1 (so the
-// approximation ℓ(x) = exponent(x) + P(mantissa(x)−1) is continuous and
-// ℓ(2x) = ℓ(x)+1).
-type polyMapping struct {
-	name       string
-	alpha      float64
-	gamma      float64
-	multiplier float64 // buckets per unit of ℓ
-	coeff      []float64
-	deriv      []float64
+// checkMappingAlpha validates the accuracy parameter shared by all
+// mapping constructors.
+func checkMappingAlpha(alpha float64) error {
+	if !(alpha > 0 && alpha < 1) {
+		return fmt.Errorf("ddsketch: alpha must be in (0,1), got %v", alpha)
+	}
+	return nil
 }
 
-func newPolyMapping(name string, alpha float64, coeff []float64) (*polyMapping, error) {
-	if !(alpha > 0 && alpha < 1) {
-		return nil, fmt.Errorf("ddsketch: alpha must be in (0,1), got %v", alpha)
+// Cubic is the cubically-interpolated mapping (the reference
+// implementation's CubicallyInterpolatedMapping polynomial A=6/35,
+// B=−3/5, C=10/7): ~1% more buckets than exact, no log() call per
+// insert. It is a small value type so the batch kernels can hold it
+// concretely and devirtualize Index into straight-line float code.
+type Cubic struct {
+	alpha      float64
+	gamma      float64
+	multiplier float64 // buckets per unit of ℓ = 1/(minSlope·log2 γ)
+}
+
+// NewCubicMapping returns the cubically-interpolated mapping — the
+// default mapping of New/NewCollapsing.
+func NewCubicMapping(alpha float64) (IndexMapping, error) {
+	m, err := NewCubic(alpha)
+	if err != nil {
+		return nil, err
 	}
-	deriv := make([]float64, len(coeff)-1)
-	for i := 1; i < len(coeff); i++ {
-		deriv[i-1] = float64(i) * coeff[i]
-	}
-	m := &polyMapping{
-		name:  name,
-		alpha: alpha,
-		gamma: (1 + alpha) / (1 - alpha),
-		coeff: coeff,
-		deriv: deriv,
-	}
-	// Worst-case distortion: the ℓ-width a true log2-width of 1 can be
-	// squeezed into is min over s of dℓ/dlog2 = P'(s)·(1+s)·ln2. A bucket
-	// of ℓ-width 1/multiplier therefore spans at most
-	// 1/(multiplier·minSlope) in log2; equate to log2(γ).
-	minSlope := math.Inf(1)
-	const steps = 1 << 14
-	for i := 0; i <= steps; i++ {
-		s := float64(i) / steps
-		slope := m.polyDeriv(s) * (1 + s) * math.Ln2
-		if slope <= 0 {
-			return nil, fmt.Errorf("ddsketch: mapping %s polynomial not monotone", name)
-		}
-		if slope < minSlope {
-			minSlope = slope
-		}
-	}
-	m.multiplier = 1 / (minSlope * math.Log2(m.gamma))
 	return m, nil
 }
 
-func (m *polyMapping) poly(s float64) float64 {
-	v := 0.0
-	for i := len(m.coeff) - 1; i >= 0; i-- {
-		v = v*s + m.coeff[i]
+// NewCubic is NewCubicMapping returning the concrete type.
+func NewCubic(alpha float64) (Cubic, error) {
+	if err := checkMappingAlpha(alpha); err != nil {
+		return Cubic{}, err
 	}
-	return v
-}
-
-func (m *polyMapping) polyDeriv(s float64) float64 {
-	v := 0.0
-	for i := len(m.deriv) - 1; i >= 0; i-- {
-		v = v*s + m.deriv[i]
-	}
-	return v
-}
-
-// approxLog computes ℓ(x) = exponent + P(mantissa−1) without calling log.
-func (m *polyMapping) approxLog(x float64) float64 {
-	bits := math.Float64bits(x)
-	e := float64(int((bits>>52)&0x7ff) - 1023)
-	s := math.Float64frombits((bits&0x000fffffffffffff)|0x3ff0000000000000) - 1
-	return e + m.poly(s)
-}
-
-// approxLogInverse inverts ℓ via Newton iteration on the mantissa
-// polynomial (monotone on [0, 1]).
-func (m *polyMapping) approxLogInverse(y float64) float64 {
-	e := math.Floor(y)
-	frac := y - e
-	s := frac // good starting point: P ≈ identity-ish
-	for i := 0; i < 16; i++ {
-		f := m.poly(s) - frac
-		if math.Abs(f) < 1e-14 {
-			break
-		}
-		s -= f / m.polyDeriv(s)
-		if s < 0 {
-			s = 0
-		} else if s > 1 {
-			s = 1
-		}
-	}
-	return math.Ldexp(1+s, int(e))
+	gamma := (1 + alpha) / (1 - alpha)
+	return Cubic{
+		alpha:      alpha,
+		gamma:      gamma,
+		multiplier: 1 / (fastlog.CubicMinSlope * math.Log2(gamma)),
+	}, nil
 }
 
 // Index implements IndexMapping.
 //
 //sketch:hotpath
-func (m *polyMapping) Index(x float64) int {
-	return int(math.Ceil(m.approxLog(x) * m.multiplier))
+func (m Cubic) Index(x float64) int {
+	return int(math.Ceil(fastlog.Log2Cubic(x) * m.multiplier))
 }
 
 // Value implements IndexMapping: the harmonic midpoint 2·lo·hi/(lo+hi) of
 // the bucket's value bounds, within α of both ends whenever hi/lo ≤ γ.
-func (m *polyMapping) Value(i int) float64 {
-	lo := m.approxLogInverse((float64(i) - 1) / m.multiplier)
-	hi := m.approxLogInverse(float64(i) / m.multiplier)
-	return 2 * lo * hi / (lo + hi)
+// Computed as 2·hi/(1+hi/lo) — the product form overflows past ~1e154.
+func (m Cubic) Value(i int) float64 {
+	lo := fastlog.Log2CubicInverse((float64(i) - 1) / m.multiplier)
+	hi := fastlog.Log2CubicInverse(float64(i) / m.multiplier)
+	return 2 * (hi / (1 + hi/lo))
 }
 
 // Alpha implements IndexMapping.
-func (m *polyMapping) Alpha() float64 { return m.alpha }
+func (m Cubic) Alpha() float64 { return m.alpha }
 
 // Gamma implements IndexMapping.
-func (m *polyMapping) Gamma() float64 { return m.gamma }
+func (m Cubic) Gamma() float64 { return m.gamma }
 
-// MinIndexable implements IndexMapping.
-func (m *polyMapping) MinIndexable() float64 {
-	// Stay well inside the subnormal-free range so exponent extraction
-	// remains exact.
-	return math.Ldexp(1, -1000)
-}
+// MinIndexable implements IndexMapping: below fastlog.MinIndexable the
+// exponent extraction is no longer exact, so smaller magnitudes go to
+// the exact-zero counter.
+func (Cubic) MinIndexable() float64 { return fastlog.MinIndexable }
 
 // Name implements IndexMapping.
-func (m *polyMapping) Name() string { return m.name }
+func (Cubic) Name() string { return "cubic" }
 
-// NewCubicMapping returns the cubically-interpolated mapping (the
-// reference implementation's CubicallyInterpolatedMapping polynomial
-// A=6/35, B=−3/5, C=10/7): ~1% more buckets than exact, no log() call.
-func NewCubicMapping(alpha float64) (IndexMapping, error) {
-	return newPolyMapping("cubic", alpha, []float64{0, 10.0 / 7, -3.0 / 5, 6.0 / 35})
+// Linear is the linearly-interpolated mapping (P(s) = s): the cheapest
+// Index at the cost of ~44% more buckets (minSlope = ln2).
+type Linear struct {
+	alpha      float64
+	gamma      float64
+	multiplier float64
 }
 
-// NewLinearMapping returns the linearly-interpolated mapping
-// (P(s) = s): the fastest Index at the cost of ~44% more buckets.
+// NewLinearMapping returns the linearly-interpolated mapping.
 func NewLinearMapping(alpha float64) (IndexMapping, error) {
-	return newPolyMapping("linear", alpha, []float64{0, 1})
+	m, err := NewLinear(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
+
+// NewLinear is NewLinearMapping returning the concrete type.
+func NewLinear(alpha float64) (Linear, error) {
+	if err := checkMappingAlpha(alpha); err != nil {
+		return Linear{}, err
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return Linear{
+		alpha:      alpha,
+		gamma:      gamma,
+		multiplier: 1 / (fastlog.LinearMinSlope * math.Log2(gamma)),
+	}, nil
+}
+
+// Index implements IndexMapping.
+//
+//sketch:hotpath
+func (m Linear) Index(x float64) int {
+	return int(math.Ceil(fastlog.Log2Linear(x) * m.multiplier))
+}
+
+// Value implements IndexMapping (overflow-safe form, as in Cubic.Value).
+func (m Linear) Value(i int) float64 {
+	lo := fastlog.Log2LinearInverse((float64(i) - 1) / m.multiplier)
+	hi := fastlog.Log2LinearInverse(float64(i) / m.multiplier)
+	return 2 * (hi / (1 + hi/lo))
+}
+
+// Alpha implements IndexMapping.
+func (m Linear) Alpha() float64 { return m.alpha }
+
+// Gamma implements IndexMapping.
+func (m Linear) Gamma() float64 { return m.gamma }
+
+// MinIndexable implements IndexMapping.
+func (Linear) MinIndexable() float64 { return fastlog.MinIndexable }
+
+// Name implements IndexMapping.
+func (Linear) Name() string { return "linear" }

@@ -127,30 +127,52 @@ func TestSketchWithCubicMapping(t *testing.T) {
 	}
 }
 
+// Merging sketches whose mappings bucket at different boundaries must
+// be rejected cleanly for every mapping pair (New's default is cubic).
 func TestMappingMergeIncompatible(t *testing.T) {
-	cm, _ := NewCubicMapping(0.01)
-	a, _ := NewWithMapping(cm, func() Store { return NewDenseStore() })
+	lm, _ := NewLogarithmic(0.01)
+	a, _ := NewWithMapping(lm, func() Store { return NewDenseStore() })
 	b := New(0.01)
 	a.Insert(1)
 	b.Insert(2)
 	if err := a.Merge(b); err == nil {
-		t.Error("different mappings should not merge")
+		t.Error("logarithmic and cubic mappings should not merge")
+	}
+	if err := b.Merge(a); err == nil {
+		t.Error("cubic and logarithmic mappings should not merge")
+	}
+	linm, _ := NewLinearMapping(0.01)
+	c, _ := NewWithMapping(linm, func() Store { return NewDenseStore() })
+	c.Insert(3)
+	if err := b.Merge(c); err == nil {
+		t.Error("cubic and linear mappings should not merge")
+	}
+	// Same mapping still merges.
+	d := New(0.01)
+	d.Insert(4)
+	if err := b.Merge(d); err != nil {
+		t.Errorf("same-mapping merge failed: %v", err)
 	}
 }
 
-// Property: approxLogInverse inverts approxLog for the polynomial
-// mappings.
+// Property: Value(Index(x)) stays within a bucket ratio of x for the
+// interpolated mappings — the round trip through the bit-trick ℓ and
+// its Newton inverse can never leave the bucket.
 func TestQuickLogInverse(t *testing.T) {
-	cm, err := NewCubicMapping(0.01)
+	cm, err := NewCubic(0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pm := cm.(*polyMapping)
+	lm, err := NewLinear(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(raw uint32) bool {
 		x := math.Exp(float64(raw)/float64(math.MaxUint32)*40 - 20)
-		y := pm.approxLog(x)
-		back := pm.approxLogInverse(y)
-		return math.Abs(back-x)/x < 1e-9
+		vc := cm.Value(cm.Index(x))
+		vl := lm.Value(lm.Index(x))
+		return math.Abs(vc-x)/x <= cm.Alpha()*(1+1e-6) &&
+			math.Abs(vl-x)/x <= lm.Alpha()*(1+1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)

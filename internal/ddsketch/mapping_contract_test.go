@@ -1,0 +1,133 @@
+package ddsketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// FuzzMappingAlphaContract fuzzes the defining guarantee of every index
+// mapping: for any representable positive x above the indexable floor,
+// the representative value of x's bucket is within α relative error.
+// Fuzzing raw float bits reaches exponent boundaries, subnormal
+// neighborhoods and mantissa extremes that uniform sampling misses.
+func FuzzMappingAlphaContract(f *testing.F) {
+	f.Add(uint64(0x3FF0000000000000)) // 1.0
+	f.Add(uint64(0x0010000000000000)) // smallest normal
+	f.Add(uint64(0x7FEFFFFFFFFFFFFF)) // largest finite
+	f.Add(math.Float64bits(math.Pi))
+	f.Add(math.Float64bits(1e-300))
+	f.Add(math.Float64bits(1e300))
+	lm, err1 := NewLogarithmic(0.01)
+	cm, err2 := NewCubicMapping(0.01)
+	linm, err3 := NewLinearMapping(0.01)
+	if err1 != nil || err2 != nil || err3 != nil {
+		f.Fatal(err1, err2, err3)
+	}
+	ms := map[string]IndexMapping{"logarithmic": lm, "cubic": cm, "linear": linm}
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		x := math.Float64frombits(bits)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			return
+		}
+		// Keep one exponent step above the floor: x at the very boundary
+		// may round into the underflow bucket, which is the zero-bucket's
+		// job, not the mapping's.
+		for name, m := range ms {
+			if x < 2*m.MinIndexable() || x > math.MaxFloat64/2 {
+				continue
+			}
+			v := m.Value(m.Index(x))
+			if re := math.Abs(v-x) / x; re > m.Alpha()*(1+1e-6) {
+				t.Errorf("%s: Value(Index(%x)) = %v, rel err %v > α=%v",
+					name, bits, v, re, m.Alpha())
+			}
+		}
+	})
+}
+
+// TestCrossVersionRoundTrip pins the compatibility story for sketches
+// serialized before the cubic-mapping default: an exact-log, dense-store
+// envelope must still decode, merge with its own kind, and be
+// convertible (ChangeMapping) into the new default so its data can flow
+// into cubic sketches with a compounded — but bounded — error.
+func TestCrossVersionRoundTrip(t *testing.T) {
+	lm, err := NewLogarithmic(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := func() Store { return NewDenseStore() }
+	old, err := NewWithMapping(lm, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(23, 29))
+	data := make([]float64, 60_000)
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64() * 3)
+		old.Insert(data[i])
+	}
+	// The "old" blob: written with the exact-log mapping.
+	blob, err := old.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Sketch
+	if err := decoded.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("old envelope no longer decodes: %v", err)
+	}
+	if decoded.mapping.Name() != "logarithmic" {
+		t.Fatalf("old envelope decoded with mapping %q, want logarithmic", decoded.mapping.Name())
+	}
+	// Log–log merging still works.
+	peer, _ := NewWithMapping(lm, dense)
+	for i := 0; i < 5000; i++ {
+		x := math.Exp(rng.NormFloat64() * 3)
+		data = append(data, x)
+		peer.Insert(x)
+	}
+	if err := decoded.Merge(peer); err != nil {
+		t.Fatalf("log-log merge: %v", err)
+	}
+	// Direct merge into a new-default (cubic) sketch is rejected — the
+	// bucket boundaries differ — and ChangeMapping is the bridge.
+	fresh := New(0.01)
+	if err := fresh.Merge(&decoded); err == nil {
+		t.Fatal("cubic sketch silently absorbed log-mapped buckets")
+	}
+	cm, err := NewCubicMapping(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converted, err := decoded.ChangeMapping(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if converted.Count() != decoded.Count() {
+		t.Fatalf("conversion lost counts: %d != %d", converted.Count(), decoded.Count())
+	}
+	for i := 0; i < 5000; i++ {
+		x := math.Exp(rng.NormFloat64() * 3)
+		data = append(data, x)
+		fresh.Insert(x)
+	}
+	if err := fresh.Merge(converted); err != nil {
+		t.Fatalf("merge of converted sketch: %v", err)
+	}
+	// Re-bucketing compounds the relative error: a value placed with
+	// α_old and re-read through α_new lands within
+	// α_old + α_new + α_old·α_new of the truth.
+	sort.Float64s(data)
+	compounded := 0.01 + 0.01 + 0.01*0.01
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		truth := exactQuantile(data, q)
+		est, err := fresh.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(truth, est); re > compounded*(1+1e-6) {
+			t.Errorf("q=%v: rel err %v > compounded bound %v", q, re, compounded)
+		}
+	}
+}

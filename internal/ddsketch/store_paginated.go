@@ -1,0 +1,241 @@
+package ddsketch
+
+const (
+	// pageLenLog2 sets the page granularity: 32 buckets per page keeps a
+	// page at 256 bytes — small enough that a sparse index range wastes
+	// little, large enough that dense ranges need few page pointers.
+	pageLenLog2 = 5
+	pageLen     = 1 << pageLenLog2
+	pageMask    = pageLen - 1
+	// bufferFlushLen bounds the append-only insert buffer. 512 entries
+	// (4 KB) keeps the buffer cache-resident while amortizing the
+	// page-walk cost of a flush over many inserts.
+	bufferFlushLen = 512
+)
+
+// pageIndex returns the page holding bucket i. The arithmetic shift is
+// floor division, so negative bucket indices decompose correctly:
+// i = (i>>pageLenLog2)*pageLen + (i&pageMask) with 0 ≤ i&pageMask < pageLen.
+func pageIndex(i int) int { return i >> pageLenLog2 }
+
+// BufferedPaginatedStore is the reference implementation's
+// buffered-paginated store design: single increments append to a small
+// insert buffer (no bucket lookup at all on the hot path), and bucket
+// counts live in fixed-size dense pages allocated lazily across the used
+// index range. Add/AddOnes are O(1) amortized like DenseStore's, but
+// memory is proportional to the *touched* pages rather than the full
+// index span, which matters for data whose buckets cluster in a few
+// separated ranges.
+//
+// The buffer is an internal staging area only: every observable read
+// (ForEach, NonEmptyBuckets, …) flushes it first, so the store is
+// indistinguishable from a plain bucket-count map.
+type BufferedPaginatedStore struct {
+	buffer  []int     // staged single-count bucket indices, unordered
+	pages   [][]int64 // pages[p] holds buckets [(minPage+p)·32, …+32); nil = unallocated
+	minPage int       // page index of pages[0]; meaningful when len(pages) > 0
+	total   int64
+	minIdx  int
+	maxIdx  int
+}
+
+// NewBufferedPaginatedStore returns an empty buffered-paginated store.
+func NewBufferedPaginatedStore() *BufferedPaginatedStore {
+	return &BufferedPaginatedStore{
+		buffer: make([]int, 0, bufferFlushLen),
+		minIdx: int(^uint(0)>>1) - 1,
+		maxIdx: -(int(^uint(0)>>1) - 1),
+	}
+}
+
+// page returns the page holding page index p, extending the page table
+// and allocating the page as needed.
+func (s *BufferedPaginatedStore) page(p int) []int64 {
+	switch {
+	case len(s.pages) == 0:
+		s.pages = make([][]int64, 1, 4)
+		s.minPage = p
+	case p < s.minPage:
+		shift := s.minPage - p
+		grown := make([][]int64, len(s.pages)+shift)
+		copy(grown[shift:], s.pages)
+		s.pages = grown
+		s.minPage = p
+	case p >= s.minPage+len(s.pages):
+		need := p - s.minPage + 1
+		if need <= cap(s.pages) {
+			s.pages = s.pages[:need]
+		} else {
+			grown := make([][]int64, need)
+			copy(grown, s.pages)
+			s.pages = grown
+		}
+	}
+	pg := s.pages[p-s.minPage]
+	if pg == nil {
+		pg = make([]int64, pageLen)
+		s.pages[p-s.minPage] = pg
+	}
+	return pg
+}
+
+// flush drains the insert buffer into the pages.
+func (s *BufferedPaginatedStore) flush() {
+	for _, i := range s.buffer {
+		s.page(pageIndex(i))[i&pageMask]++
+	}
+	s.buffer = s.buffer[:0]
+}
+
+// track extends the observed index range.
+func (s *BufferedPaginatedStore) track(index int) {
+	if index < s.minIdx {
+		s.minIdx = index
+	}
+	if index > s.maxIdx {
+		s.maxIdx = index
+	}
+}
+
+// Add implements Store. Single increments — the insert path — only
+// append to the buffer; multi-counts (merges, deserialization) go to
+// the pages directly.
+//
+//sketch:hotpath
+func (s *BufferedPaginatedStore) Add(index int, count int64) {
+	if count <= 0 {
+		return
+	}
+	if count == 1 {
+		s.buffer = append(s.buffer, index)
+		s.total++
+		s.track(index)
+		if len(s.buffer) >= bufferFlushLen {
+			s.flush()
+		}
+		return
+	}
+	s.page(pageIndex(index))[index&pageMask] += count
+	s.total += count
+	s.track(index)
+}
+
+// AddOnes implements the batched-insert bulk path: the index range is
+// scanned first so the page table is extended at most twice for the
+// whole batch, then each increment is two shifts, a mask and an array
+// op (the buffer is bypassed — the batch is its own amortization).
+//
+//sketch:hotpath
+func (s *BufferedPaginatedStore) AddOnes(indexes []int) {
+	if len(indexes) == 0 {
+		return
+	}
+	lo, hi := indexes[0], indexes[0]
+	for _, i := range indexes[1:] {
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	s.page(pageIndex(lo))
+	s.page(pageIndex(hi))
+	minPage := s.minPage
+	pages := s.pages
+	for _, i := range indexes {
+		pg := pages[(i>>pageLenLog2)-minPage]
+		if pg == nil {
+			// First touch of an interior page: allocate it. The page table
+			// already spans [lo, hi], so the slice header cannot move.
+			pg = s.page(i >> pageLenLog2)
+		}
+		pg[i&pageMask]++
+	}
+	s.total += int64(len(indexes))
+	if lo < s.minIdx {
+		s.minIdx = lo
+	}
+	if hi > s.maxIdx {
+		s.maxIdx = hi
+	}
+}
+
+// Total implements Store.
+func (s *BufferedPaginatedStore) Total() int64 { return s.total }
+
+// IsEmpty implements Store.
+func (s *BufferedPaginatedStore) IsEmpty() bool { return s.total == 0 }
+
+// MinIndex implements Store.
+func (s *BufferedPaginatedStore) MinIndex() int { return s.minIdx }
+
+// MaxIndex implements Store.
+func (s *BufferedPaginatedStore) MaxIndex() int { return s.maxIdx }
+
+// ForEach implements Store: the buffer is flushed, then pages are walked
+// in ascending order — ascending bucket order by construction.
+func (s *BufferedPaginatedStore) ForEach(fn func(index int, count int64) bool) {
+	if s.total == 0 {
+		return
+	}
+	s.flush()
+	for pi, pg := range s.pages {
+		if pg == nil {
+			continue
+		}
+		base := (s.minPage + pi) << pageLenLog2
+		for li, c := range pg {
+			if c != 0 {
+				if !fn(base+li, c) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// NonEmptyBuckets implements Store.
+func (s *BufferedPaginatedStore) NonEmptyBuckets() int {
+	n := 0
+	s.ForEach(func(int, int64) bool { n++; return true })
+	return n
+}
+
+// NumbersHeld implements Store: buffer slots plus allocated page slots
+// plus bookkeeping, in the paper's 8-byte-number accounting.
+func (s *BufferedPaginatedStore) NumbersHeld() int {
+	n := len(s.buffer) + len(s.pages) + 4
+	for _, pg := range s.pages {
+		if pg != nil {
+			n += pageLen
+		}
+	}
+	return n
+}
+
+// CollapseCount implements Store.
+func (s *BufferedPaginatedStore) CollapseCount() int { return 0 }
+
+// Clone implements Store.
+func (s *BufferedPaginatedStore) Clone() Store {
+	c := *s
+	c.buffer = make([]int, len(s.buffer), bufferFlushLen)
+	copy(c.buffer, s.buffer)
+	c.pages = make([][]int64, len(s.pages))
+	for i, pg := range s.pages {
+		if pg != nil {
+			np := make([]int64, pageLen)
+			copy(np, pg)
+			c.pages[i] = np
+		}
+	}
+	return &c
+}
+
+// Reset implements Store, keeping the buffer's capacity.
+func (s *BufferedPaginatedStore) Reset() {
+	buf := s.buffer[:0]
+	*s = *NewBufferedPaginatedStore()
+	s.buffer = buf
+}

@@ -1,0 +1,263 @@
+package ddsketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// bucketList reads a store's contents through ForEach.
+func bucketList(s Store) (idx []int, cnt []int64) {
+	s.ForEach(func(i int, c int64) bool {
+		idx = append(idx, i)
+		cnt = append(cnt, c)
+		return true
+	})
+	return
+}
+
+func storesEqual(t *testing.T, tag string, got, want Store) {
+	t.Helper()
+	if got.Total() != want.Total() {
+		t.Fatalf("%s: total %d != %d", tag, got.Total(), want.Total())
+	}
+	if got.IsEmpty() != want.IsEmpty() {
+		t.Fatalf("%s: IsEmpty %v != %v", tag, got.IsEmpty(), want.IsEmpty())
+	}
+	if !want.IsEmpty() {
+		if got.MinIndex() != want.MinIndex() || got.MaxIndex() != want.MaxIndex() {
+			t.Fatalf("%s: range [%d,%d] != [%d,%d]", tag,
+				got.MinIndex(), got.MaxIndex(), want.MinIndex(), want.MaxIndex())
+		}
+	}
+	gi, gc := bucketList(got)
+	wi, wc := bucketList(want)
+	if len(gi) != len(wi) {
+		t.Fatalf("%s: %d non-empty buckets != %d", tag, len(gi), len(wi))
+	}
+	for k := range gi {
+		if gi[k] != wi[k] || gc[k] != wc[k] {
+			t.Fatalf("%s: bucket %d: (%d,%d) != (%d,%d)", tag, k, gi[k], gc[k], wi[k], wc[k])
+		}
+	}
+	if got.NonEmptyBuckets() != want.NonEmptyBuckets() {
+		t.Fatalf("%s: NonEmptyBuckets %d != %d", tag, got.NonEmptyBuckets(), want.NonEmptyBuckets())
+	}
+}
+
+// The buffered-paginated store must be observationally identical to the
+// dense store under any interleaving of single adds, bulk adds, and
+// multi-count adds — including reads mid-stream that force buffer
+// flushes at arbitrary points.
+func TestPaginatedStoreMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	pag := NewBufferedPaginatedStore()
+	den := NewDenseStore()
+	randIdx := func() int {
+		// Cluster around two separated centers, with occasional negatives,
+		// to exercise page-table extension in both directions.
+		base := []int{-300, 0, 4000}[rng.IntN(3)]
+		return base + rng.IntN(64) - 32
+	}
+	for step := 0; step < 4000; step++ {
+		switch rng.IntN(10) {
+		case 0, 1, 2, 3, 4, 5: // single insert (buffered path)
+			i := randIdx()
+			pag.Add(i, 1)
+			den.Add(i, 1)
+		case 6: // multi-count (direct page path)
+			i, c := randIdx(), int64(rng.IntN(100)+2)
+			pag.Add(i, c)
+			den.Add(i, c)
+		case 7: // bulk batch
+			n := rng.IntN(200)
+			batch := make([]int, n)
+			for k := range batch {
+				batch[k] = randIdx()
+			}
+			pag.AddOnes(batch)
+			den.AddOnes(batch)
+		case 8: // read mid-stream: forces a flush
+			storesEqual(t, "mid-stream", pag, den)
+		case 9: // non-positive counts are ignored
+			pag.Add(randIdx(), 0)
+			den.Add(randIdx(), -1)
+		}
+	}
+	storesEqual(t, "final", pag, den)
+}
+
+// ForEach must visit buckets in ascending index order and honor early
+// stop, even with entries still staged in the insert buffer.
+func TestPaginatedStoreForEachOrder(t *testing.T) {
+	s := NewBufferedPaginatedStore()
+	for _, i := range []int{70, -3, 500, 0, -64, 31, 32} {
+		s.Add(i, 1)
+	}
+	prev := math.MinInt32
+	s.ForEach(func(i int, c int64) bool {
+		if i <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", i, prev)
+		}
+		if c != 1 {
+			t.Fatalf("bucket %d count %d, want 1", i, c)
+		}
+		prev = i
+		return true
+	})
+	visits := 0
+	s.ForEach(func(int, int64) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("early-stop ForEach visited %d buckets, want 1", visits)
+	}
+}
+
+func TestPaginatedStoreCloneReset(t *testing.T) {
+	s := NewBufferedPaginatedStore()
+	for i := 0; i < 100; i++ {
+		s.Add(i%7, 1)
+	}
+	s.Add(1000, 5)
+	c := s.Clone()
+	// Mutating the clone must not touch the original, and vice versa —
+	// including buffered entries.
+	c.Add(42, 3)
+	s.Add(-9, 2)
+	if c.Total() != 108 || s.Total() != 107 {
+		t.Fatalf("clone aliasing: totals %d, %d", c.Total(), s.Total())
+	}
+	ci, _ := bucketList(c)
+	for _, i := range ci {
+		if i == -9 {
+			t.Fatal("clone sees original's post-clone insert")
+		}
+	}
+	s.Reset()
+	if !s.IsEmpty() || s.Total() != 0 || s.NonEmptyBuckets() != 0 {
+		t.Fatal("reset store not empty")
+	}
+	s.Add(3, 1)
+	if s.MinIndex() != 3 || s.MaxIndex() != 3 {
+		t.Fatal("reset store tracks stale index range")
+	}
+}
+
+// Memory accounting: a store holding two distant clusters must pay for
+// the touched pages only, not the whole index span like DenseStore.
+func TestPaginatedStoreNumbersHeldSparse(t *testing.T) {
+	pag := NewBufferedPaginatedStore()
+	den := NewDenseStore()
+	for _, i := range []int{0, 1, 2, 100_000, 100_001} {
+		pag.Add(i, 2) // count 2: lands in pages, not the buffer
+		den.Add(i, 2)
+	}
+	if ph, dh := pag.NumbersHeld(), den.NumbersHeld(); ph*10 > dh {
+		t.Fatalf("paginated holds %d numbers, dense %d; expected ≥10x saving on sparse clusters", ph, dh)
+	}
+}
+
+// A paginated-store sketch must round-trip through serde with its store
+// kind, and the decoded copy must keep answering and merging.
+func TestPaginatedSketchSerde(t *testing.T) {
+	s := NewPaginated(0.01)
+	rng := rand.New(rand.NewPCG(17, 19))
+	for i := 0; i < 50_000; i++ {
+		s.Insert(1 / math.Pow(1-rng.Float64(), 1.1))
+	}
+	s.Insert(0)
+	s.Insert(-3.5)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sketch
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.positive.(*BufferedPaginatedStore); !ok {
+		t.Fatalf("decoded store is %T, want *BufferedPaginatedStore", d.positive)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.99, 1} {
+		a, err1 := s.Quantile(q)
+		b, err2 := d.Quantile(q)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatalf("q=%v: %v != %v after round trip", q, a, b)
+		}
+	}
+	// Round trip is byte-stable.
+	blob2, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-marshal not byte-identical")
+	}
+	// The decoded sketch merges with a same-configuration live sketch.
+	o := NewPaginated(0.01)
+	o.Insert(12.5)
+	before := d.Count()
+	if err := d.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != before+1 {
+		t.Fatalf("merge count %d, want %d", d.Count(), before+1)
+	}
+}
+
+// Truncated paginated-sketch envelopes must be rejected, and a failed
+// decode must leave the receiver untouched.
+func TestPaginatedSketchTruncation(t *testing.T) {
+	s := NewPaginated(0.01)
+	for i := 0; i < 1000; i++ {
+		s.Insert(float64(i%97) + 0.5)
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		var d Sketch
+		if err := d.UnmarshalBinary(blob[:n]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", n, len(blob))
+		}
+		if d.positive != nil || d.mapping != nil {
+			t.Fatalf("failed decode at %d bytes mutated receiver", n)
+		}
+	}
+}
+
+// FuzzPaginatedSketchDecode hardens the paginated store's wire format:
+// arbitrary input must either fail cleanly or produce a sketch whose
+// re-marshal round-trips.
+func FuzzPaginatedSketchDecode(f *testing.F) {
+	seed := NewPaginated(0.01)
+	for i := 0; i < 300; i++ {
+		seed.Insert(math.Exp(float64(i%40) - 20))
+	}
+	blob, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	empty, _ := NewPaginated(0.01).MarshalBinary()
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Sketch
+		if err := d.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted blob fails to re-marshal: %v", err)
+		}
+		var d2 Sketch
+		if err := d2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshaled blob fails to decode: %v", err)
+		}
+	})
+}

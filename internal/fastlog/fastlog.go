@@ -1,0 +1,117 @@
+// Package fastlog provides bit-trick approximations of log2 shared by
+// the sketch index mappings: the binary exponent is read straight out of
+// the IEEE 754 representation and log2 of the mantissa is approximated
+// by a low-degree polynomial, so computing a bucket index costs a few
+// multiply-adds instead of a transcendental call.
+//
+// The approximations are interpolations of log2(1+s) on s ∈ [0, 1) with
+// P(0)=0 and P(1)=1, which makes ℓ(x) = exponent(x) + P(mantissa(x)−1)
+// continuous and exactly one per octave: ℓ(2x) = ℓ(x)+1. A mapping built
+// on top preserves a relative-accuracy guarantee *by construction*: the
+// polynomial's worst-case slope distortion against the true log2 —
+// min over s of P'(s)·(1+s)·ln2, exported as CubicMinSlope /
+// LinearMinSlope — is folded into the caller's index multiplier, making
+// buckets at most slightly narrower than exact log_γ buckets (more
+// buckets, same guarantee, faster Index).
+package fastlog
+
+import "math"
+
+// Cubic interpolation coefficients (the reference DDSketch
+// implementation's CubicallyInterpolatedMapping polynomial):
+// P(s) = C1·s + C2·s² + C3·s³, with P(1) = C1+C2+C3 = 1.
+const (
+	cubicC1 = 10.0 / 7
+	cubicC2 = -3.0 / 5
+	cubicC3 = 6.0 / 35
+)
+
+// MinIndexable is the smallest positive value the bit-trick ℓ handles
+// exactly: below it (subnormals in particular) the exponent extraction
+// no longer matches the value's true magnitude. Callers route smaller
+// magnitudes to their exact-zero counters.
+const MinIndexable = 0x1p-1000
+
+// CubicMinSlope and LinearMinSlope are min over s ∈ [0,1] of
+// P'(s)·(1+s)·ln2 — how far a true log2-width of 1 can be squeezed in ℓ
+// units. A bucket of ℓ-width 1/m spans at most 1/(m·minSlope) in log2,
+// so a multiplier of 1/(minSlope·log2(γ)) guarantees every bucket stays
+// within ratio γ. Both are computed by the same 2^14-step scan the
+// in-sketch polynomial mappings historically used, keeping multipliers
+// bit-identical to previously serialized sketches.
+var (
+	CubicMinSlope  = minSlope(cubicDeriv)
+	LinearMinSlope = minSlope(linearDeriv)
+)
+
+func cubicPoly(s float64) float64  { return ((cubicC3*s+cubicC2)*s + cubicC1) * s }
+func cubicDeriv(s float64) float64 { return (3*cubicC3*s+2*cubicC2)*s + cubicC1 }
+func linearDeriv(float64) float64  { return 1 }
+
+// minSlope scans the distortion curve on a fixed grid; the polynomials
+// are gentle cubics at most, so 2^14 steps over-resolves the minimum.
+func minSlope(deriv func(float64) float64) float64 {
+	m := math.Inf(1)
+	const steps = 1 << 14
+	for i := 0; i <= steps; i++ {
+		s := float64(i) / steps
+		slope := deriv(s) * (1 + s) * math.Ln2
+		if slope < m {
+			m = slope
+		}
+	}
+	return m
+}
+
+// Log2Cubic approximates log2(x) for x ≥ MinIndexable via exponent
+// extraction plus the cubic mantissa polynomial. Monotone in x; exact at
+// powers of two.
+//
+//sketch:hotpath
+func Log2Cubic(x float64) float64 {
+	bits := math.Float64bits(x)
+	e := float64(int((bits>>52)&0x7ff) - 1023)
+	s := math.Float64frombits((bits&0x000fffffffffffff)|0x3ff0000000000000) - 1
+	return e + ((cubicC3*s+cubicC2)*s+cubicC1)*s
+}
+
+// Log2CubicInverse returns the x with Log2Cubic(x) = y, inverting the
+// mantissa polynomial by Newton iteration (monotone on [0, 1], so the
+// iteration is safe; clamped for robustness at the seam).
+func Log2CubicInverse(y float64) float64 {
+	e := math.Floor(y)
+	frac := y - e
+	s := frac // good starting point: P ≈ identity-ish
+	for i := 0; i < 16; i++ {
+		f := ((cubicC3*s+cubicC2)*s+cubicC1)*s - frac
+		if math.Abs(f) < 1e-14 {
+			break
+		}
+		s -= f / ((3*cubicC3*s+2*cubicC2)*s + cubicC1)
+		if s < 0 {
+			s = 0
+		} else if s > 1 {
+			s = 1
+		}
+	}
+	return math.Ldexp(1+s, int(e))
+}
+
+// Log2Linear approximates log2(x) with the identity mantissa polynomial
+// P(s) = s — the cheapest ℓ, at the cost of the largest distortion
+// (LinearMinSlope = ln2, ≈44% more buckets than exact).
+//
+//sketch:hotpath
+func Log2Linear(x float64) float64 {
+	bits := math.Float64bits(x)
+	e := float64(int((bits>>52)&0x7ff) - 1023)
+	s := math.Float64frombits((bits&0x000fffffffffffff)|0x3ff0000000000000) - 1
+	return e + s
+}
+
+// Log2LinearInverse returns the x with Log2Linear(x) = y (closed form:
+// the linear polynomial is its own inverse on the mantissa).
+func Log2LinearInverse(y float64) float64 {
+	e := math.Floor(y)
+	return math.Ldexp(1+(y-e), int(e))
+}

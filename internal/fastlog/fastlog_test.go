@@ -1,0 +1,115 @@
+package fastlog
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The slope bounds must hold pointwise: for any x, the approximation
+// error of ℓ against true log2 stays within the distortion the exported
+// minimum slopes promise (ℓ is a reparametrization of log2 with
+// derivative in [minSlope/ln2 · ln2, ...]; equivalently ℓ differences
+// are at least minSlope times log2 differences).
+func TestMinSlopeBounds(t *testing.T) {
+	if !(CubicMinSlope > 0.9 && CubicMinSlope <= 1) {
+		t.Errorf("CubicMinSlope = %v, expected just under 1", CubicMinSlope)
+	}
+	if math.Abs(LinearMinSlope-math.Ln2) > 1e-12 {
+		t.Errorf("LinearMinSlope = %v, want ln2 = %v", LinearMinSlope, math.Ln2)
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 50000; i++ {
+		a := math.Exp(rng.Float64()*80 - 40)
+		b := a * (1 + rng.Float64())
+		trueDiff := math.Log2(b) - math.Log2(a)
+		for name, fn := range map[string]struct {
+			log2     func(float64) float64
+			minSlope float64
+		}{
+			"cubic":  {Log2Cubic, CubicMinSlope},
+			"linear": {Log2Linear, LinearMinSlope},
+		} {
+			got := fn.log2(b) - fn.log2(a)
+			// ℓ must stretch log2 by at least minSlope (= min dℓ/dlog2) —
+			// allow a hair of float slack on the comparison itself.
+			if got < fn.minSlope*trueDiff*(1-1e-9)-1e-12 {
+				t.Fatalf("%s: ℓ-diff %v under slope bound for log2-diff %v", name, got, trueDiff)
+			}
+		}
+	}
+}
+
+// ℓ must be exact at powers of two and monotone across octave seams.
+func TestLog2ExactAtPowersOfTwo(t *testing.T) {
+	for e := -900; e <= 900; e += 37 {
+		x := math.Ldexp(1, e)
+		if got := Log2Cubic(x); got != float64(e) {
+			t.Fatalf("Log2Cubic(2^%d) = %v", e, got)
+		}
+		if got := Log2Linear(x); got != float64(e) {
+			t.Fatalf("Log2Linear(2^%d) = %v", e, got)
+		}
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	prevX := 0.0
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(rng.Float64()*60 - 30)
+		if x < prevX {
+			x, prevX = prevX, x
+		}
+		if prevX > 0 {
+			if Log2Cubic(x) < Log2Cubic(prevX) {
+				t.Fatalf("Log2Cubic not monotone at %v vs %v", prevX, x)
+			}
+			if Log2Linear(x) < Log2Linear(prevX) {
+				t.Fatalf("Log2Linear not monotone at %v vs %v", prevX, x)
+			}
+		}
+		prevX = x
+	}
+}
+
+// The inverses must invert to high relative precision over the full
+// indexable range.
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50000; i++ {
+		x := math.Exp(rng.Float64()*120 - 60)
+		if back := Log2CubicInverse(Log2Cubic(x)); math.Abs(back-x)/x > 1e-9 {
+			t.Fatalf("cubic inverse: %v -> %v", x, back)
+		}
+		if back := Log2LinearInverse(Log2Linear(x)); math.Abs(back-x)/x > 1e-12 {
+			t.Fatalf("linear inverse: %v -> %v", x, back)
+		}
+	}
+}
+
+// The //sketch:hotpath contract: the approximations are pure float
+// arithmetic, zero allocations.
+func TestLog2Allocs(t *testing.T) {
+	xs := make([]float64, 1024)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = 1 + float64(state>>11)/float64(1<<53)*999
+	}
+	sink := 0.0
+	for name, fn := range map[string]func(float64) float64{
+		"cubic":  Log2Cubic,
+		"linear": Log2Linear,
+	} {
+		avg := testing.AllocsPerRun(100, func() {
+			for _, x := range xs {
+				sink += fn(x)
+			}
+		})
+		if avg > 0 {
+			t.Errorf("%s allocates %.1f times per 1024 calls, want 0", name, avg)
+		}
+	}
+	_ = sink
+}

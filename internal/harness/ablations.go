@@ -62,20 +62,26 @@ func runMappingAblation(opts Options) ([]Table, error) {
 	n := opts.scaled(10_000_000)
 	buf := presample(minInt(n, 1_000_000), opts.Seed^0x3a3a)
 	tbl := Table{
-		Title:   fmt.Sprintf("DDSketch mapping ablation (α=0.01, %d Pareto inserts)", n),
-		Headers: []string{"mapping", "insert/op", "buckets", "memory KB", "p99 rel err"},
+		Title:   fmt.Sprintf("DDSketch mapping/store ablation (α=0.01, %d Pareto inserts)", n),
+		Headers: []string{"mapping", "store", "insert/op", "buckets", "memory KB", "p99 rel err"},
 		Notes: []string{
 			"cubic ≈ exact bucket count without the per-insert log(); linear trades ~44% more buckets for the cheapest indexing",
+			"the buffered-paginated store pays only for touched bucket pages; the dense store pays for the whole index span",
 		},
 	}
+	dense := func() ddsketch.Store { return ddsketch.NewDenseStore() }
+	paginated := func() ddsketch.Store { return ddsketch.NewBufferedPaginatedStore() }
 	type variant struct {
-		name string
-		make func() (ddsketch.IndexMapping, error)
+		name  string
+		make  func() (ddsketch.IndexMapping, error)
+		store string
+		newSt func() ddsketch.Store
 	}
 	variants := []variant{
-		{"logarithmic", func() (ddsketch.IndexMapping, error) { return ddsketch.NewLogarithmic(0.01) }},
-		{"cubic", func() (ddsketch.IndexMapping, error) { return ddsketch.NewCubicMapping(0.01) }},
-		{"linear", func() (ddsketch.IndexMapping, error) { return ddsketch.NewLinearMapping(0.01) }},
+		{"logarithmic", func() (ddsketch.IndexMapping, error) { return ddsketch.NewLogarithmic(0.01) }, "dense", dense},
+		{"cubic", func() (ddsketch.IndexMapping, error) { return ddsketch.NewCubicMapping(0.01) }, "dense", dense},
+		{"linear", func() (ddsketch.IndexMapping, error) { return ddsketch.NewLinearMapping(0.01) }, "dense", dense},
+		{"cubic", func() (ddsketch.IndexMapping, error) { return ddsketch.NewCubicMapping(0.01) }, "paginated", paginated},
 	}
 	data := make([]float64, minInt(n, 1_000_000))
 	copy(data, buf[:len(data)])
@@ -85,7 +91,7 @@ func runMappingAblation(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sk, err := ddsketch.NewWithMapping(m, func() ddsketch.Store { return ddsketch.NewDenseStore() })
+		sk, err := ddsketch.NewWithMapping(m, v.newSt)
 		if err != nil {
 			return nil, err
 		}
@@ -103,12 +109,13 @@ func runMappingAblation(opts Options) ([]Table, error) {
 		re := stats.RelativeError(exact.Quantile(0.99), est)
 		tbl.Rows = append(tbl.Rows, []string{
 			v.name,
+			v.store,
 			fmtDur(d / time.Duration(n)),
 			fmt.Sprint(sk.NonEmptyBuckets()),
 			fmt.Sprintf("%.2f", float64(sk.MemoryBytes())/1024),
 			fmtErr(re),
 		})
-		opts.logf("ablation-mapping: %s done", v.name)
+		opts.logf("ablation-mapping: %s/%s done", v.name, v.store)
 	}
 	tbl.Notes = append(tbl.Notes, scaleNote(opts)...)
 	return []Table{tbl}, nil

@@ -67,6 +67,7 @@ func Entries() []Entry {
 		{"gk", func() sketch.Sketch { return gk.New(0.001) }, true},
 		{"ddsketch", func() sketch.Sketch { return ddsketch.New(0.01) }, true},
 		{"ddsketch-collapsing", func() sketch.Sketch { return ddsketch.NewCollapsing(0.01, 1024) }, true},
+		{"ddsketch-paginated", func() sketch.Sketch { return ddsketch.NewPaginated(0.01) }, true},
 		{"uddsketch", func() sketch.Sketch { return uddsketch.New(0.01, 1024) }, true},
 		{"uddsketch-array", func() sketch.Sketch { return must(uddsketch.NewArray(0.01, 1024)) }, true},
 		{"moments", func() sketch.Sketch { return moments.New(12) }, true},

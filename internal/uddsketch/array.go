@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fastlog"
 	"repro/internal/sketch"
 )
 
@@ -24,6 +25,11 @@ type ArraySketch struct {
 	logGamma   float64
 	maxBuckets int
 	collapses  int
+
+	// indexer/multiplier mirror Sketch's fast-indexer state (see the
+	// field comments there): multiplier is exactly halved per collapse.
+	indexer    byte
+	multiplier float64
 
 	counts  []int64 // counts[i] = bucket (offset + i)
 	offset  int
@@ -48,10 +54,12 @@ func NewArray(alpha0 float64, maxBuckets int) (*ArraySketch, error) {
 	s := &ArraySketch{
 		initAlpha:  alpha0,
 		maxBuckets: maxBuckets,
+		indexer:    indexerCubic,
 		min:        math.Inf(1),
 		max:        math.Inf(-1),
 	}
 	s.setAlpha(alpha0)
+	s.multiplier = initMultiplier(s.gamma)
 	return s, nil
 }
 
@@ -79,12 +87,31 @@ func (s *ArraySketch) Alpha() float64 { return s.alpha }
 // Collapses reports the uniform collapses performed.
 func (s *ArraySketch) Collapses() int { return s.collapses }
 
+//sketch:hotpath
 func (s *ArraySketch) index(x float64) int {
+	if s.indexer == indexerCubic {
+		return int(math.Ceil(fastlog.Log2Cubic(x) * s.multiplier))
+	}
 	return int(math.Ceil(math.Log(x) / s.logGamma))
 }
 
 func (s *ArraySketch) value(i int) float64 {
+	if s.indexer == indexerCubic {
+		lo := fastlog.Log2CubicInverse((float64(i) - 1) / s.multiplier)
+		hi := fastlog.Log2CubicInverse(float64(i) / s.multiplier)
+		// Overflow-safe harmonic midpoint, as in Sketch.value.
+		return 2 * (hi / (1 + hi/lo))
+	}
 	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// arrMinIndexable is the smallest positive magnitude the sketch buckets;
+// below it values count exactly in the zero counter.
+func (s *ArraySketch) arrMinIndexable() float64 {
+	if s.indexer == indexerCubic {
+		return fastlog.MinIndexable
+	}
+	return math.SmallestNonzeroFloat64
 }
 
 // add increments bucket idx by c, growing the array as needed.
@@ -139,7 +166,7 @@ func (s *ArraySketch) InsertN(x float64, n uint64) {
 	if math.IsNaN(x) || n == 0 {
 		return
 	}
-	if x > 0 && x >= math.SmallestNonzeroFloat64 {
+	if x > 0 && x >= s.arrMinIndexable() {
 		s.add(s.index(x), int64(n))
 	} else {
 		s.zeroCnt += int64(n)
@@ -162,6 +189,7 @@ func (s *ArraySketch) InsertN(x float64, n uint64) {
 func (s *ArraySketch) uniformCollapse() {
 	if s.counts == nil {
 		s.setAlpha(2 * s.alpha / (1 + s.alpha*s.alpha))
+		s.multiplier /= 2
 		s.collapses++
 		return
 	}
@@ -188,6 +216,7 @@ func (s *ArraySketch) uniformCollapse() {
 	s.offset = newOffset
 	s.nonZero = nonZero
 	s.setAlpha(2 * s.alpha / (1 + s.alpha*s.alpha))
+	s.multiplier /= 2
 	s.collapses++
 }
 
@@ -264,6 +293,9 @@ func (s *ArraySketch) Merge(other sketch.Sketch) error {
 	if math.Abs(o.initAlpha-s.initAlpha) > 1e-15 {
 		return fmt.Errorf("%w: initial alpha mismatch", sketch.ErrIncompatible)
 	}
+	if o.indexer != s.indexer {
+		return fmt.Errorf("%w: indexer mismatch %d vs %d", sketch.ErrIncompatible, s.indexer, o.indexer)
+	}
 	src := o
 	if o.collapses != s.collapses {
 		if o.collapses < s.collapses {
@@ -321,6 +353,7 @@ func (s *ArraySketch) Reset() {
 	s.min = math.Inf(1)
 	s.max = math.Inf(-1)
 	s.setAlpha(s.initAlpha)
+	s.multiplier = initMultiplier(s.gamma)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -330,7 +363,10 @@ func (s *ArraySketch) MarshalBinary() ([]byte, error) {
 	w.Byte(sketch.SerdeVersion)
 	w.F64(s.initAlpha)
 	w.U32(uint32(s.maxBuckets))
-	w.U32(uint32(s.collapses))
+	// Indexer kind rides in the collapse counter's high bit, as in
+	// Sketch.MarshalBinary: pre-fast-indexer envelopes have it clear and
+	// decode as exact-log sketches.
+	w.U32(uint32(s.collapses) | indexerBits(s.indexer))
 	w.I64(s.zeroCnt)
 	w.I64(s.count)
 	w.F64(s.min)
@@ -353,7 +389,12 @@ func (s *ArraySketch) UnmarshalBinary(data []byte) error {
 	}
 	initAlpha := r.F64()
 	maxBuckets := int(r.U32())
-	collapses := int(r.U32())
+	rawCollapses := r.U32()
+	indexer := indexerLog
+	if rawCollapses&indexerFlagCubic != 0 {
+		indexer = indexerCubic
+	}
+	collapses := int(rawCollapses &^ indexerFlagCubic)
 	zeroCnt := r.I64()
 	count := r.I64()
 	minV := r.F64()
@@ -391,6 +432,8 @@ func (s *ArraySketch) UnmarshalBinary(data []byte) error {
 	if r.Remaining() != 0 {
 		return sketch.ErrCorrupt
 	}
+	ns.indexer = indexer
+	ns.multiplier = math.Ldexp(ns.multiplier, -collapses)
 	*s = *ns
 	return nil
 }

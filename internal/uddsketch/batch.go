@@ -3,6 +3,7 @@ package uddsketch
 import (
 	"math"
 
+	"repro/internal/fastlog"
 	"repro/internal/sketch"
 )
 
@@ -11,18 +12,78 @@ var (
 	_ sketch.MultiQuantiler = (*Sketch)(nil)
 )
 
-// InsertBatch implements sketch.BatchInserter: the index computation
-// (log-gamma divide) runs in a tight loop with the store maps, bounds
+// InsertBatch implements sketch.BatchInserter: one branch on the
+// indexer kind outside the loop, then the index computation — the cubic
+// float-bit approximation with its multiplier hoisted, or the legacy
+// log-gamma divide — runs in a tight loop with the store maps, bounds
 // and count in locals. The bucket-budget check stays per-element — a
-// collapse squares γ, which changes every subsequent index — so
-// collapses trigger at exactly the scalar path's points; the hoisted
-// mapping state is refreshed after each collapse.
+// collapse changes every subsequent index — so collapses trigger at
+// exactly the scalar path's points; the hoisted mapping state is
+// refreshed after each collapse.
 //
 //sketch:hotpath
 func (s *Sketch) InsertBatch(xs []float64) {
 	if len(xs) == 0 {
 		return
 	}
+	if s.indexer == indexerCubic {
+		s.insertBatchCubic(xs)
+	} else {
+		s.insertBatchLog(xs)
+	}
+}
+
+//sketch:hotpath
+func (s *Sketch) insertBatchCubic(xs []float64) {
+	pos, neg := s.positive, s.negative
+	mult := s.multiplier
+	budget := s.maxBuckets
+	count := s.count
+	startCount := count
+	minV, maxV := s.min, s.max
+	var zero int64
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		switch {
+		case x >= fastlog.MinIndexable:
+			pos[int(math.Ceil(fastlog.Log2Cubic(x)*mult))]++
+		case x < 0 && -x >= fastlog.MinIndexable:
+			neg[int(math.Ceil(fastlog.Log2Cubic(-x)*mult))]++
+		default:
+			zero++
+		}
+		count++
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+		if len(pos)+len(neg) > budget {
+			s.count = count
+			s.zeroCnt += zero
+			zero = 0
+			s.min, s.max = minV, maxV
+			for len(s.positive)+len(s.negative) > budget {
+				s.uniformCollapse()
+			}
+			s.assertInvariants("collapse")
+			pos, neg = s.positive, s.negative
+			mult = s.multiplier
+		}
+	}
+	if metrics != nil {
+		metrics.Inserts.Add(int64(count - startCount))
+	}
+	s.count = count
+	s.zeroCnt += zero
+	s.min, s.max = minV, maxV
+}
+
+//sketch:hotpath
+func (s *Sketch) insertBatchLog(xs []float64) {
 	pos, neg := s.positive, s.negative
 	logGamma := s.logGamma
 	minIndexable := s.minIndexable()

@@ -21,8 +21,44 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/fastlog"
 	"repro/internal/sketch"
 )
+
+// Bucket indexer kinds. The cubic indexer replaces the per-insert
+// math.Log with a float-bit log2 approximation (internal/fastlog) whose
+// slope distortion is folded into a precomputed multiplier, preserving
+// the α guarantee by construction. The exact-log indexer is retained for
+// sketches deserialized from envelopes that predate the fast indexer
+// (their bucket boundaries are log_γ's, not the cubic approximation's,
+// so the indexer kind must travel with the data).
+const (
+	indexerLog   byte = 0 // exact ⌈log_γ x⌉ via math.Log (legacy envelopes)
+	indexerCubic byte = 1 // ⌈ℓ(x)·multiplier⌉ via fastlog.Log2Cubic (default)
+)
+
+// indexerFlagCubic marks the cubic indexer in the serialized collapse
+// counter's high bit. Collapses are bounded (≤4096; α saturates long
+// before), so the bit is always clear in envelopes written before the
+// fast indexer existed — those decode as exact-log sketches, keeping
+// their bucket boundaries meaningful, with no format-version bump and
+// no change to the length of the envelope (truncations stay detectable).
+const indexerFlagCubic = uint32(1) << 31
+
+// indexerBits returns the flag bits to fold into the collapse counter.
+func indexerBits(indexer byte) uint32 {
+	if indexer == indexerCubic {
+		return indexerFlagCubic
+	}
+	return 0
+}
+
+// initMultiplier returns the cubic indexer's buckets-per-ℓ-unit factor
+// for an uncollapsed γ: 1/(minSlope·log2 γ), the same construction as
+// DDSketch's cubic mapping.
+func initMultiplier(gamma float64) float64 {
+	return 1 / (fastlog.CubicMinSlope * math.Log2(gamma))
+}
 
 // Sketch is a UDDSketch instance covering the full real line (positive
 // map store, mirrored negative map store, and an exact-zero counter).
@@ -33,6 +69,16 @@ type Sketch struct {
 	logGamma   float64
 	maxBuckets int
 	collapses  int
+
+	// indexer selects the bucket-boundary family; multiplier is the
+	// cubic indexer's index factor. A uniform collapse merges index
+	// pairs (2i−1, 2i) → i, which for fixed bucket boundaries is
+	// exactly a halving of the multiplier — so the multiplier is
+	// *halved* per collapse (exact in floating point) rather than
+	// recomputed from the collapsed α, keeping collapse-then-insert and
+	// insert-then-collapse bit-identical.
+	indexer    byte
+	multiplier float64
 
 	positive map[int]int64
 	negative map[int]int64
@@ -65,12 +111,14 @@ func NewChecked(alpha0 float64, maxBuckets int) (*Sketch, error) {
 	s := &Sketch{
 		initAlpha:  alpha0,
 		maxBuckets: maxBuckets,
+		indexer:    indexerCubic,
 		positive:   make(map[int]int64),
 		negative:   make(map[int]int64),
 		min:        math.Inf(1),
 		max:        math.Inf(-1),
 	}
 	s.setAlpha(alpha0)
+	s.multiplier = initMultiplier(s.gamma)
 	return s, nil
 }
 
@@ -114,17 +162,43 @@ func (s *Sketch) Collapses() int { return s.collapses }
 // MaxBuckets returns the configured bucket budget.
 func (s *Sketch) MaxBuckets() int { return s.maxBuckets }
 
-// minIndexable is the smallest magnitude this sketch can bucket without
-// float underflow in the index computation.
+// UseLegacyLogIndexer switches an *empty* sketch to the exact-log
+// indexer retained for pre-fast-indexer envelopes — for ablation
+// benchmarks and cross-checks. Panics once the sketch holds data, since
+// already-assigned buckets would change meaning.
+func (s *Sketch) UseLegacyLogIndexer() {
+	if s.count != 0 || s.zeroCnt != 0 {
+		panic("uddsketch: cannot change indexer of a non-empty sketch")
+	}
+	s.indexer = indexerLog
+}
+
+// minIndexable is the smallest magnitude this sketch can bucket: the
+// cubic indexer needs exact exponent extraction (no subnormals), the
+// legacy indexer only needs the index computation not to underflow.
 func (s *Sketch) minIndexable() float64 {
+	if s.indexer == indexerCubic {
+		return fastlog.MinIndexable
+	}
 	return math.Exp(float64(math.MinInt32+1) * s.logGamma)
 }
 
+//sketch:hotpath
 func (s *Sketch) index(x float64) int {
+	if s.indexer == indexerCubic {
+		return int(math.Ceil(fastlog.Log2Cubic(x) * s.multiplier))
+	}
 	return int(math.Ceil(math.Log(x) / s.logGamma))
 }
 
 func (s *Sketch) value(i int) float64 {
+	if s.indexer == indexerCubic {
+		lo := fastlog.Log2CubicInverse((float64(i) - 1) / s.multiplier)
+		hi := fastlog.Log2CubicInverse(float64(i) / s.multiplier)
+		// Harmonic midpoint in the overflow-safe form — the product
+		// lo·hi overflows past ~1e154.
+		return 2 * (hi / (1 + hi/lo))
+	}
 	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
 }
 
@@ -184,6 +258,9 @@ func (s *Sketch) uniformCollapse() {
 	s.positive = collapse(s.positive)
 	s.negative = collapse(s.negative)
 	s.setAlpha(2 * s.alpha / (1 + s.alpha*s.alpha))
+	// Halving is exact in floating point, so the cubic indexer's bucket
+	// boundaries after the collapse are exactly the merged pairs'.
+	s.multiplier /= 2
 	s.collapses++
 	if metrics != nil {
 		// A uniform collapse is both a store collapse and an α
@@ -392,6 +469,11 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if math.Abs(o.initAlpha-s.initAlpha) > 1e-15 {
 		return fmt.Errorf("%w: initial alpha mismatch %v vs %v", sketch.ErrIncompatible, s.initAlpha, o.initAlpha)
 	}
+	if o.indexer != s.indexer {
+		// Different indexers bucket at different boundaries; adding their
+		// counts index-by-index would silently corrupt both guarantees.
+		return fmt.Errorf("%w: indexer mismatch %d vs %d", sketch.ErrIncompatible, s.indexer, o.indexer)
+	}
 	mergedCount := s.count + o.count
 	// Work on a private copy of the more-refined side so `other` is not
 	// mutated while aligning γ.
@@ -466,15 +548,19 @@ func (s *Sketch) Reset() {
 	s.min = math.Inf(1)
 	s.max = math.Inf(-1)
 	s.setAlpha(s.initAlpha)
+	s.multiplier = initMultiplier(s.gamma)
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The indexer kind
+// rides in the high bit of the collapse counter (see indexerFlagCubic)
+// so that envelopes written before the fast indexer existed decode as
+// exact-log sketches without a version bump or a length change.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
 	w := sketch.NewWriter(64 + 16*(len(s.positive)+len(s.negative)))
 	w.Header(sketch.TagUDDSketch)
 	w.F64(s.initAlpha)
 	w.U32(uint32(s.maxBuckets))
-	w.U32(uint32(s.collapses))
+	w.U32(uint32(s.collapses) | indexerBits(s.indexer))
 	w.I64(s.zeroCnt)
 	w.I64(s.count)
 	w.F64(s.min)
@@ -499,7 +585,16 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	}
 	initAlpha := r.F64()
 	maxBuckets := int(r.U32())
-	collapses := int(r.U32())
+	rawCollapses := r.U32()
+	// High bit of the collapse counter carries the indexer kind;
+	// envelopes from before the fast indexer always have it clear, so
+	// they decode as exact-log sketches and their bucket boundaries keep
+	// meaning what they meant when written.
+	indexer := indexerLog
+	if rawCollapses&indexerFlagCubic != 0 {
+		indexer = indexerCubic
+	}
+	collapses := int(rawCollapses &^ indexerFlagCubic)
 	zeroCnt := r.I64()
 	count := r.I64()
 	minV := r.F64()
@@ -555,6 +650,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if r.Remaining() != 0 {
 		return sketch.ErrCorrupt
 	}
+	ns.indexer = indexer
+	// Ldexp is the k-fold exact halving the collapses performed.
+	ns.multiplier = math.Ldexp(ns.multiplier, -collapses)
 	// Structural validation: bucket sums must reproduce the serialized
 	// count, the budget must hold, and a non-empty sketch needs ordered
 	// bounds — anything else is corruption, not a decodable sketch.

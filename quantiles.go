@@ -80,7 +80,10 @@ const (
 
 // NewDDSketch returns a DDSketch with relative accuracy alpha (0 < alpha
 // < 1) and an unbounded dense store. Every estimate x̂ of a true quantile
-// value x satisfies |x̂−x| ≤ alpha·|x|. Panics on invalid alpha.
+// value x satisfies |x̂−x| ≤ alpha·|x|. The default index mapping is the
+// cubically-interpolated one (no log() call per insert; ~1% more buckets
+// than exact); use NewDDSketchWithMapping with NewLogarithmicMapping for
+// the exact mapping. Panics on invalid alpha.
 func NewDDSketch(alpha float64) *ddsketch.Sketch { return ddsketch.New(alpha) }
 
 // NewDDSketchCollapsing returns a DDSketch bounded at maxBuckets buckets;
@@ -89,6 +92,12 @@ func NewDDSketch(alpha float64) *ddsketch.Sketch { return ddsketch.New(alpha) }
 func NewDDSketchCollapsing(alpha float64, maxBuckets int) *ddsketch.Sketch {
 	return ddsketch.NewCollapsing(alpha, maxBuckets)
 }
+
+// NewDDSketchPaginated returns a DDSketch over the buffered-paginated
+// store: same O(1) amortized inserts as the dense store, with memory
+// proportional to the touched bucket-index pages rather than the full
+// index span — the better default when bucket ranges cluster.
+func NewDDSketchPaginated(alpha float64) *ddsketch.Sketch { return ddsketch.NewPaginated(alpha) }
 
 // NewUDDSketch returns a UDDSketch with initial accuracy alpha0 and a
 // bucket budget; when the budget is exhausted all bucket pairs collapse
@@ -155,9 +164,9 @@ func NewLogarithmicMapping(alpha float64) (IndexMapping, error) {
 	return ddsketch.NewLogarithmic(alpha)
 }
 
-// NewCubicMapping returns DDSketch's cubically-interpolated mapping:
-// ~1% more buckets, no transcendental call per insert (≈2x faster
-// indexing).
+// NewCubicMapping returns DDSketch's cubically-interpolated mapping —
+// the default of NewDDSketch: ~1% more buckets, no transcendental call
+// per insert (≈2x faster indexing).
 func NewCubicMapping(alpha float64) (IndexMapping, error) {
 	return ddsketch.NewCubicMapping(alpha)
 }

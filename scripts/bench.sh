@@ -10,6 +10,11 @@
 #    (results/bench_seed_query.txt, captured with QuantileAll falling
 #    back to the per-q scalar loop and sequential window evaluation) →
 #    BENCH_query.json
+#  - insert: index-mapping family (exact log vs interpolated
+#    cubic/linear), UDDSketch indexer kind, and store layout (dense vs
+#    buffered-paginated) vs results/bench_seed_insert.txt; the
+#    comparisons pair each legacy dimension (logarithmic mapping/indexer,
+#    dense store) against its fast-path counterpart → BENCH_insert.json
 #
 # Each step is a named gate: on failure the script prints exactly which
 # gate tripped and stops there.
@@ -80,5 +85,28 @@ compare_query() {
 gate query-benchmarks bench_query
 gate query-compare compare_query
 cat BENCH_query.json
+
+insert_current=results/bench_insert_current.txt
+
+bench_insert() {
+	go test -run '^$' -bench 'BenchmarkInsertMapping|BenchmarkInsertStore|BenchmarkInsertIndexer' \
+		-benchmem -benchtime "$BENCHTIME" . | tee "$insert_current"
+}
+
+compare_insert() {
+	go run ./cmd/benchjson \
+		-baseline results/bench_seed_insert.txt \
+		-current "$insert_current" \
+		-compare 'BenchmarkInsertMapping/logarithmic=BenchmarkInsertMapping/cubic' \
+		-compare 'BenchmarkInsertMapping/logarithmic=BenchmarkInsertMapping/linear' \
+		-compare 'BenchmarkInsertIndexer/logarithmic=BenchmarkInsertIndexer/cubic' \
+		-compare 'BenchmarkInsertStore/dense/batch=BenchmarkInsertStore/paginated/batch' \
+		-compare 'BenchmarkInsertStore/dense/scalar=BenchmarkInsertStore/paginated/scalar' \
+		-out BENCH_insert.json
+}
+
+gate insert-benchmarks bench_insert
+gate insert-compare compare_insert
+cat BENCH_insert.json
 
 echo "bench.sh: all gates passed"

@@ -77,7 +77,8 @@ gate tests go test ./...
 # regression tests; run them by name so an allocation regression is
 # called out as its own gate.
 gate hotpath-allocs go test -run 'Allocs' ./internal/kll ./internal/req \
-	./internal/ddsketch ./internal/uddsketch ./internal/moments ./internal/stream
+	./internal/ddsketch ./internal/uddsketch ./internal/moments \
+	./internal/fastlog ./internal/stream
 gate invariant-tests go test -tags invariants ./internal/...
 gate race go test -race ./internal/stream ./internal/harness
 # Crash-recovery / corruption matrix under the race detector: injected
@@ -92,6 +93,7 @@ gate chaos go test -race \
 # they still execute, not their timing — scripts/bench.sh does that).
 gate bench-smoke-stream go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
 gate bench-smoke-query go test -run '^$' -bench 'BenchmarkQuantileAll' -benchtime 100x .
+gate bench-smoke-insert go test -run '^$' -bench 'BenchmarkInsertMapping|BenchmarkInsertStore|BenchmarkInsertIndexer' -benchtime 100x .
 gate bench-smoke-accuracy go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
 gate metrics-endpoint metrics_smoke
 
