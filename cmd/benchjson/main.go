@@ -15,6 +15,11 @@
 // intact). The emitted JSON holds every parsed benchmark of both
 // files (ns/op, B/op, allocs/op) plus a comparison list with the
 // baseline/current ns/op ratio as "speedup".
+//
+// -baseline may be omitted, in which case the current file doubles as
+// the baseline: -compare pairs then relate two benchmarks of the same
+// run (e.g. a locked single-sketch baseline against the concurrent
+// writer path, 'BenchmarkConcurrentInsert/kll/locked/w=4=Benchmark...').
 package main
 
 import (
@@ -122,9 +127,14 @@ func main() {
 	)
 	flag.Var(&compares, "compare", "baselineName=currentName pair to compare (repeatable)")
 	flag.Parse()
-	if *baselinePath == "" || *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -baseline and -current are required")
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
 		os.Exit(2)
+	}
+	if *baselinePath == "" {
+		// Self-comparison mode: -compare pairs relate benchmarks within
+		// the current run.
+		*baselinePath = *currentPath
 	}
 
 	report := Report{BaselineFile: *baselinePath, CurrentFile: *currentPath}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -21,13 +22,20 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/concurrent"
 	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ddsketch"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
+	"repro/internal/kll"
 	"repro/internal/obs"
+	"repro/internal/sketch"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -52,18 +60,31 @@ func main() {
 		faultSpec     = flag.String("fault", "", "deterministic fault plan, e.g. 'panic@w1:5000,stall@p2:100:50ms,dup@7,corrupt@3:bitflip'; requires -checkpoint-dir for the crashing faults to recover")
 		httpAddr      = flag.String("http", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address (e.g. localhost:9090); implies -metrics")
 		linger        = flag.Duration("linger", 0, "with -http, keep the process (and endpoints) alive this long after the runs finish")
+		concWriters   = flag.Int("concurrent-writers", 0, "run a live concurrent shared-sketch ingestion stream with this many writer goroutines (0 disables); with -http, live snapshots are served at /quantile while the stream runs")
+		concSketch    = flag.String("concurrent-sketch", "kll", "shared sketch for -concurrent-writers: kll or ddsketch")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *list || (*run == "" && *concWriters == 0) {
 		fmt.Println("experiments:")
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-8s  %-10s  %s\n", e.ID, "("+e.Ref+")", e.Title)
 		}
 		if *run == "" && !*list {
-			fmt.Println("\nuse -run <id> or -run all")
+			fmt.Println("\nuse -run <id>, -run all, or -concurrent-writers N")
 		}
 		return
+	}
+
+	var shared concurrent.Shared
+	var sharedBuilder sketch.Builder
+	if *concWriters > 0 {
+		var err error
+		shared, sharedBuilder, err = newSharedSketch(*concSketch, *concWriters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quantbench: -concurrent-sketch:", err)
+			os.Exit(1)
+		}
 	}
 
 	opts := harness.Options{
@@ -109,6 +130,11 @@ func main() {
 		reg.PublishExpvar("quantstream")
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		if shared != nil {
+			// Live quantile reads against the shared sketch: valid (and
+			// relaxed-consistent) at any moment while the stream runs.
+			mux.Handle("/quantile", quantileHandler(shared))
+		}
 		mux.Handle("/debug/vars", expvar.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -174,6 +200,13 @@ func main() {
 		fmt.Fprintf(sink, "(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
+	if shared != nil {
+		if err := runConcurrentLive(sink, shared, sharedBuilder, *concSketch, opts, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "quantbench: concurrent:", err)
+			os.Exit(1)
+		}
+	}
+
 	if reg != nil {
 		fmt.Fprintln(sink, "=== metrics ===")
 		if err := reg.WriteText(sink); err != nil {
@@ -185,4 +218,125 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quantbench: lingering %s for scrapes\n", *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// newSharedSketch builds the shared sketch for -concurrent-writers,
+// together with the builder for the stream engine's windowed partials
+// (same algorithm, study configuration).
+func newSharedSketch(kind string, writers int) (concurrent.Shared, sketch.Builder, error) {
+	switch kind {
+	case "kll":
+		return concurrent.NewKLL(kll.DefaultK, writers, 0),
+			func() sketch.Sketch { return kll.New(kll.DefaultK) }, nil
+	case "ddsketch":
+		sh, err := concurrent.NewDDSketch(0.01, writers, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sh, func() sketch.Sketch { return ddsketch.New(0.01) }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown sketch %q (want kll or ddsketch)", kind)
+	}
+}
+
+// runConcurrentLive drives a stream engine whose accepted events also
+// feed the shared sketch: writers equal to the engine's worker count,
+// one partition per worker. After every fired window — and, with
+// -http, at any /quantile request — the shared sketch answers live
+// quantile queries that cover all events propagated so far, windowed
+// or not.
+func runConcurrentLive(w io.Writer, shared concurrent.Shared, builder sketch.Builder, kind string, opts harness.Options, reg *obs.Registry) error {
+	writers := shared.NumWriters()
+	winDur := time.Duration(opts.WindowSeconds * opts.Scale * float64(time.Second))
+	if winDur <= 0 {
+		winDur = time.Second
+	}
+	cfg := stream.Config{
+		WindowSize:   winDur,
+		Rate:         opts.Rate,
+		NumWindows:   opts.Windows,
+		Partitions:   writers,
+		Workers:      writers,
+		Values:       datagen.NewUniform(1, 1000, opts.Seed),
+		Builder:      builder,
+		SharedSketch: shared,
+	}
+	if reg != nil {
+		cfg.Metrics = reg.Engine()
+	}
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== concurrent: live shared-%s ingestion, %d writers, relaxation <= %d values ===\n",
+		kind, writers, shared.MaxRelaxation())
+	start := time.Now()
+	stats, err := eng.Run(func(r stream.WindowResult) {
+		snap := shared.Snapshot().(*concurrent.Snapshot)
+		line := fmt.Sprintf("window %2d fired: live epoch %4d, count %8d", r.Index, snap.Epoch(), snap.Count())
+		if snap.Count() > 0 {
+			if qs, err := sketch.Quantiles(snap, []float64{0.5, 0.99}); err == nil {
+				line += fmt.Sprintf(", p50 %8.3f, p99 %8.3f", qs[0], qs[1])
+			}
+		}
+		fmt.Fprintln(w, line)
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	snap := shared.Snapshot().(*concurrent.Snapshot)
+	fmt.Fprintf(w, "done: %d accepted events in %s (%.0f inserts/s aggregate), final count %d, epoch %d\n\n",
+		stats.Accepted, elapsed.Round(time.Millisecond),
+		float64(stats.Accepted)/elapsed.Seconds(), snap.Count(), snap.Epoch())
+	return nil
+}
+
+// quantileHandler serves live quantile reads over the shared sketch as
+// JSON: GET /quantile?q=0.5,0.99 → {"epoch":…,"count":…,"quantiles":…}.
+// The snapshot behind each response is consistent up to the layer's
+// relaxation bound, echoed as max_relaxation.
+func quantileHandler(shared concurrent.Shared) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spec := req.URL.Query().Get("q")
+		if spec == "" {
+			spec = "0.5,0.9,0.99"
+		}
+		var qs []float64
+		for _, part := range strings.Split(spec, ",") {
+			q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || !(q > 0 && q <= 1) {
+				http.Error(w, fmt.Sprintf("bad quantile %q (want 0 < q <= 1)", part), http.StatusBadRequest)
+				return
+			}
+			qs = append(qs, q)
+		}
+		snap := shared.Snapshot().(*concurrent.Snapshot)
+		resp := struct {
+			Epoch         uint64             `json:"epoch"`
+			Count         uint64             `json:"count"`
+			MaxRelaxation uint64             `json:"max_relaxation"`
+			Quantiles     map[string]float64 `json:"quantiles"`
+		}{
+			Epoch:         snap.Epoch(),
+			Count:         snap.Count(),
+			MaxRelaxation: shared.MaxRelaxation(),
+			Quantiles:     make(map[string]float64, len(qs)),
+		}
+		if snap.Count() > 0 {
+			vals, err := sketch.Quantiles(snap, qs)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			for i, q := range qs {
+				resp.Quantiles[strconv.FormatFloat(q, 'g', -1, 64)] = vals[i]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Client went away mid-write; nothing to clean up.
+			_ = err
+		}
+	})
 }

@@ -2,6 +2,7 @@ package quantiles_test
 
 import (
 	"fmt"
+	"sync"
 
 	quantiles "repro"
 )
@@ -92,4 +93,30 @@ func ExampleNewMomentsWithTransform() {
 	// state under 200 bytes: true
 	// err: <nil>
 	// median within 5%: true
+}
+
+// Concurrent ingestion: writer goroutines insert through private
+// buffer handles while any goroutine snapshots live quantiles. At
+// quiescence (all writers flushed) snapshots are exact.
+func ExampleNewConcurrentDDSketch() {
+	sh, _ := quantiles.NewConcurrentDDSketch(0.01, 4, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(h *quantiles.ConcurrentWriter, base int) {
+			defer wg.Done()
+			for i := 1; i <= 25000; i++ {
+				h.Insert(float64(base + i))
+			}
+			h.Flush()
+		}(sh.Writer(w), w*25000)
+	}
+	wg.Wait()
+	snap := sh.Snapshot()
+	median, _ := snap.Quantile(0.5)
+	fmt.Printf("count: %d\n", snap.Count())
+	fmt.Printf("median within 1%%: %v\n", median > 49500 && median < 50500)
+	// Output:
+	// count: 100000
+	// median within 1%: true
 }

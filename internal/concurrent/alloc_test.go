@@ -1,0 +1,53 @@
+package concurrent
+
+import "testing"
+
+// TestInsertAllocsHandoffFree pins the //sketch:hotpath contract on
+// Writer.Insert: a handoff-free insert is an append into a
+// preallocated buffer and must allocate nothing. The buffer is sized
+// far beyond the measured window so no flush fires mid-measurement.
+func TestInsertAllocsHandoffFree(t *testing.T) {
+	for name, w := range map[string]*Writer{
+		"kll": NewKLL(200, 1, 1<<20).Writer(0),
+		"ddsketch": func() *Writer {
+			s, err := NewDDSketch(0.01, 1, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.Writer(0)
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			x := 1.0
+			if avg := testing.AllocsPerRun(10000, func() {
+				w.Insert(x)
+				x += 1.0
+			}); avg != 0 {
+				t.Errorf("handoff-free Insert allocates %.2f per call, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestDDSketchSustainedInsertAllocs pins the stronger DDSketch
+// property: once the touched counter pages are installed, even the
+// handoff itself is allocation-free (atomic adds into preallocated
+// pages — no copy-on-write clone as in KLL). Small buffer so the
+// measured window crosses many handoffs.
+func TestDDSketchSustainedInsertAllocs(t *testing.T) {
+	s, err := NewDDSketch(0.01, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Writer(0)
+	for i := 0; i < 10000; i++ {
+		w.Insert(1 + float64(i%1000)) // warm: install the pages this range touches
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(10000, func() {
+		w.Insert(1 + float64(i%1000))
+		i++
+	}); avg != 0 {
+		t.Errorf("sustained Insert (with handoffs) allocates %.2f per call, want 0", avg)
+	}
+}

@@ -1,0 +1,357 @@
+package concurrent
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/ddsketch"
+	"repro/internal/sketch"
+)
+
+// pageLen is the atomic bin store's page size in counters. 64 slots ×
+// 8 bytes = 512 B per page: large enough that realistic data (a few
+// hundred populated buckets) touches a handful of pages, small enough
+// that sparse tails don't drag in the whole index span.
+const pageLen = 64
+
+// countPage is one lazily installed page of atomic bucket counters.
+type countPage [pageLen]atomic.Int64
+
+// atomicStore is a fixed-directory paginated store of atomic counters.
+// The directory covers the mapping's entire indexable range (computed
+// once at construction, so the hot path never resizes shared state);
+// pages are allocated on first touch and CAS-installed, after which
+// every Add is a single atomic increment. It is the concurrent analog
+// of the serial BufferedPaginatedStore.
+type atomicStore struct {
+	base  int // index of page 0, slot 0; pageLen-aligned
+	pages []atomic.Pointer[countPage]
+}
+
+// newAtomicStore covers bucket indices [minIdx, maxIdx].
+func newAtomicStore(minIdx, maxIdx int) *atomicStore {
+	base := pageFloor(minIdx)
+	numPages := (maxIdx-base)/pageLen + 1
+	return &atomicStore{base: base, pages: make([]atomic.Pointer[countPage], numPages)}
+}
+
+// pageFloor rounds i down to a multiple of pageLen (toward −∞, so
+// negative bucket indices land in-range too).
+func pageFloor(i int) int {
+	q := i / pageLen
+	if i%pageLen != 0 && i < 0 {
+		q--
+	}
+	return q * pageLen
+}
+
+// add atomically increments bucket i by n, installing the page on
+// first touch.
+func (st *atomicStore) add(i int, n int64) {
+	off := i - st.base
+	p, slot := off/pageLen, off%pageLen
+	pg := st.pages[p].Load()
+	if pg == nil {
+		fresh := new(countPage)
+		if st.pages[p].CompareAndSwap(nil, fresh) {
+			pg = fresh
+		} else {
+			// Another writer installed the page first; count the lost
+			// race and use theirs.
+			recordCASRetry()
+			pg = st.pages[p].Load()
+		}
+	}
+	pg[slot].Add(n)
+}
+
+// copyInto copies every populated bucket into dst, returning the total
+// count copied. Loads are per-counter atomic; the aggregate is a
+// relaxed cut (concurrent adds may be partially included), which is
+// exactly the semantics the snapshot contract promises.
+func (st *atomicStore) copyInto(dst ddsketch.Store) int64 {
+	var total int64
+	for p := range st.pages {
+		pg := st.pages[p].Load()
+		if pg == nil {
+			continue
+		}
+		for slot := range pg {
+			if c := pg[slot].Load(); c > 0 {
+				dst.Add(st.base+p*pageLen+slot, c)
+				total += c
+			}
+		}
+	}
+	return total
+}
+
+// SharedDDSketch is a concurrent DDSketch: writer buffers drain into
+// atomic bucket counters, so handoffs from different writers proceed
+// in parallel without ever conflicting on more than a single counter.
+// Unlike SharedKLL there is no copy-on-write version chain — DDSketch
+// state is a bag of commuting counter increments, so propagation is
+// wait-free per bucket and the epoch only orders handoffs.
+//
+// Memory ordering makes snapshots well-formed: a handoff publishes its
+// min/max updates before its counter additions, and a snapshot reads
+// the counters before min/max, so any counted value's bounds are
+// visible to the snapshot that counted it (Go's sync/atomic operations
+// are sequentially consistent).
+type SharedDDSketch struct {
+	mapping ddsketch.Cubic // concrete: devirtualized Index on the flush path
+	minIdx  float64        // mapping.MinIndexable(), loaded once
+	pos     *atomicStore
+	neg     *atomicStore
+	zeroCnt atomic.Int64
+	count   atomic.Uint64
+	minBits atomic.Uint64 // math.Float64bits of the running min
+	maxBits atomic.Uint64
+	epoch   atomic.Uint64
+	writers []*Writer
+	bufSize int
+}
+
+var _ Shared = (*SharedDDSketch)(nil)
+
+// NewDDSketch returns a shared DDSketch with relative accuracy alpha
+// (cubically interpolated mapping, the serial default), writers
+// handles and per-writer buffer capacity bufSize (DefaultBufferSize
+// when <= 0).
+func NewDDSketch(alpha float64, writers, bufSize int) (*SharedDDSketch, error) {
+	if writers < 1 {
+		return nil, fmt.Errorf("concurrent: writers must be >= 1, got %d", writers)
+	}
+	if bufSize <= 0 {
+		bufSize = DefaultBufferSize
+	}
+	m, err := ddsketch.NewCubic(alpha)
+	if err != nil {
+		return nil, err
+	}
+	// The mapping's index range is fixed by float64's value range:
+	// every indexable magnitude lies in [MinIndexable, MaxFloat64] and
+	// Index is monotone, so these two probes bound the directory.
+	lo := m.Index(m.MinIndexable())
+	hi := m.Index(math.MaxFloat64)
+	s := &SharedDDSketch{
+		mapping: m,
+		minIdx:  m.MinIndexable(),
+		pos:     newAtomicStore(lo, hi),
+		neg:     newAtomicStore(lo, hi),
+		bufSize: bufSize,
+	}
+	s.minBits.Store(math.Float64bits(math.Inf(1)))
+	s.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	s.writers = make([]*Writer, writers)
+	for i := range s.writers {
+		s.writers[i] = newWriter(s, bufSize)
+	}
+	return s, nil
+}
+
+// Writer implements Shared.
+func (s *SharedDDSketch) Writer(i int) *Writer { return s.writers[i] }
+
+// NumWriters implements Shared.
+func (s *SharedDDSketch) NumWriters() int { return len(s.writers) }
+
+// BufferSize implements Shared.
+func (s *SharedDDSketch) BufferSize() int { return s.bufSize }
+
+// MaxRelaxation implements Shared.
+func (s *SharedDDSketch) MaxRelaxation() uint64 {
+	return uint64(len(s.writers)) * uint64(s.bufSize)
+}
+
+// Alpha returns the configured relative accuracy.
+func (s *SharedDDSketch) Alpha() float64 { return s.mapping.Alpha() }
+
+// casMin lowers the shared running min to x if x is smaller.
+func (s *SharedDDSketch) casMin(x float64) {
+	for {
+		old := s.minBits.Load()
+		if math.Float64frombits(old) <= x {
+			return
+		}
+		if s.minBits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+		recordCASRetry()
+	}
+}
+
+// casMax raises the shared running max to x if x is larger.
+func (s *SharedDDSketch) casMax(x float64) {
+	for {
+		old := s.maxBits.Load()
+		if math.Float64frombits(old) >= x {
+			return
+		}
+		if s.maxBits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+		recordCASRetry()
+	}
+}
+
+// Local pre-aggregation: buffers of at least aggMinBatch values are
+// first collapsed into an on-stack open-addressing table of (bucket,
+// count) pairs, so the shared store sees one atomic add per DISTINCT
+// bucket instead of one per value. With a few hundred populated
+// buckets per multi-thousand-value buffer this removes most of the
+// cross-core counter traffic a handoff generates. Smaller buffers skip
+// the table: zeroing it would cost more than the adds it saves.
+const (
+	aggBits     = 10
+	aggSlots    = 1 << aggBits
+	aggMinBatch = aggSlots
+	// aggMaxUsed caps table occupancy at 3/4 so probe chains stay
+	// short; keys beyond it spill to direct atomic adds, which is
+	// correct because bounds are already published by then.
+	aggMaxUsed = aggSlots * 3 / 4
+)
+
+// flushBuffer implements bufSink. Bounds first, then counters: the
+// ordering Snapshot's consistency argument depends on.
+func (s *SharedDDSketch) flushBuffer(vals []float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range vals {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	s.casMin(lo)
+	s.casMax(hi)
+	if len(vals) >= aggMinBatch {
+		s.addAggregated(vals)
+	} else {
+		for _, x := range vals {
+			switch {
+			case x > 0 && x >= s.minIdx:
+				s.pos.add(s.mapping.Index(x), 1)
+			case x < 0 && -x >= s.minIdx:
+				s.neg.add(s.mapping.Index(-x), 1)
+			default:
+				s.zeroCnt.Add(1)
+			}
+		}
+	}
+	s.count.Add(uint64(len(vals)))
+	s.epoch.Add(1)
+	recordHandoff(len(vals))
+}
+
+// addAggregated counts vals into the shared stores via a local
+// (bucket, count) table. Keys pack the bucket index with a 2-bit
+// store tag, so they are never zero (the empty-slot sentinel) and a
+// single table covers both signs and the zero bucket. The caller must
+// have published min/max already — spilled adds bypass the table.
+func (s *SharedDDSketch) addAggregated(vals []float64) {
+	var keys [aggSlots]uint64
+	var cnts [aggSlots]int64
+	used := 0
+	for _, x := range vals {
+		var key uint64
+		switch {
+		case x > 0 && x >= s.minIdx:
+			key = uint64(int64(s.mapping.Index(x)))<<2 | tagPos
+		case x < 0 && -x >= s.minIdx:
+			key = uint64(int64(s.mapping.Index(-x)))<<2 | tagNeg
+		default:
+			key = tagZero
+		}
+		h := (key * 0x9E3779B97F4A7C15) >> (64 - aggBits)
+		for {
+			if keys[h] == key {
+				cnts[h]++
+				break
+			}
+			if keys[h] == 0 {
+				if used == aggMaxUsed {
+					s.addKey(key, 1)
+					break
+				}
+				keys[h] = key
+				cnts[h] = 1
+				used++
+				break
+			}
+			h = (h + 1) & (aggSlots - 1)
+		}
+	}
+	for i, k := range keys {
+		if k != 0 {
+			s.addKey(k, cnts[i])
+		}
+	}
+}
+
+// Store tags in the two low key bits of aggregated entries.
+const (
+	tagPos  = 1
+	tagNeg  = 2
+	tagZero = 3
+)
+
+// addKey routes one aggregated (key, count) entry to its store. The
+// arithmetic shift restores negative bucket indices.
+func (s *SharedDDSketch) addKey(key uint64, n int64) {
+	idx := int(int64(key) >> 2)
+	switch key & 3 {
+	case tagPos:
+		s.pos.add(idx, n)
+	case tagNeg:
+		s.neg.add(idx, n)
+	default:
+		s.zeroCnt.Add(n)
+	}
+}
+
+// Snapshot implements Shared: the atomic counters are materialized
+// into a plain serial DDSketch, which then answers queries with the
+// exact serial kernels. It panics if the materialized state violates
+// DDSketch's structural invariants, which the flush ordering makes
+// unreachable.
+func (s *SharedDDSketch) Snapshot() sketch.Quantiler {
+	epoch := s.epoch.Load()
+	posD := ddsketch.NewDenseStore()
+	negD := ddsketch.NewDenseStore()
+	total := s.pos.copyInto(posD)
+	total += s.neg.copyInto(negD)
+	zero := s.zeroCnt.Load()
+	total += zero
+	// Bounds are read after the counters: a handoff publishes bounds
+	// first, so every counted value's bounds are included. The reverse
+	// race — bounds from a handoff whose counters were missed — can
+	// only widen the clamp range, except in the empty case, where the
+	// canonical sentinels must be restored.
+	minV := math.Float64frombits(s.minBits.Load())
+	maxV := math.Float64frombits(s.maxBits.Load())
+	if total == 0 {
+		minV, maxV = math.Inf(1), math.Inf(-1)
+	}
+	sk, err := ddsketch.NewFromState(s.mapping, posD, negD, zero, minV, maxV)
+	if err != nil {
+		panic(fmt.Sprintf("concurrent: inconsistent ddsketch snapshot: %v", err))
+	}
+	recordSnapshot()
+	return &Snapshot{Quantiler: sk, epoch: epoch}
+}
+
+// Epoch implements Shared.
+func (s *SharedDDSketch) Epoch() uint64 { return s.epoch.Load() }
+
+// Count implements Shared.
+func (s *SharedDDSketch) Count() uint64 { return s.count.Load() }
+
+// Flush implements Shared. Quiescent-only: see the interface contract.
+func (s *SharedDDSketch) Flush() {
+	for _, w := range s.writers {
+		w.Flush()
+	}
+}

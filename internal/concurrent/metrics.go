@@ -1,0 +1,12 @@
+package concurrent
+
+import "repro/internal/obs"
+
+// metrics is the package's observability hook. nil (the default)
+// disables recording; see internal/obs for the wiring contract.
+var metrics *obs.ConcurrentMetrics
+
+// SetMetrics installs the metrics set all shared sketches in this
+// package record into. Call before any shared sketch is running;
+// passing nil disables recording.
+func SetMetrics(m *obs.ConcurrentMetrics) { metrics = m }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/concurrent"
 	"repro/internal/ddsketch"
 	"repro/internal/kll"
 	"repro/internal/moments"
@@ -21,6 +22,7 @@ func EnableMetrics(reg *obs.Registry) {
 		ddsketch.SetMetrics(nil)
 		uddsketch.SetMetrics(nil)
 		moments.SetMetrics(nil)
+		concurrent.SetMetrics(nil)
 		return
 	}
 	kll.SetMetrics(reg.Sketch(AlgKLL))
@@ -28,4 +30,5 @@ func EnableMetrics(reg *obs.Registry) {
 	ddsketch.SetMetrics(reg.Sketch(AlgDD))
 	uddsketch.SetMetrics(reg.Sketch(AlgUDD))
 	moments.SetMetrics(reg.Sketch(AlgMoments))
+	concurrent.SetMetrics(reg.Concurrent())
 }

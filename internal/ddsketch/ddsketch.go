@@ -92,6 +92,42 @@ func NewWithStore(alpha float64, storeFn func() Store) (*Sketch, error) {
 	return NewWithMapping(m, storeFn)
 }
 
+// NewFromState assembles a sketch from externally accumulated state:
+// the bridge the concurrent layer (internal/concurrent) uses to
+// materialize a point-in-time snapshot of its atomic bin counters as a
+// plain, queryable DDSketch. The stores are adopted, not copied — the
+// caller must hand over exclusive ownership. A non-empty sketch
+// (store counts or zeros present) requires ordered bounds minV ≤ maxV;
+// an empty one must carry the canonical (+Inf, −Inf) sentinels.
+func NewFromState(m IndexMapping, positive, negative Store, zeroCnt int64, minV, maxV float64) (*Sketch, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ddsketch: nil mapping")
+	}
+	if positive == nil || negative == nil {
+		return nil, fmt.Errorf("ddsketch: nil store")
+	}
+	if zeroCnt < 0 {
+		return nil, fmt.Errorf("ddsketch: negative zero count %d", zeroCnt)
+	}
+	s := &Sketch{
+		mapping:  m,
+		positive: positive,
+		negative: negative,
+		zeroCnt:  zeroCnt,
+		storeFn:  func() Store { return NewDenseStore() },
+		min:      minV,
+		max:      maxV,
+	}
+	if s.Count() > 0 {
+		if !(minV <= maxV) {
+			return nil, fmt.Errorf("ddsketch: unordered bounds min=%v max=%v", minV, maxV)
+		}
+	} else if !math.IsInf(minV, 1) || !math.IsInf(maxV, -1) {
+		return nil, fmt.Errorf("ddsketch: empty sketch needs (+Inf, -Inf) bounds, got (%v, %v)", minV, maxV)
+	}
+	return s, nil
+}
+
 // NewWithMapping returns a DDSketch with an arbitrary index mapping
 // (logarithmic, cubic or linear interpolation) and store constructor.
 func NewWithMapping(m IndexMapping, storeFn func() Store) (*Sketch, error) {

@@ -378,6 +378,41 @@ func (s *Sketch) Reset() {
 	*s = *NewWithSeed(s.k, s.seed)
 }
 
+// Clone returns a deep copy that continues (inserts, compaction coin
+// flips, serialization) bit-identically to the receiver while sharing
+// no mutable state with it. The sorted-view caches are not copied —
+// they are query-time scratch the copy rebuilds on demand. Clone only
+// reads the receiver, so any number of goroutines may Clone the same
+// immutable sketch concurrently; the concurrent layer's CAS handoff and
+// snapshot reads are built on exactly that property. It panics if the
+// compaction RNG state fails to round-trip, which cannot happen for a
+// state the RNG itself produced.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		k:     s.k,
+		count: s.count,
+		min:   s.min,
+		max:   s.max,
+		seed:  s.seed,
+		caps:  slices.Clone(s.caps),
+	}
+	c.levels = make([][]float32, len(s.levels))
+	for h, lv := range s.levels {
+		c.levels[h] = slices.Clone(lv)
+	}
+	state, err := s.pcg.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("kll: clone: marshal rng state: %v", err))
+	}
+	pcg := rand.NewPCG(s.seed, s.seed^0x9e3779b97f4a7c15)
+	if err := pcg.UnmarshalBinary(state); err != nil {
+		panic(fmt.Sprintf("kll: clone: restore rng state: %v", err))
+	}
+	c.pcg = pcg
+	c.rng = rand.New(pcg)
+	return c
+}
+
 func clampF(x, lo, hi float64) float64 {
 	if x < lo {
 		return lo

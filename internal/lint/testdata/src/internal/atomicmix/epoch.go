@@ -1,0 +1,56 @@
+// epoch.go models the concurrent shared-sketch idioms the atomic-mix
+// rule exists to guard: a handoff epoch counter bumped with
+// atomic.AddUint64 and a state pointer published by compare-and-swap.
+// Every plain read of either field between atomic operations is a
+// race; the typed-atomic spelling is immune by construction.
+package atomicmix
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Shared models a shared sketch with a legacy (pre-typed-atomic) epoch
+// counter and a CAS-published state pointer.
+type Shared struct {
+	epoch uint64
+	state unsafe.Pointer
+	// typedEpoch is the modern spelling: the typed atomic's methods
+	// cannot be mixed with plain access, so the rule need not track it.
+	typedEpoch atomic.Uint64
+}
+
+// NewShared may initialize plainly: the value is not shared yet.
+func NewShared() *Shared {
+	s := &Shared{}
+	s.epoch = 0 // constructor: allowed
+	return s
+}
+
+// Publish CAS-installs new state and bumps the epoch, marking both
+// fields as atomically accessed for the rest of the module.
+func (s *Shared) Publish(p unsafe.Pointer) {
+	for {
+		old := atomic.LoadPointer(&s.state)
+		if atomic.CompareAndSwapPointer(&s.state, old, p) {
+			atomic.AddUint64(&s.epoch, 1)
+			return
+		}
+	}
+}
+
+// Epoch reads the counter plainly between atomic bumps: racy.
+func (s *Shared) Epoch() uint64 {
+	return s.epoch // want atomic-mix
+}
+
+// Reset rewrites the CAS-published pointer without the CAS: a reader
+// loading it atomically can still observe a torn or stale value.
+func (s *Shared) Reset() {
+	s.state = nil // want atomic-mix
+}
+
+// Bump uses the typed atomic correctly: no finding.
+func (s *Shared) Bump() uint64 {
+	return s.typedEpoch.Add(1)
+}

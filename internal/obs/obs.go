@@ -178,6 +178,12 @@ type EngineMetrics struct {
 	// RecoveredPanics counts engine/worker panics converted into a
 	// restore-and-replay cycle by RunRecovering.
 	RecoveredPanics Counter
+	// WorkersClamped counts engine constructions whose Config.Workers
+	// exceeded Config.Partitions and was clamped down (each worker owns
+	// whole partitions, so extra workers would sit idle). The clamp is
+	// also reported once per process on stderr; this counter makes it
+	// visible to scrapes and tests.
+	WorkersClamped Counter
 }
 
 func (m *EngineMetrics) fields() []field {
@@ -194,6 +200,35 @@ func (m *EngineMetrics) fields() []field {
 		{"restores_total", counterKind, m.Restores.Load()},
 		{"replayed_events_total", counterKind, m.ReplayedEvents.Load()},
 		{"recovered_panics_total", counterKind, m.RecoveredPanics.Load()},
+		{"workers_clamped_total", counterKind, m.WorkersClamped.Load()},
+	}
+}
+
+// ConcurrentMetrics aggregates the structural events of the concurrent
+// shared-sketch layer (internal/concurrent): buffer handoffs from
+// writer-local buffers into the shared sketch, CAS publication retries
+// under contention, and snapshot reads. A nil *ConcurrentMetrics is the
+// disabled state.
+type ConcurrentMetrics struct {
+	// Handoffs counts writer buffer flushes into the shared sketch.
+	Handoffs Counter
+	// HandoffValues totals the values propagated across all handoffs.
+	HandoffValues Counter
+	// CASRetries counts failed compare-and-swap attempts during
+	// propagation (state pointer publication or lazily installed
+	// counter pages lost to a concurrent writer).
+	CASRetries Counter
+	// Snapshots counts point-in-time snapshot reads taken while
+	// writers were free to keep inserting.
+	Snapshots Counter
+}
+
+func (m *ConcurrentMetrics) fields() []field {
+	return []field{
+		{"handoffs_total", counterKind, m.Handoffs.Load()},
+		{"handoff_values_total", counterKind, m.HandoffValues.Load()},
+		{"cas_retries_total", counterKind, m.CASRetries.Load()},
+		{"snapshots_total", counterKind, m.Snapshots.Load()},
 	}
 }
 
@@ -221,9 +256,10 @@ type field struct {
 // Registry owns the process's metric sets: one SketchMetrics per sketch
 // name and one shared EngineMetrics. It is safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	sketches map[string]*SketchMetrics
-	engine   EngineMetrics
+	mu         sync.Mutex
+	sketches   map[string]*SketchMetrics
+	engine     EngineMetrics
+	concurrent ConcurrentMetrics
 }
 
 // NewRegistry returns an empty registry.
@@ -247,6 +283,9 @@ func (r *Registry) Sketch(name string) *SketchMetrics {
 // Engine returns the registry's engine metrics set.
 func (r *Registry) Engine() *EngineMetrics { return &r.engine }
 
+// Concurrent returns the registry's concurrent-sketch metrics set.
+func (r *Registry) Concurrent() *ConcurrentMetrics { return &r.concurrent }
+
 // sketchNames returns the registered sketch names, sorted.
 func (r *Registry) sketchNames() []string {
 	r.mu.Lock()
@@ -268,6 +307,9 @@ func (r *Registry) Snapshot() map[string]int64 {
 	out := make(map[string]int64)
 	for _, f := range r.engine.fields() {
 		out["engine."+trimSuffix(f.name)] = f.v
+	}
+	for _, f := range r.concurrent.fields() {
+		out["concurrent."+trimSuffix(f.name)] = f.v
 	}
 	for _, name := range r.sketchNames() {
 		m := r.Sketch(name)
@@ -293,6 +335,12 @@ func trimSuffix(s string) string {
 func (r *Registry) WriteText(w io.Writer) error {
 	for _, f := range r.engine.fields() {
 		if _, err := fmt.Fprintf(w, "# TYPE quantstream_engine_%s %s\nquantstream_engine_%s %d\n",
+			f.name, f.kind, f.name, f.v); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.concurrent.fields() {
+		if _, err := fmt.Fprintf(w, "# TYPE quantstream_concurrent_%s %s\nquantstream_concurrent_%s %d\n",
 			f.name, f.kind, f.name, f.v); err != nil {
 			return err
 		}

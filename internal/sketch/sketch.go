@@ -73,6 +73,21 @@ type Sketch interface {
 	encoding.BinaryUnmarshaler
 }
 
+// Quantiler is the read-only query surface of a sketch: everything a
+// consumer needs to answer quantile and rank questions, without the
+// mutating half of the Sketch interface. Every Sketch is a Quantiler.
+// The concurrent layer (internal/concurrent) hands out epoch-stamped
+// snapshots as Quantilers so readers cannot accidentally mutate shared
+// state.
+type Quantiler interface {
+	// Quantile returns an estimate of the q-quantile for q in (0, 1].
+	Quantile(q float64) (float64, error)
+	// Rank returns an estimate of the fraction of values ≤ x.
+	Rank(x float64) (float64, error)
+	// Count reports the number of values summarized.
+	Count() uint64
+}
+
 // CheckQuantile validates q, returning ErrInvalidQuantile when q lies
 // outside (0, 1]. Shared by all implementations so the boundary behaviour
 // is identical across sketches.
@@ -91,8 +106,9 @@ type Builder func() Sketch
 // Quantiles evaluates s at each q in qs, returning estimates in the same
 // order. It stops at the first error. Sketches implementing
 // MultiQuantiler answer the whole batch through their native kernel;
-// everything else falls back to one Quantile call per q.
-func Quantiles(s Sketch, qs []float64) ([]float64, error) {
+// everything else falls back to one Quantile call per q. It accepts any
+// Quantiler (full sketches and read-only concurrent snapshots alike).
+func Quantiles(s Quantiler, qs []float64) ([]float64, error) {
 	if m, ok := s.(MultiQuantiler); ok {
 		return m.QuantileAll(qs)
 	}

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/concurrent"
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -37,8 +40,11 @@ type Config struct {
 	// windows fired at deterministic barrier points, so results are
 	// bit-identical to the sequential path at any worker count. Workers
 	// above Partitions are clamped (each partition is owned by exactly
-	// one worker). Builder must be safe to call from multiple goroutines
-	// when Workers > 1.
+	// one worker): the clamp increments Metrics.WorkersClamped and is
+	// reported once per process on stderr, since a silently reduced
+	// worker count is otherwise invisible to callers tuning parallelism.
+	// Builder must be safe to call from multiple goroutines when
+	// Workers > 1.
 	Workers int
 	// Values supplies the event payloads in generation order.
 	Values datagen.Source
@@ -83,6 +89,22 @@ type Config struct {
 	// the run — see internal/faultinject. Nil costs one predictable
 	// branch per event on the insert path.
 	Faults *faultinject.Plan
+	// SharedSketch, when non-nil, additionally feeds every accepted
+	// event into the given concurrent shared sketch, so live quantile
+	// queries can be answered mid-window (and mid-run) through
+	// SharedSketch.Snapshot() while the engine keeps inserting — the
+	// windowed results above are unaffected. The serial path inserts
+	// through writer handle 0 on the engine goroutine; with Workers > 1
+	// each worker w inserts through handle w, so SharedSketch must have
+	// NumWriters() >= the (clamped) worker count. Writer buffers are
+	// flushed when the run completes (workers flush at shutdown), after
+	// which the shared sketch reflects every accepted event of the run
+	// exactly; snapshots taken mid-run may trail by at most
+	// SharedSketch.MaxRelaxation() buffered events. The shared sketch
+	// accumulates across all windows of the run and is NOT part of
+	// checkpoints: a resumed run replays events into it, so pass a
+	// fresh shared sketch per resumed run if its count must stay exact.
+	SharedSketch concurrent.Shared
 }
 
 // WindowResult is the outcome of one fired tumbling window.
@@ -276,10 +298,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.Workers = 1
 	}
 	if cfg.Workers > cfg.Partitions {
+		warnWorkersClamped(cfg.Workers, cfg.Partitions, cfg.Metrics)
 		cfg.Workers = cfg.Partitions
 	}
 	if cfg.Values == nil && cfg.NewValues == nil {
 		return nil, errors.New("stream: Values source (or NewValues factory) is required")
+	}
+	if cfg.SharedSketch != nil && cfg.SharedSketch.NumWriters() < cfg.Workers {
+		return nil, fmt.Errorf("stream: SharedSketch has %d writer handles, need >= %d (one per worker)",
+			cfg.SharedSketch.NumWriters(), cfg.Workers)
 	}
 	if cfg.Builder == nil {
 		return nil, errors.New("stream: Builder is required")
@@ -291,6 +318,25 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.CheckpointEvery = 1
 	}
 	return &Engine{cfg: cfg}, nil
+}
+
+// workersClampedOnce gates the process-wide stderr notice about worker
+// clamping; the obs counter records every clamped construction.
+var workersClampedOnce sync.Once
+
+// warnWorkersClamped records a Workers > Partitions clamp: the obs
+// counter (when metrics are wired) on every occurrence, plus a one-time
+// stderr notice so interactive callers tuning worker counts see why
+// added workers change nothing.
+func warnWorkersClamped(workers, partitions int, met *obs.EngineMetrics) {
+	if met != nil {
+		met.WorkersClamped.Inc()
+	}
+	workersClampedOnce.Do(func() {
+		fmt.Fprintf(os.Stderr,
+			"stream: Workers=%d exceeds Partitions=%d; clamping to %d (each partition is owned by exactly one worker — raise Partitions to use more workers)\n",
+			workers, partitions, partitions)
+	})
 }
 
 // Run executes the job, invoking emit for each fired window in order.
@@ -309,6 +355,12 @@ func (e *Engine) run(emit func(WindowResult)) (Stats, map[int]int64, error) {
 	}
 	defer rs.sink.close()
 	err = rs.loop()
+	if rs.sharedW != nil {
+		// Quiesce the serial path's shared writer so post-run snapshots
+		// are exact. (Parallel-path writers flush at worker shutdown in
+		// the deferred close.)
+		rs.sharedW.Flush()
+	}
 	return rs.stats, rs.lateOf, err
 }
 
@@ -346,6 +398,8 @@ type runState struct {
 	serialFaults  *faultinject.Plan // non-nil only on the serial insert path
 	serialInserts int64             // engine-goroutine ("worker 0") insert count
 	partInserts   []int64           // per-partition insert counts (fault hooks)
+
+	sharedW *concurrent.Writer // serial-path shared-sketch handle (writer 0)
 }
 
 func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
@@ -379,10 +433,13 @@ func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
 		rs.delay = cfg.NewDelay()
 	}
 	if cfg.Workers > 1 {
-		rs.sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics, cfg.Faults)
+		rs.sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics, cfg.Faults, cfg.SharedSketch)
 	} else {
 		rs.sink = newSeqSink(cfg.Builder, cfg.Partitions)
 		rs.serialFaults = cfg.Faults
+		if cfg.SharedSketch != nil {
+			rs.sharedW = cfg.SharedSketch.Writer(0)
+		}
 	}
 	if rs.serialFaults != nil {
 		rs.partInserts = make([]int64, cfg.Partitions)
@@ -469,6 +526,9 @@ func (rs *runState) process(ev Event) error {
 			rs.partInserts[part]++
 		}
 		rs.sink.insert(wi, part, ev.Value)
+		if rs.sharedW != nil {
+			rs.sharedW.Insert(ev.Value)
+		}
 		w.accepted++
 		rs.stats.Accepted++
 		if rs.met != nil {

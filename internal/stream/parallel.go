@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/concurrent"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/sketch"
@@ -99,10 +100,11 @@ type workerPool struct {
 	wg      sync.WaitGroup
 	met     *obs.EngineMetrics // nil disables queue-depth recording
 	faults  *faultinject.Plan  // nil disables fault hooks
+	shared  concurrent.Shared  // nil disables live shared-sketch feeds
 	failure atomic.Pointer[PanicError]
 }
 
-func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics, faults *faultinject.Plan) *workerPool {
+func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics, faults *faultinject.Plan, shared concurrent.Shared) *workerPool {
 	p := &workerPool{
 		builder:    builder,
 		partitions: partitions,
@@ -114,6 +116,7 @@ func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.Eng
 		snaps:      make([]chan workerSnap, workers),
 		met:        met,
 		faults:     faults,
+		shared:     shared,
 	}
 	p.pool.New = func() any {
 		return &eventBatch{
@@ -325,6 +328,10 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 		}
 	}()
 	nOwned := p.ownedPartitions(w)
+	var sharedW *concurrent.Writer // this worker's shared-sketch handle
+	if p.shared != nil {
+		sharedW = p.shared.Writer(w)
+	}
 	open := make(map[int32][]sketch.Sketch)
 	seen := make([]uint64, nOwned)      // per-partition last-seen batch seq
 	var inserted int64                  // worker-local insert count (fault hooks)
@@ -359,6 +366,11 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 				continue
 			}
 			seen[local] = b.seq
+			if sharedW != nil {
+				// Past the dedupe check, so duplicate deliveries cannot
+				// double-count into the shared sketch.
+				sharedW.InsertBatch(b.vals)
+			}
 			for i := 0; i < len(b.wins); {
 				win := b.wins[i]
 				j := i + 1
@@ -392,6 +404,11 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 			b.reset()
 			p.pool.Put(b)
 		}
+	}
+	if sharedW != nil {
+		// Clean shutdown: quiesce this worker's buffer so post-run
+		// snapshots of the shared sketch are exact.
+		sharedW.Flush()
 	}
 	return true
 }

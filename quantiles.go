@@ -36,6 +36,7 @@
 package quantiles
 
 import (
+	"repro/internal/concurrent"
 	"repro/internal/ddsketch"
 	"repro/internal/gk"
 	"repro/internal/kll"
@@ -206,3 +207,34 @@ func InsertRepeated(sk Sketch, x float64, n uint64) { sketch.InsertRepeated(sk, 
 // design, handling heavy-tailed positive data without a manual
 // transform. Twice the (still tiny) state of NewMoments.
 func NewMomentsFull(k int) *moments.FullSketch { return moments.NewFull(k) }
+
+// Quantiler is the read-only query side of a sketch — what a
+// concurrent snapshot exposes.
+type Quantiler = sketch.Quantiler
+
+// ConcurrentSketch is a sketch ingesting from multiple goroutines at
+// once: each writer goroutine owns a Writer handle (buffered, no
+// shared-state touches until handoff) and any goroutine may take a
+// non-blocking Snapshot that trails the writers by at most
+// NumWriters()×BufferSize() values. See internal/concurrent and
+// DESIGN.md §14.
+type ConcurrentSketch = concurrent.Shared
+
+// ConcurrentWriter is one goroutine's insert handle of a
+// ConcurrentSketch.
+type ConcurrentWriter = concurrent.Writer
+
+// NewConcurrentKLL returns a KLL sketch shared by writers goroutines,
+// each buffering bufSize values per handoff (1024 when bufSize <= 0).
+// Handoffs publish immutable sketch versions by compare-and-swap.
+func NewConcurrentKLL(k, writers, bufSize int) *concurrent.SharedKLL {
+	return concurrent.NewKLL(k, writers, bufSize)
+}
+
+// NewConcurrentDDSketch returns a DDSketch with relative accuracy
+// alpha shared by writers goroutines, each buffering bufSize values
+// per handoff (1024 when bufSize <= 0). Handoffs aggregate into atomic
+// bucket counters, wait-free per bucket.
+func NewConcurrentDDSketch(alpha float64, writers, bufSize int) (*concurrent.SharedDDSketch, error) {
+	return concurrent.NewDDSketch(alpha, writers, bufSize)
+}

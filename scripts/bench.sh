@@ -15,6 +15,13 @@
 #    buffered-paginated) vs results/bench_seed_insert.txt; the
 #    comparisons pair each legacy dimension (logarithmic mapping/indexer,
 #    dense store) against its fast-path counterpart → BENCH_insert.json
+#  - concurrent: shared-sketch ingestion. Self-comparison (no recorded
+#    baseline): the mutex-guarded single-sketch architecture
+#    (locked/w=N) is benchmarked in the same run and paired against the
+#    per-writer-buffer concurrent path at equal writer count, plus
+#    w=1 vs w=ncpu scaling rows → BENCH_concurrent.json. Note the
+#    scaling rows only move on multi-core runners; the locked-vs-
+#    concurrent pairs show the design win on any machine.
 #
 # Each step is a named gate: on failure the script prints exactly which
 # gate tripped and stops there.
@@ -108,5 +115,28 @@ compare_insert() {
 gate insert-benchmarks bench_insert
 gate insert-compare compare_insert
 cat BENCH_insert.json
+
+concurrent_current=results/bench_concurrent_current.txt
+
+bench_concurrent() {
+	go test -run '^$' -bench 'BenchmarkConcurrentInsert' \
+		-benchmem -benchtime "$BENCHTIME" . | tee "$concurrent_current"
+}
+
+compare_concurrent() {
+	go run ./cmd/benchjson \
+		-current "$concurrent_current" \
+		-compare 'BenchmarkConcurrentInsert/kll/locked/w=4=BenchmarkConcurrentInsert/kll/w=4' \
+		-compare 'BenchmarkConcurrentInsert/ddsketch/locked/w=4=BenchmarkConcurrentInsert/ddsketch/w=4' \
+		-compare 'BenchmarkConcurrentInsert/kll/locked/w=1=BenchmarkConcurrentInsert/kll/w=4' \
+		-compare 'BenchmarkConcurrentInsert/ddsketch/locked/w=1=BenchmarkConcurrentInsert/ddsketch/w=4' \
+		-compare 'BenchmarkConcurrentInsert/kll/w=1=BenchmarkConcurrentInsert/kll/w=ncpu' \
+		-compare 'BenchmarkConcurrentInsert/ddsketch/w=1=BenchmarkConcurrentInsert/ddsketch/w=ncpu' \
+		-out BENCH_concurrent.json
+}
+
+gate concurrent-benchmarks bench_concurrent
+gate concurrent-compare compare_concurrent
+cat BENCH_concurrent.json
 
 echo "bench.sh: all gates passed"

@@ -78,7 +78,7 @@ gate tests go test ./...
 # called out as its own gate.
 gate hotpath-allocs go test -run 'Allocs' ./internal/kll ./internal/req \
 	./internal/ddsketch ./internal/uddsketch ./internal/moments \
-	./internal/fastlog ./internal/stream
+	./internal/fastlog ./internal/stream ./internal/concurrent
 gate invariant-tests go test -tags invariants ./internal/...
 gate race go test -race ./internal/stream ./internal/harness
 # Crash-recovery / corruption matrix under the race detector: injected
@@ -89,12 +89,18 @@ gate race go test -race ./internal/stream ./internal/harness
 gate chaos go test -race \
 	-run 'CrashRecovery|Recovery|Resume|Corrupt|Fault|Duplicate|Stall|Checkpoint|Envelope|Snapshot|Store' \
 	./internal/stream ./internal/checkpoint ./internal/faultinject ./internal/harness .
+# Shared-sketch concurrency under the race detector: the relaxation
+# property test, the epoch/CAS handoff suite, the engine integration
+# tests and the multi-writer/multi-reader soak in the root package.
+gate concurrent go test -race -run 'Concurrent|Relaxation|Shared|Epoch|Snapshot|Writer' \
+	./internal/concurrent ./internal/stream .
 # Smoke-run the perf-gate benchmarks (fixed iteration count: checks
 # they still execute, not their timing — scripts/bench.sh does that).
 gate bench-smoke-stream go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
 gate bench-smoke-query go test -run '^$' -bench 'BenchmarkQuantileAll' -benchtime 100x .
 gate bench-smoke-insert go test -run '^$' -bench 'BenchmarkInsertMapping|BenchmarkInsertStore|BenchmarkInsertIndexer' -benchtime 100x .
 gate bench-smoke-accuracy go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
+gate bench-smoke-concurrent go test -run '^$' -bench 'BenchmarkConcurrentInsert' -benchtime 100x .
 gate metrics-endpoint metrics_smoke
 
 echo "verify.sh: all gates passed"

@@ -3,11 +3,14 @@ package quantiles_test
 import (
 	"bytes"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	quantiles "repro"
 	"repro/internal/checkpoint"
+	"repro/internal/concurrent"
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
 	"repro/internal/kll"
@@ -233,5 +236,139 @@ func TestSoakCrashRecovery(t *testing.T) {
 	}
 	if got := met.RecoveredPanics.Load(); got != 10 {
 		t.Errorf("recovered %d panics over 10 kills, want 10 (some kill points never fired)", got)
+	}
+}
+
+// TestConcurrentSharedSketchSoak is the multi-writer/multi-reader soak
+// for the concurrent shared-sketch layer (internal/concurrent): seeded
+// writers hammer inserts while readers continuously snapshot and query,
+// checking on every snapshot that (a) the epoch never goes backward,
+// (b) the observed count never exceeds what the writers have inserted,
+// (c) it never trails the writers' published progress by more than the
+// relaxation bound NumWriters × BufferSize (plus one in-flight value
+// per writer), and (d) quantile estimates stay inside the data range.
+// Run under -race (the verify.sh concurrent gate does) it also proves
+// the handoff protocol race-free end to end.
+func TestConcurrentSharedSketchSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		numWriters = 4
+		numReaders = 4
+		perWriter  = 50_000
+		bufSize    = 128
+		lo, hi     = 1.0, 1000.0
+	)
+	for name, mk := range map[string]func() concurrent.Shared{
+		"kll": func() concurrent.Shared { return concurrent.NewKLL(kll.DefaultK, numWriters, bufSize) },
+		"ddsketch": func() concurrent.Shared {
+			sh, err := concurrent.NewDDSketch(0.01, numWriters, bufSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sh
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			sh := mk()
+			// progress[i] is writer i's published insert count; readers
+			// bound every snapshot against the sum.
+			var progress [numWriters]atomic.Int64
+			sumProgress := func() uint64 {
+				var s int64
+				for i := range progress {
+					s += progress[i].Load()
+				}
+				return uint64(s)
+			}
+			// One unpublished in-flight value per writer on top of the
+			// buffered-items bound (progress is incremented after the
+			// insert that may have flushed it).
+			slack := sh.MaxRelaxation() + numWriters
+
+			var writers, readers sync.WaitGroup
+			done := make(chan struct{})
+			for i := 0; i < numWriters; i++ {
+				writers.Add(1)
+				go func(i int) {
+					defer writers.Done()
+					w := sh.Writer(i)
+					seed := uint64(0xc0ffee) + uint64(i)*0x9e3779b97f4a7c15
+					for j := 0; j < perWriter; j++ {
+						u := float64(datagen.SplitMix64(&seed)>>11) / float64(1<<53)
+						w.Insert(lo + u*(hi-lo))
+						progress[i].Add(1)
+					}
+					w.Flush()
+				}(i)
+			}
+			for r := 0; r < numReaders; r++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					var lastEpoch uint64
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						before := sumProgress()
+						snap := sh.Snapshot().(*concurrent.Snapshot)
+						if snap.Epoch() < lastEpoch {
+							t.Errorf("snapshot epoch went backward: %d after %d", snap.Epoch(), lastEpoch)
+							return
+						}
+						lastEpoch = snap.Epoch()
+						c := snap.Count()
+						if after := sumProgress(); c > after+numWriters {
+							t.Errorf("snapshot count %d exceeds inserted %d", c, after)
+							return
+						}
+						if c+slack < before {
+							t.Errorf("snapshot count %d trails inserted %d beyond relaxation bound %d",
+								c, before, slack)
+							return
+						}
+						if c == 0 {
+							continue
+						}
+						qs, err := sketch.Quantiles(snap, []float64{0.1, 0.5, 0.9, 0.99, 1})
+						if err != nil {
+							t.Errorf("live quantiles: %v", err)
+							return
+						}
+						for i, est := range qs {
+							if est < lo || est > hi {
+								t.Errorf("live quantile %d = %v outside data range [%v, %v]", i, est, lo, hi)
+								return
+							}
+						}
+					}
+				}()
+			}
+			writers.Wait()
+			close(done)
+			readers.Wait()
+			if t.Failed() {
+				return
+			}
+			// Quiescent: the relaxation collapses and the shared sketch
+			// holds exactly every inserted value.
+			final := sh.Snapshot()
+			if c := final.Count(); c != numWriters*perWriter {
+				t.Fatalf("final count %d, want %d", c, numWriters*perWriter)
+			}
+			// Uniform data: the median must land near the midpoint (both
+			// sketches guarantee far tighter than ±5% here).
+			med, err := final.Quantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mid := (lo + hi) / 2; math.Abs(med-mid) > 0.05*(hi-lo) {
+				t.Errorf("final median %v too far from %v for uniform data", med, mid)
+			}
+		})
 	}
 }
