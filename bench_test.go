@@ -309,6 +309,72 @@ func BenchmarkAccuracyEval(b *testing.B) {
 	}
 }
 
+// BenchmarkSlidingThroughput compares the two ways to answer
+// overlapping sliding windows at slide = window/16: recomputing every
+// window from scratch (generic engine — each event is inserted into
+// all ~16 open window sketches that contain it) against the
+// pane-sharing engine (each event is inserted once into its pane, and
+// each window is assembled by merging its 16 pane sketches). Both
+// variants process ~b.N events end to end.
+func BenchmarkSlidingThroughput(b *testing.B) {
+	const (
+		window = time.Second
+		slide  = window / 16
+		rate   = 100_000
+	)
+	vals := paretoValues(1<<18, 37)
+	newSrc := func() datagen.Source {
+		i := 0
+		return datagen.SourceFunc(func() float64 {
+			v := vals[i&(1<<18-1)]
+			i++
+			return v
+		})
+	}
+	builders, err := core.BuildersForDataset(datagen.DatasetPareto, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// rate·slide events arrive per slide interval, and both engines run
+	// for one slide interval per produced window.
+	perSlide := int(float64(rate) * slide.Seconds())
+	b.Run("recompute", func(b *testing.B) {
+		eng, err := stream.NewGenericEngine(stream.GenericConfig{
+			Assigner:  stream.SlidingAssigner{Size: window, Slide: slide},
+			Rate:      rate,
+			RunLength: time.Duration(b.N/perSlide+1) * slide,
+			Values:    newSrc(),
+			Builder:   builders["ddsketch"],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, err := eng.Run(func(stream.GenericResult) {}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("pane", func(b *testing.B) {
+		eng, err := stream.NewEngine(stream.Config{
+			WindowSize: window,
+			Slide:      slide,
+			Rate:       rate,
+			NumWindows: b.N/perSlide + 1,
+			Partitions: 4,
+			Workers:    1,
+			Values:     newSrc(),
+			Builder:    builders["ddsketch"],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, err := eng.Run(func(stream.WindowResult) {}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
 // BenchmarkRelatedInsert covers the Sec 5 related sketches under the
 // same Fig 5a-style insertion workload.
 func BenchmarkRelatedInsert(b *testing.B) {

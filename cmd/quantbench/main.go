@@ -46,6 +46,8 @@ func main() {
 		runs          = flag.Int("runs", 10, "independent repetitions for accuracy experiments (paper: 10)")
 		rate          = flag.Int("rate", 50000, "stream event rate in events/s (paper: 50000)")
 		winSec        = flag.Float64("window", 20, "tumbling window length in seconds before scaling (paper: 20)")
+		winSlide      = flag.Float64("window-slide", 0, "sliding-window slide in seconds before scaling (0 = tumbling); windows of -window length start every -window-slide seconds, computed by pane-based sharing")
+		decay         = flag.Float64("decay", 0, "exponential time-decay rate λ for sliding windows: older panes are down-weighted by exp(-λ·age) at window assembly (requires -window-slide)")
 		windows       = flag.Int("windows", 10, "measured windows per run (paper: 10)")
 		seed          = flag.Uint64("seed", 0x5eedc0de, "root RNG seed")
 		parallel      = flag.Int("parallel", 1, "concurrent accuracy runs (results are identical at any parallelism)")
@@ -64,6 +66,15 @@ func main() {
 		concSketch    = flag.String("concurrent-sketch", "kll", "shared sketch for -concurrent-writers: kll or ddsketch")
 	)
 	flag.Parse()
+
+	if *winSlide < 0 || *winSlide > *winSec {
+		fmt.Fprintf(os.Stderr, "quantbench: -window-slide %v outside [0, -window=%v]\n", *winSlide, *winSec)
+		os.Exit(1)
+	}
+	if *decay > 0 && !(*winSlide > 0 && *winSlide < *winSec) {
+		fmt.Fprintln(os.Stderr, "quantbench: -decay requires sliding windows (0 < -window-slide < -window)")
+		os.Exit(1)
+	}
 
 	if *list || (*run == "" && *concWriters == 0) {
 		fmt.Println("experiments:")
@@ -92,6 +103,8 @@ func main() {
 		Runs:          *runs,
 		Rate:          *rate,
 		WindowSeconds: *winSec,
+		SlideSeconds:  *winSlide,
+		DecayLambda:   *decay,
 		Windows:       *windows,
 		Seed:          *seed,
 		Parallel:      *parallel,

@@ -37,6 +37,18 @@ type WindowSnap struct {
 	Partials [][]byte
 }
 
+// PaneSnap captures one sealed pane of a pane-sharing sliding run: the
+// pane's engine-side counters, optionally its collected raw values,
+// and the sealed merged pane sketch (nil for a pane holding counters
+// but no inserts).
+type PaneSnap struct {
+	Index     int64
+	Accepted  int64
+	HasValues bool
+	Values    []float64
+	Sketch    []byte
+}
+
 // Snapshot is the engine state at a window-fire barrier: everything
 // needed to resume the run and produce bit-identical remaining output.
 // The source offset is Drawn — the resumed engine fast-forwards a fresh
@@ -67,8 +79,14 @@ type Snapshot struct {
 	// InFlight is the delay heap's backing slice, verbatim — a valid
 	// binary min-heap that can be adopted without re-heapifying.
 	InFlight []Event
-	// Windows are the open (not yet fired) windows.
+	// Windows are the open (not yet fired) windows. In pane mode the
+	// entries are open panes, with Index holding the pane index.
 	Windows []WindowSnap
+	// Panes are the sealed, still-referenced panes of a pane-sharing
+	// sliding run. The section is encoded only when non-empty, as an
+	// optional trailer after Windows, so tumbling snapshots keep their
+	// historical byte layout and old blobs still decode.
+	Panes []PaneSnap
 }
 
 // EncodeSnapshot serializes s and seals it in an "engine-snapshot"
@@ -113,6 +131,25 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 			}
 			w.Byte(1)
 			w.Blob(blob)
+		}
+	}
+	if len(s.Panes) > 0 {
+		w.U32(uint32(len(s.Panes)))
+		for _, p := range s.Panes {
+			w.I64(p.Index)
+			w.I64(p.Accepted)
+			if p.HasValues {
+				w.Byte(1)
+				w.F64s(p.Values)
+			} else {
+				w.Byte(0)
+			}
+			if p.Sketch != nil {
+				w.Byte(1)
+				w.Blob(p.Sketch)
+			} else {
+				w.Byte(0)
+			}
 		}
 	}
 	return Seal(snapshotName, w.Bytes())
@@ -181,6 +218,30 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	}
 	if r.Err() != nil {
 		return nil, r.Err()
+	}
+	// Optional pane trailer: present only for pane-sharing sliding
+	// snapshots, absent in tumbling (and pre-pane) blobs.
+	if r.Remaining() != 0 {
+		nPane := int(r.U32())
+		if r.Err() != nil || nPane < 1 || nPane > maxCount(r, 18) {
+			return nil, ErrCorrupt
+		}
+		s.Panes = make([]PaneSnap, nPane)
+		for i := range s.Panes {
+			p := &s.Panes[i]
+			p.Index = r.I64()
+			p.Accepted = r.I64()
+			if r.Byte() == 1 {
+				p.HasValues = true
+				p.Values = r.F64s()
+			}
+			if r.Byte() == 1 {
+				p.Sketch = r.Blob()
+			}
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
 	}
 	if r.Remaining() != 0 {
 		return nil, ErrCorrupt

@@ -90,14 +90,19 @@ func newWriter(sink bufSink, bufSize int) *Writer {
 	return &Writer{buf: make([]float64, 0, bufSize), sink: sink}
 }
 
-// Insert adds one observation. NaNs are ignored, mirroring the serial
-// sketches. The hot path is a bounds-checked append into the
-// writer-local buffer; the shared sketch is touched only on the
-// handoff when the buffer fills (once per BufferSize inserts).
+// Insert adds one observation. NaN and ±Inf payloads are rejected
+// before reaching the buffer (counted in ConcurrentMetrics.
+// RejectedInput when metrics are wired), mirroring the stream engine's
+// input validation: a buffered Inf would otherwise survive until the
+// handoff and poison the shared sketch's summary. The hot path is a
+// bounds-checked append into the writer-local buffer; the shared
+// sketch is touched only on the handoff when the buffer fills (once
+// per BufferSize inserts).
 //
 //sketch:hotpath
 func (w *Writer) Insert(x float64) {
-	if math.IsNaN(x) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		recordRejected()
 		return
 	}
 	w.buf = append(w.buf, x)
@@ -162,5 +167,12 @@ func recordSnapshot() {
 func recordCASRetry() {
 	if metrics != nil {
 		metrics.CASRetries.Inc()
+	}
+}
+
+// recordRejected updates the package metrics for one rejected payload.
+func recordRejected() {
+	if metrics != nil {
+		metrics.RejectedInput.Inc()
 	}
 }

@@ -1,0 +1,68 @@
+package concurrent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kll"
+	"repro/internal/obs"
+)
+
+// TestWriterRejectsNonFinite pins the input-validation contract on the
+// insert hot path: NaN and both infinities are rejected before the
+// buffer (a buffered Inf would survive until the handoff and poison
+// the shared summary), each rejection is counted when metrics are
+// wired, and finite values are unaffected.
+func TestWriterRejectsNonFinite(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg.Concurrent())
+	defer SetMetrics(nil)
+
+	for name, w := range map[string]*Writer{
+		"kll": NewKLL(kll.DefaultK, 1, 64).Writer(0),
+		"ddsketch": func() *Writer {
+			s, err := NewDDSketch(0.01, 1, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.Writer(0)
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			before := reg.Concurrent().RejectedInput.Load()
+			for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+				w.Insert(x)
+			}
+			if w.Buffered() != 0 {
+				t.Fatalf("non-finite payload was buffered (%d pending)", w.Buffered())
+			}
+			if got := reg.Concurrent().RejectedInput.Load() - before; got != 3 {
+				t.Errorf("RejectedInput advanced by %d, want 3", got)
+			}
+			w.Insert(1.5)
+			if w.Buffered() != 1 {
+				t.Fatalf("finite payload not buffered")
+			}
+		})
+	}
+}
+
+// TestRejectAllocsFree extends the hot-path allocation contract to the
+// rejection branch: turning away a non-finite payload (with metrics
+// recording on) must allocate nothing, like the accepting path.
+func TestRejectAllocsFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg.Concurrent())
+	defer SetMetrics(nil)
+
+	w := NewKLL(200, 1, 1<<20).Writer(0)
+	inf := math.Inf(1)
+	if avg := testing.AllocsPerRun(10000, func() {
+		w.Insert(inf)
+	}); avg != 0 {
+		t.Errorf("rejecting Insert allocates %.2f per call, want 0", avg)
+	}
+	if w.Buffered() != 0 {
+		t.Fatalf("Inf leaked into the buffer")
+	}
+}

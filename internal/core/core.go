@@ -155,9 +155,16 @@ func EvaluateWindow(sk sketch.Sketch, values []float64) (WindowAccuracy, error) 
 	return EvaluateAgainst(sk, exact)
 }
 
+// QuantileOracle is the ground-truth surface EvaluateAgainst queries:
+// *stats.ExactQuantiles for plain windows, *stats.WeightedQuantiles for
+// exponentially decayed sliding windows.
+type QuantileOracle interface {
+	Quantile(q float64) float64
+}
+
 // EvaluateAgainst is EvaluateWindow with a pre-built oracle (lets callers
 // share one sort across sketches).
-func EvaluateAgainst(sk sketch.Sketch, exact *stats.ExactQuantiles) (WindowAccuracy, error) {
+func EvaluateAgainst(sk sketch.Sketch, exact QuantileOracle) (WindowAccuracy, error) {
 	qs := AllQuantiles()
 	ests, err := sketch.Quantiles(sk, qs)
 	if err != nil {

@@ -1,0 +1,44 @@
+package ddsketch
+
+import (
+	"math"
+
+	"repro/internal/sketch"
+)
+
+var _ sketch.CountScaler = (*Sketch)(nil)
+
+// ScaleCount implements sketch.CountScaler by rounded bucket scaling,
+// the same mechanism UDDSketch uses: both stores are rebuilt with each
+// bucket count c replaced by round(c·g) (Add ignores non-positive
+// counts, so buckets rounding to 0 vanish), and the zero counter scales
+// the same way. Count() is derived from store totals, so no separate
+// count fixup is needed. Stores iterate in ascending index order and
+// each bucket transforms independently, so the rebuild is
+// deterministic; rebuilding into a fresh store of the same kind keeps
+// any collapsing bound intact (the scaled index span is a subset of the
+// old one, so no new collapses occur). min/max are kept as conservative
+// bounds.
+func (s *Sketch) ScaleCount(g float64) {
+	if math.IsNaN(g) || g >= 1 {
+		return
+	}
+	if g <= 0 {
+		s.Reset()
+		return
+	}
+	scaleStore := func(src Store) Store {
+		dst := s.storeFn()
+		src.ForEach(func(i int, c int64) bool {
+			dst.Add(i, int64(math.Round(float64(c)*g)))
+			return true
+		})
+		return dst
+	}
+	s.positive = scaleStore(s.positive)
+	s.negative = scaleStore(s.negative)
+	s.zeroCnt = int64(math.Round(float64(s.zeroCnt) * g))
+	if s.Count() == 0 {
+		s.Reset()
+	}
+}

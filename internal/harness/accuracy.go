@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 	"sync"
 	"time"
@@ -68,6 +69,18 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 	if windowDur < 100*time.Millisecond {
 		windowDur = 100 * time.Millisecond
 	}
+	var slideDur time.Duration
+	effLambda := 0.0
+	if opts.SlideSeconds > 0 {
+		// Preserve the window:slide ratio under Scale (and the 100 ms
+		// clamp above) so the pane geometry is scale-invariant.
+		slideDur = time.Duration(float64(windowDur) * opts.SlideSeconds / opts.WindowSeconds)
+		if opts.DecayLambda > 0 {
+			// Rescale λ so exp(-λ·age) across the scaled window matches
+			// the requested profile across the paper-scale window.
+			effLambda = opts.DecayLambda * opts.WindowSeconds * float64(time.Second) / float64(windowDur)
+		}
+	}
 	runs := opts.scaledRuns()
 	agg := make(map[string]*accAgg, 5)
 	for _, alg := range core.AlgorithmNames() {
@@ -112,6 +125,8 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 		}
 		cfg := stream.Config{
 			WindowSize:    windowDur,
+			Slide:         slideDur,
+			DecayLambda:   effLambda,
 			Rate:          opts.Rate,
 			NumWindows:    opts.Windows + 1, // first window discarded
 			Partitions:    partitions,
@@ -171,7 +186,12 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			if len(r.Values) == 0 {
 				return windowEval{err: fmt.Errorf("harness: empty window %d on %s", r.Index, dataset)}
 			}
-			exact := stats.NewExactQuantiles(r.Values)
+			var exact core.QuantileOracle = stats.NewExactQuantiles(r.Values)
+			if effLambda > 0 {
+				// Decayed windows are judged against the weighted exact
+				// distribution the engine's pane down-weighting targets.
+				exact = decayedOracle(r, effLambda)
+			}
 			multi := r.Sketch.(*multiSketch)
 			perWin := make(map[string]core.WindowAccuracy, 5)
 			for _, alg := range core.AlgorithmNames() {
@@ -296,6 +316,24 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 		loss.Observe(r.loss)
 	}
 	return agg, &loss, nil
+}
+
+// decayedOracle builds the weighted exact ground truth of one decayed
+// sliding window: every value of pane segment i (segments delimited by
+// r.PaneCounts, oldest first, values concatenated in the same order)
+// carries weight exp(-λ·age_i), the exact weight the engine applied to
+// that pane's sketch at window assembly.
+func decayedOracle(r stream.WindowResult, lambda float64) *stats.WeightedQuantiles {
+	n := len(r.PaneCounts)
+	paneLen := (r.End - r.Start) / time.Duration(n)
+	weights := make([]float64, 0, len(r.Values))
+	for i, c := range r.PaneCounts {
+		w := math.Exp(-lambda * (time.Duration(n-1-i) * paneLen).Seconds())
+		for k := 0; k < c; k++ {
+			weights = append(weights, w)
+		}
+	}
+	return stats.NewWeightedQuantiles(r.Values, weights)
 }
 
 // RunAccuracy runs the Fig 6-style streaming accuracy evaluation for one
@@ -502,6 +540,12 @@ func runWinsize(opts Options) ([]Table, error) {
 		for _, ws := range []float64{5, 10, 20} {
 			o := opts
 			o.WindowSeconds = ws
+			if opts.SlideSeconds > 0 {
+				// Preserve the requested slide:window ratio across the
+				// sweep — a fixed absolute slide would degenerate to
+				// tumbling at the smallest window (and reject decay).
+				o.SlideSeconds = opts.SlideSeconds * ws / opts.WindowSeconds
+			}
 			agg, _, err := streamAccuracy(o, ds, 0)
 			if err != nil {
 				return nil, err

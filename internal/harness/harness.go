@@ -32,6 +32,19 @@ type Options struct {
 	Rate int
 	// WindowSeconds is the tumbling window length in seconds (paper: 20).
 	WindowSeconds float64
+	// SlideSeconds, when in (0, WindowSeconds), switches the accuracy
+	// streams to sliding windows of WindowSeconds length starting every
+	// SlideSeconds, computed by the engine's pane-based sharing. The
+	// window-to-slide ratio is preserved under Scale. 0 keeps tumbling
+	// windows.
+	SlideSeconds float64
+	// DecayLambda, when positive (requires SlideSeconds), applies
+	// exponential time decay at window assembly: older panes are
+	// down-weighted by exp(-DecayLambda·age). Accuracy is then judged
+	// against the correspondingly weighted exact quantiles. The decay
+	// rate is rescaled with the window so the per-window weight profile
+	// is Scale-invariant.
+	DecayLambda float64
 	// Windows is the number of measured windows per run (paper: 10, after
 	// discarding the first).
 	Windows int

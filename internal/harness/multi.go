@@ -17,7 +17,10 @@ type multiSketch struct {
 	children map[string]sketch.Sketch
 }
 
-var _ sketch.Sketch = (*multiSketch)(nil)
+var (
+	_ sketch.Sketch      = (*multiSketch)(nil)
+	_ sketch.CountScaler = (*multiSketch)(nil)
+)
 
 // newMultiBuilder wraps per-algorithm builders into a single builder for
 // the stream engine.
@@ -102,6 +105,18 @@ func (m *multiSketch) Name() string { return "multi" }
 func (m *multiSketch) Reset() {
 	for _, c := range m.children {
 		c.Reset()
+	}
+}
+
+// ScaleCount implements sketch.CountScaler by forwarding to every
+// child in deterministic algorithm order, so the engine's exponential
+// decay applies to all algorithms under test at once. All five study
+// sketches implement CountScaler; a child that does not is a
+// configuration error surfaced at engine construction via the builder
+// probe, so the assertion here cannot fire in a validated run.
+func (m *multiSketch) ScaleCount(g float64) {
+	for _, name := range m.order {
+		m.children[name].(sketch.CountScaler).ScaleCount(g)
 	}
 }
 

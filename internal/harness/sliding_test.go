@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// TestSlidingAccuracyTiny drives the accuracy pipeline in pane-sharing
+// sliding mode: every algorithm must evaluate cleanly against the
+// per-window exact oracle when windows overlap, and the reported
+// errors must stay in the sketches' configured accuracy regime.
+func TestSlidingAccuracyTiny(t *testing.T) {
+	o := tinyOpts()
+	o.SlideSeconds = o.WindowSeconds / 4
+	agg, loss, err := streamAccuracy(o, datagen.DatasetPareto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss.Mean() != 0 {
+		t.Errorf("zero-delay sliding run lost %.2f%% of events", 100*loss.Mean())
+	}
+	for _, alg := range core.AlgorithmNames() {
+		a := agg[alg]
+		if a.mid.N() == 0 {
+			t.Fatalf("%s: no windows evaluated", alg)
+		}
+		if m := a.mid.Mean(); m < 0 || m > 0.5 {
+			t.Errorf("%s: sliding mid-group error %.4f outside sanity band", alg, m)
+		}
+	}
+}
+
+// TestDecayedAccuracyTiny adds exponential decay: the engine
+// down-weights old panes and the evaluation judges against the
+// matching weighted oracle, so errors must stay in the same regime as
+// the undecayed run — a mismatch between the two weightings would blow
+// the error up by the decayed/undecayed quantile gap instead.
+func TestDecayedAccuracyTiny(t *testing.T) {
+	o := tinyOpts()
+	o.SlideSeconds = o.WindowSeconds / 4
+	o.DecayLambda = 0.1
+	agg, _, err := streamAccuracy(o, datagen.DatasetPareto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range core.AlgorithmNames() {
+		a := agg[alg]
+		if a.mid.N() == 0 {
+			t.Fatalf("%s: no windows evaluated", alg)
+		}
+		if m := a.mid.Mean(); m < 0 || m > 0.5 {
+			t.Errorf("%s: decayed mid-group error %.4f outside sanity band", alg, m)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package moments
+
+import (
+	"math"
+
+	"repro/internal/sketch"
+)
+
+var _ sketch.CountScaler = (*Sketch)(nil)
+
+// ScaleCount implements sketch.CountScaler exactly: every power sum
+// Σ yⁱ is linear in the input multiset, so weighting each item by g is
+// precisely multiplying each sum (including the count in powerSums[0])
+// by g — no rounding, no structural change. The transformed-domain
+// min/max stay as-is (the support of the decayed distribution is
+// unchanged), and the cached max-entropy solution is discarded because
+// the moment vector changed.
+func (s *Sketch) ScaleCount(g float64) {
+	if math.IsNaN(g) || g >= 1 {
+		return
+	}
+	if g <= 0 {
+		s.Reset()
+		return
+	}
+	for i := range s.powerSums {
+		s.powerSums[i] *= g
+	}
+	s.discardWarmStarts()
+}

@@ -8,7 +8,7 @@ func (s *Sketch) assertInvariants(string) {}
 
 // assertCount compiles to an empty inlined call without the invariants
 // build tag; see invariants.go for the checked contracts.
-func (s *Sketch) assertCount(string, uint64) {}
+func (s *Sketch) assertCount(string, float64) {}
 
 // assertInvariants compiles to an empty inlined call without the
 // invariants build tag; see invariants.go for the checked contracts.

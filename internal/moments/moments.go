@@ -353,7 +353,7 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 		return fmt.Errorf("%w: config mismatch (k=%d,%v) vs (k=%d,%v)",
 			sketch.ErrIncompatible, s.k, s.transform, o.k, o.transform)
 	}
-	mergedCount := s.Count() + o.Count()
+	mergedCount := s.powerSums[0] + o.powerSums[0]
 	for i := range s.powerSums {
 		s.powerSums[i] += o.powerSums[i]
 	}

@@ -158,6 +158,15 @@ type EngineMetrics struct {
 	RejectedInput Counter
 	// WindowFires counts emitted windows.
 	WindowFires Counter
+	// PanesOpen is the number of panes the pane-sharing sliding engine
+	// currently buffers (unsealed panes still accepting events plus
+	// sealed panes retained for windows that have not fired yet).
+	// Tumbling runs leave it at 0.
+	PanesOpen Gauge
+	// PaneMerges counts pane sketches folded into fired sliding
+	// windows — the work the pane-sharing engine does instead of
+	// re-inserting every event once per overlapping window.
+	PaneMerges Counter
 	// MaxWatermarkLagNS is the high-water mark of (event arrival time −
 	// watermark) observed while processing, in nanoseconds: how far
 	// arrival order ran ahead of event time.
@@ -193,6 +202,8 @@ func (m *EngineMetrics) fields() []field {
 		{"dropped_late_total", counterKind, m.DroppedLate.Load()},
 		{"rejected_input_total", counterKind, m.RejectedInput.Load()},
 		{"window_fires_total", counterKind, m.WindowFires.Load()},
+		{"panes_open", gaugeKind, m.PanesOpen.Load()},
+		{"pane_merges_total", counterKind, m.PaneMerges.Load()},
 		{"max_watermark_lag_ns", gaugeKind, m.MaxWatermarkLagNS.Load()},
 		{"max_batch_queue_depth", gaugeKind, m.MaxBatchQueueDepth.Load()},
 		{"snapshots_total", counterKind, m.SnapshotsTaken.Load()},
@@ -221,6 +232,10 @@ type ConcurrentMetrics struct {
 	// Snapshots counts point-in-time snapshot reads taken while
 	// writers were free to keep inserting.
 	Snapshots Counter
+	// RejectedInput counts values a writer handle refused (NaN/±Inf)
+	// before they reached any buffer — the shared-sketch counterpart
+	// of EngineMetrics.RejectedInput.
+	RejectedInput Counter
 }
 
 func (m *ConcurrentMetrics) fields() []field {
@@ -229,6 +244,7 @@ func (m *ConcurrentMetrics) fields() []field {
 		{"handoff_values_total", counterKind, m.HandoffValues.Load()},
 		{"cas_retries_total", counterKind, m.CASRetries.Load()},
 		{"snapshots_total", counterKind, m.Snapshots.Load()},
+		{"rejected_input_total", counterKind, m.RejectedInput.Load()},
 	}
 }
 

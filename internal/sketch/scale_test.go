@@ -1,0 +1,148 @@
+package sketch_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/ddsketch"
+	"repro/internal/kll"
+	"repro/internal/moments"
+	"repro/internal/req"
+	"repro/internal/sketch"
+	"repro/internal/uddsketch"
+)
+
+// scalers builds one loaded instance of every CountScaler
+// implementation (all five study sketches), each fed the same
+// deterministic positive stream. Seeded builders keep the KLL/REQ coin
+// flips reproducible so byte comparisons are meaningful.
+func scalers(t *testing.T, n int) map[string]func() sketch.Sketch {
+	t.Helper()
+	builders := map[string]func() sketch.Sketch{
+		"kll": func() sketch.Sketch { return kll.NewWithSeed(128, 7) },
+		"req": func() sketch.Sketch { return req.NewWithSeed(30, true, 7) },
+		"ddsketch": func() sketch.Sketch {
+			return ddsketch.New(0.01)
+		},
+		"uddsketch": func() sketch.Sketch {
+			s, err := uddsketch.NewWithBudget(0.01, 1024, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"moments": func() sketch.Sketch { return moments.New(8) },
+	}
+	out := make(map[string]func() sketch.Sketch, len(builders))
+	for name, b := range builders {
+		build := b
+		out[name] = func() sketch.Sketch {
+			s := build()
+			x := 1.0
+			for i := 0; i < n; i++ {
+				s.Insert(x)
+				x = math.Mod(x*1.37+0.11, 1000) + 1
+			}
+			return s
+		}
+	}
+	return out
+}
+
+// marshalSk serializes a sketch for byte comparison.
+func marshalSk(t *testing.T, s sketch.Sketch) []byte {
+	t.Helper()
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestScaleCountContract pins the shared CountScaler clamp contract on
+// every implementation: g ≥ 1 and NaN are no-ops (decay weights only
+// shrink), g ≤ 0 empties the sketch, and a genuine down-weight shrinks
+// the count without corrupting the summary.
+func TestScaleCountContract(t *testing.T) {
+	for name, mk := range scalers(t, 5000) {
+		t.Run(name, func(t *testing.T) {
+			for _, g := range []float64{1, 1.5, math.NaN()} {
+				s := mk()
+				before := marshalSk(t, s)
+				s.(sketch.CountScaler).ScaleCount(g)
+				if !bytes.Equal(marshalSk(t, s), before) {
+					t.Errorf("ScaleCount(%v) mutated the sketch, want no-op", g)
+				}
+			}
+			for _, g := range []float64{0, -0.5} {
+				s := mk()
+				s.(sketch.CountScaler).ScaleCount(g)
+				if c := s.Count(); c != 0 {
+					t.Errorf("ScaleCount(%v) left count %d, want empty", g, c)
+				}
+			}
+			s := mk()
+			orig := s.Count()
+			s.(sketch.CountScaler).ScaleCount(0.5)
+			c := s.Count()
+			if c == 0 || c >= orig {
+				t.Fatalf("ScaleCount(0.5): count %d, want in (0, %d)", c, orig)
+			}
+			// Rounding slack: KLL/REQ re-place per level, the bucketed
+			// sketches round per bucket, moments is exact.
+			if lo, hi := orig/4, 3*orig/4; c < lo || c > hi {
+				t.Errorf("ScaleCount(0.5): count %d outside the plausible band [%d, %d]", c, lo, hi)
+			}
+			// The summary stays queryable and inside the data range.
+			med, err := s.Quantile(0.5)
+			if err != nil {
+				t.Fatalf("quantile after scale: %v", err)
+			}
+			if math.IsNaN(med) || med < 1 || med > 1001 {
+				t.Errorf("median %v after scale outside the data range", med)
+			}
+		})
+	}
+}
+
+// TestScaleCountDeterministic: scaling is a pure function of the prior
+// state and g — two identical sketches scale to byte-identical states,
+// an engine requirement (pane decay must replay bit-identically across
+// crash recovery).
+func TestScaleCountDeterministic(t *testing.T) {
+	for name, mk := range scalers(t, 3000) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(), mk()
+			if !bytes.Equal(marshalSk(t, a), marshalSk(t, b)) {
+				t.Fatal("identically built sketches differ before scaling")
+			}
+			for _, g := range []float64{0.8, 0.3, 0.05} {
+				a.(sketch.CountScaler).ScaleCount(g)
+				b.(sketch.CountScaler).ScaleCount(g)
+				if !bytes.Equal(marshalSk(t, a), marshalSk(t, b)) {
+					t.Fatalf("ScaleCount(%v) diverged across identical sketches", g)
+				}
+			}
+		})
+	}
+}
+
+// TestScaleCountMomentsExact: the Moments sketch is linear in the
+// input multiset, so scaling is exact — the count scales to precisely
+// round(g·n) with no structural loss, and repeated scaling composes
+// multiplicatively.
+func TestScaleCountMomentsExact(t *testing.T) {
+	s := moments.New(8)
+	for i := 1; i <= 1000; i++ {
+		s.Insert(float64(i))
+	}
+	s.ScaleCount(0.5)
+	if c := s.Count(); c != 500 {
+		t.Fatalf("count %d after ScaleCount(0.5), want 500", c)
+	}
+	s.ScaleCount(0.5)
+	if c := s.Count(); c != 250 {
+		t.Fatalf("count %d after second ScaleCount(0.5), want 250", c)
+	}
+}

@@ -190,6 +190,25 @@ type BatchInserter interface {
 	InsertBatch(xs []float64)
 }
 
+// CountScaler is implemented by sketches that can rescale their total
+// weight by a factor g in [0, 1] — the primitive behind exponential
+// time decay, where a window merge down-weights older panes by
+// exp(-λ·age) before folding them in (internal/stream).
+//
+// Contract: after ScaleCount(g) the sketch summarizes approximately the
+// same distribution with Count() ≈ g·oldCount, all structural
+// invariants intact, and the result is a pure function of the prior
+// state and g (no randomness, no iteration-order dependence), so that
+// decayed engine runs stay bit-deterministic. g values outside (0, 1)
+// are clamped: g ≥ 1 or NaN is a no-op, g ≤ 0 resets the sketch. The
+// exact mechanism is per-sketch (sample re-placement for samplers,
+// rounded bucket scaling for histograms, exact moment scaling) and
+// documented on each implementation.
+type CountScaler interface {
+	// ScaleCount multiplies the sketch's effective weight by g.
+	ScaleCount(g float64)
+}
+
 // BulkInserter is implemented by sketches that can absorb n identical
 // observations in O(1) — the histogram and moment sketches. Sampling
 // sketches (KLL, REQ) cannot, since their guarantees depend on seeing

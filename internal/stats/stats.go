@@ -70,6 +70,53 @@ func (e *ExactQuantiles) NormalizedRank(x float64) float64 {
 	return float64(e.Rank(x)) / float64(len(e.sorted))
 }
 
+// WeightedQuantiles answers exact quantile queries over a weighted
+// multiset — the ground truth for exponentially time-decayed windows,
+// where each pane's values carry weight exp(-λ·age). It generalizes
+// ExactQuantiles: with all weights 1 the two agree on every q.
+type WeightedQuantiles struct {
+	sorted []float64
+	cum    []float64 // cumulative weight through sorted[i]
+}
+
+// NewWeightedQuantiles copies values (with their parallel weights),
+// sorts by value and accumulates the weights. Weights must be positive
+// and finite; it panics on empty or mismatched input, mirroring
+// NewExactQuantiles.
+func NewWeightedQuantiles(values, weights []float64) *WeightedQuantiles {
+	if len(values) == 0 || len(values) != len(weights) {
+		panic("stats: NewWeightedQuantiles needs matching non-empty values and weights")
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	w := &WeightedQuantiles{
+		sorted: make([]float64, len(values)),
+		cum:    make([]float64, len(values)),
+	}
+	var total float64
+	for i, j := range idx {
+		w.sorted[i] = values[j]
+		total += weights[j]
+		w.cum[i] = total
+	}
+	return w
+}
+
+// Quantile returns the weighted q-quantile: the smallest element whose
+// cumulative weight reaches q·totalWeight — the weighted analogue of
+// the rank-ceil(qN) definition of ExactQuantiles.Quantile.
+func (w *WeightedQuantiles) Quantile(q float64) float64 {
+	target := q * w.cum[len(w.cum)-1]
+	i := sort.SearchFloat64s(w.cum, target)
+	if i >= len(w.sorted) {
+		i = len(w.sorted) - 1
+	}
+	return w.sorted[i]
+}
+
 // Min returns the smallest element.
 func (e *ExactQuantiles) Min() float64 { return e.sorted[0] }
 

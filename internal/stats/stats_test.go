@@ -278,3 +278,66 @@ func TestQuickMomentsMatchTwoPass(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWeightedQuantilesUnitWeights: with every weight 1 the weighted
+// oracle degenerates to the rank-ceil(qN) definition, so it must agree
+// with ExactQuantiles on every queried q — the λ=0 consistency the
+// decayed harness evaluation relies on.
+func TestWeightedQuantilesUnitWeights(t *testing.T) {
+	values := make([]float64, 997)
+	state := uint64(12345)
+	for i := range values {
+		state = state*6364136223846793005 + 1442695040888963407
+		values[i] = float64(state>>40) / 1000
+	}
+	weights := make([]float64, len(values))
+	for i := range weights {
+		weights[i] = 1
+	}
+	exact := NewExactQuantiles(values)
+	weighted := NewWeightedQuantiles(values, weights)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		if got, want := weighted.Quantile(q), exact.Quantile(q); got != want {
+			t.Fatalf("q=%v: weighted %v, exact %v", q, got, want)
+		}
+	}
+}
+
+// TestWeightedQuantilesHandComputed pins the weighted definition on a
+// small case: values 1..4 with weights 4,1,1,2 (total 8) — the
+// cumulative weights 4,5,6,8 place the median (target 4) at value 1
+// and q=0.75 (target 6) at value 3.
+func TestWeightedQuantilesHandComputed(t *testing.T) {
+	w := NewWeightedQuantiles([]float64{3, 1, 4, 2}, []float64{1, 4, 2, 1})
+	cases := []struct{ q, want float64 }{
+		{0.25, 1}, {0.5, 1}, {0.625, 2}, {0.75, 3}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := w.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestWeightedQuantilesDecayShift: exponentially down-weighting the
+// upper half of the data pulls every interior quantile down — the
+// qualitative property decayed windows exist for.
+func TestWeightedQuantilesDecayShift(t *testing.T) {
+	n := 1000
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1
+		if i >= n/2 {
+			weights[i] = 0.1 // "old pane" heavily decayed
+		}
+	}
+	plain := NewExactQuantiles(values)
+	decayed := NewWeightedQuantiles(values, weights)
+	for _, q := range []float64{0.5, 0.75, 0.9} {
+		if got, ref := decayed.Quantile(q), plain.Quantile(q); got >= ref {
+			t.Errorf("q=%v: decayed %v, want below undecayed %v", q, got, ref)
+		}
+	}
+}

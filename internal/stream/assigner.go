@@ -47,29 +47,31 @@ func (TumblingAssigner) MergesWindows() bool { return false }
 // SlidingAssigner produces overlapping windows of Size, starting every
 // Slide: "a sliding window of the same length and a period of 1 s would
 // create a group from time t to t+10s, another from t+1s to t+11s, and
-// so on" (Sec 2.5). Each event belongs to ⌈Size/Slide⌉ windows.
+// so on" (Sec 2.5). Each event belongs to ⌈Size/Slide⌉ windows (one
+// fewer at some slide phases when Slide does not divide Size) — and
+// that holds from the very first event: the early windows whose nominal
+// start would be negative are emitted with their Start clamped to 0
+// (DESIGN.md §15 documents this boundary decision), so window ends stay
+// on the slide lattice and start-of-stream coverage matches mid-stream
+// coverage. Misconfiguration (Slide outside (0, Size]) is rejected once
+// at engine construction, not here.
 type SlidingAssigner struct {
 	Size, Slide time.Duration
 }
 
-// Assign implements Assigner. It panics when the assigner is
-// misconfigured (Slide outside (0, Size]); that is a programming error
-// caught on the first event, before any recovery machinery is armed,
-// not a runtime fault the checkpoint layer should mask.
+// Assign implements Assigner.
 func (a SlidingAssigner) Assign(t time.Duration) []Window {
-	if a.Slide <= 0 || a.Size < a.Slide {
-		panic("stream: sliding window needs 0 < Slide <= Size")
-	}
 	var out []Window
 	// The most recent window containing t starts at the slide boundary
 	// at or before t; earlier ones follow at -Slide steps while t still
-	// falls inside.
+	// falls inside. Nominal starts below 0 clamp to the stream origin.
 	lastStart := t / a.Slide * a.Slide
 	for start := lastStart; start > t-a.Size; start -= a.Slide {
+		w := Window{Start: start, End: start + a.Size}
 		if start < 0 {
-			break
+			w.Start = 0
 		}
-		out = append(out, Window{Start: start, End: start + a.Size})
+		out = append(out, w)
 	}
 	return out
 }

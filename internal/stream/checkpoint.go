@@ -116,6 +116,34 @@ func (rs *runState) snapshot() error {
 		ws.Partials = partials[wi]
 		snap.Windows = append(snap.Windows, ws)
 	}
+	if rs.paneMode {
+		// Sealed panes ride in the optional trailer, ascending; the
+		// Windows section above already holds the open panes (keyed by
+		// pane index). nextSeal is not stored — every snapshot sits at
+		// a post-fire drain point, so it is always paneEnd(nextFire-1)
+		// and restore re-derives it.
+		paneIdx := make([]int, 0, len(rs.sealed))
+		for j := range rs.sealed {
+			paneIdx = append(paneIdx, j)
+		}
+		sort.Ints(paneIdx)
+		for _, j := range paneIdx {
+			sp := rs.sealed[j]
+			ps := checkpoint.PaneSnap{Index: int64(j), Accepted: sp.accepted}
+			if sp.values != nil {
+				ps.HasValues = true
+				ps.Values = sp.values
+			}
+			if sp.sketch != nil {
+				sealed, err := sealPartial(sp.sketch)
+				if err != nil {
+					return err
+				}
+				ps.Sketch = sealed
+			}
+			snap.Panes = append(snap.Panes, ps)
+		}
+	}
 	data, err := checkpoint.EncodeSnapshot(snap)
 	if err != nil {
 		return fmt.Errorf("stream: checkpoint encode: %w", err)
@@ -165,10 +193,21 @@ func (rs *runState) restore(snap *checkpoint.Snapshot) error {
 			Partition: int(ev.Partition),
 		}
 	}
+	// In pane mode the Windows section holds open panes, so the index
+	// bound is the pane count, not the window count.
+	trackLimit := cfg.NumWindows
+	if rs.paneMode {
+		trackLimit = rs.numPanes
+		if rs.nextFire > 0 {
+			rs.nextSeal = rs.paneEnd(rs.nextFire - 1)
+		}
+	} else if len(snap.Panes) != 0 {
+		return fmt.Errorf("stream: snapshot holds pane state but the engine is tumbling: %w", checkpoint.ErrCorrupt)
+	}
 	for i := range snap.Windows {
 		ws := &snap.Windows[i]
 		wi := int(ws.Index)
-		if wi < 0 || wi >= cfg.NumWindows {
+		if wi < 0 || wi >= trackLimit {
 			return fmt.Errorf("stream: snapshot window %d out of range: %w", wi, checkpoint.ErrCorrupt)
 		}
 		w := &windowState{index: wi, accepted: ws.Accepted}
@@ -194,6 +233,25 @@ func (rs *runState) restore(snap *checkpoint.Snapshot) error {
 			parts[pi] = sk
 		}
 		rs.sink.restore(wi, parts)
+	}
+	for i := range snap.Panes {
+		ps := &snap.Panes[i]
+		j := int(ps.Index)
+		if j < 0 || j >= rs.numPanes || j >= rs.nextSeal {
+			return fmt.Errorf("stream: snapshot pane %d out of range: %w", j, checkpoint.ErrCorrupt)
+		}
+		sp := &sealedPane{accepted: ps.Accepted}
+		if ps.HasValues {
+			sp.values = ps.Values
+		}
+		if ps.Sketch != nil {
+			sk, err := decodePartial(cfg.Builder, rs.builderName, ps.Sketch)
+			if err != nil {
+				return err
+			}
+			sp.sketch = sk
+		}
+		rs.sealed[j] = sp
 	}
 	for i := int64(0); i < snap.Drawn; i++ {
 		rs.vals.Next()

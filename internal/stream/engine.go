@@ -24,6 +24,33 @@ type Config struct {
 	// WindowSize is the tumbling window length (the study uses 20 s, with
 	// 5 s and 10 s in the sensitivity analysis, Sec 4.7).
 	WindowSize time.Duration
+	// Slide, when in (0, WindowSize), switches the engine to sliding
+	// windows of length WindowSize starting every Slide, computed by
+	// pane-based sharing: events are inserted once into a sketch for
+	// their non-overlapping pane of length gcd(WindowSize, Slide), and
+	// each window is answered by merging its ~WindowSize/Slide
+	// constituent panes instead of recomputing them. 0 (or Slide ==
+	// WindowSize) keeps the tumbling fast path, bit-identical to before
+	// the field existed. Window starts sit on the slide lattice; the
+	// early windows whose nominal start precedes the stream origin are
+	// emitted with Start clamped to 0, matching SlidingAssigner
+	// (DESIGN.md §15). NumWindows counts emitted windows, so the run
+	// spans (NumWindows-1)·Slide + WindowSize of event time. A pane is
+	// sealed when the first window containing it fires; events arriving
+	// for a sealed pane are dropped late from every remaining window
+	// (the sharing trade-off, also §15).
+	Slide time.Duration
+	// DecayLambda, when positive, applies exponential time decay at
+	// window assembly: each pane's sketch is down-weighted by
+	// exp(-DecayLambda·age) before merging, where age is the gap in
+	// seconds between the pane's end and the window's end (the newest
+	// pane always has weight 1). Requires sliding mode (0 < Slide <
+	// WindowSize) and a Builder whose product implements
+	// sketch.CountScaler — the weighting clones the sealed pane sketch
+	// and rescales the clone's count, so the pane itself stays exact
+	// for later windows. 0 disables decay; a DecayLambda of 0 is
+	// bit-identical to the undecayed sliding run.
+	DecayLambda float64
 	// Rate is the source's event rate in events per second (study: 50,000).
 	Rate int
 	// NumWindows is how many complete windows to run. The engine emits
@@ -129,6 +156,17 @@ type WindowResult struct {
 	// Stats.DroppedLate either way. TestDroppedLateContract enforces
 	// this.
 	DroppedLate int64
+	// PaneCounts, set only in sliding (pane-sharing) mode, holds the
+	// accepted-event count of each constituent pane, oldest first — one
+	// entry per pane of the window, zero for panes that saw no events.
+	// With CollectValues set, Values is the concatenation of the panes'
+	// values in the same order, so PaneCounts delimits the per-pane
+	// segments: callers computing decayed ground truth weight segment i
+	// by exp(-λ·(End - paneEnd_i)) where paneEnd_i is (i+1) pane
+	// lengths after Start... precisely, the window's first pane ends at
+	// End - (len(PaneCounts)-1)·paneLen and each later pane one paneLen
+	// after, with paneLen = gcd(WindowSize, Slide).
+	PaneCounts []int
 }
 
 // Stats aggregates engine-level counters over one run. Every generated
@@ -291,6 +329,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.NumWindows <= 0 {
 		return nil, errors.New("stream: NumWindows must be positive")
 	}
+	if cfg.Slide < 0 || cfg.Slide > cfg.WindowSize {
+		return nil, fmt.Errorf("stream: Slide %v outside (0, WindowSize=%v] (0 selects tumbling windows)", cfg.Slide, cfg.WindowSize)
+	}
+	if cfg.DecayLambda < 0 || math.IsNaN(cfg.DecayLambda) || math.IsInf(cfg.DecayLambda, 0) {
+		return nil, errors.New("stream: DecayLambda must be finite and non-negative")
+	}
 	if cfg.Partitions <= 0 {
 		cfg.Partitions = 1
 	}
@@ -310,6 +354,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Builder == nil {
 		return nil, errors.New("stream: Builder is required")
+	}
+	if cfg.DecayLambda > 0 {
+		if cfg.Slide == 0 || cfg.Slide == cfg.WindowSize {
+			return nil, errors.New("stream: DecayLambda requires sliding mode (0 < Slide < WindowSize)")
+		}
+		probe := cfg.Builder()
+		if _, ok := probe.(sketch.CountScaler); !ok {
+			return nil, fmt.Errorf("stream: DecayLambda requires a sketch.CountScaler, %s does not implement it", probe.Name())
+		}
 	}
 	if cfg.Delay == nil {
 		cfg.Delay = ZeroDelay{}
@@ -388,6 +441,18 @@ type runState struct {
 	nextFire  int           // next window index to fire
 	lateOf    map[int]int64 // window index → late drops (post-fire arrivals)
 
+	// Pane-sharing sliding mode (0 < Slide < WindowSize). The open map
+	// above is keyed by pane index instead of window index, and fired
+	// windows are assembled from sealed panes (panes.go).
+	paneMode    bool
+	paneSize    time.Duration       // gcd(WindowSize, Slide)
+	panesPerGap int                 // Slide / paneSize
+	panesPerWin int                 // WindowSize / paneSize
+	firstOff    int                 // 1 - ceil(WindowSize/Slide): slide-lattice offset of window 0
+	numPanes    int                 // panes covering the run: paneEnd(NumWindows-1)
+	nextSeal    int                 // first pane index not yet sealed
+	sealed      map[int]*sealedPane // sealed, still-referenced panes
+
 	drawn     int64  // source draws so far (event n was draw n, zero-based)
 	fired     uint64 // windows fired so far (checkpoint sequence basis)
 	sinceSnap int    // fires since the last snapshot
@@ -425,6 +490,9 @@ func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
 		watermark: -1,
 		lateOf:    map[int]int64{},
 		snapEvery: math.MaxInt,
+	}
+	if cfg.Slide > 0 && cfg.Slide < cfg.WindowSize {
+		rs.initPanes()
 	}
 	if cfg.NewValues != nil {
 		rs.vals = cfg.NewValues()
@@ -486,15 +554,44 @@ func (rs *runState) fire(w *windowState) error {
 
 // process routes one arrived event: reject invalid payloads, drop late
 // events, insert the rest, then advance the watermark and fire every
-// window whose end it passed.
+// window whose end it passed. Pane mode routes by pane instead of
+// window (routePaned) but shares the watermark/fire machinery.
 func (rs *runState) process(ev Event) error {
+	cfg := &rs.cfg
+	if rs.paneMode {
+		rs.routePaned(ev)
+	} else {
+		rs.routeTumbling(ev)
+	}
+	if ev.GenTime > rs.watermark {
+		rs.watermark = ev.GenTime
+		// Fire every window whose end the watermark has passed.
+		for rs.nextFire < cfg.NumWindows && rs.watermark >= rs.windowEndTime(rs.nextFire) {
+			if err := rs.fireNext(); err != nil {
+				return err
+			}
+		}
+	}
+	if rs.met != nil {
+		// How far arrival order ran ahead of event time: the delay
+		// model's effective disorder, as seen by the engine.
+		if lag := int64(ev.Arrival - rs.watermark); lag > 0 {
+			rs.met.MaxWatermarkLagNS.Max(lag)
+		}
+	}
+	return nil
+}
+
+// routeTumbling classifies one event on the tumbling path: reject,
+// late-drop, or insert into its window.
+func (rs *runState) routeTumbling(ev Event) {
 	cfg := &rs.cfg
 	wi := int(ev.GenTime / cfg.WindowSize)
 	switch {
 	case math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0):
 		// Poisoned payload: rejected before reaching any sketch or
 		// the collected values. The event still advances the
-		// watermark below — its timestamp is sound. Counted only
+		// watermark in process — its timestamp is sound. Counted only
 		// inside the measured run so the Stats identity stays exact.
 		if wi >= 0 && wi < cfg.NumWindows {
 			rs.stats.RejectedInput++
@@ -504,8 +601,8 @@ func (rs *runState) process(ev Event) error {
 		}
 	case wi < rs.nextFire:
 		// Window already fired: late event, dropped. Its GenTime is
-		// below the watermark by construction, so falling through to
-		// the watermark advance is a no-op.
+		// below the watermark by construction, so the watermark
+		// advance in process is a no-op.
 		if wi >= 0 && wi < cfg.NumWindows {
 			rs.lateOf[wi]++
 			rs.stats.DroppedLate++
@@ -538,34 +635,37 @@ func (rs *runState) process(ev Event) error {
 			w.values = append(w.values, ev.Value)
 		}
 	}
-	if ev.GenTime > rs.watermark {
-		rs.watermark = ev.GenTime
-		// Fire every window whose end the watermark has passed.
-		for rs.nextFire < cfg.NumWindows {
-			end := cfg.WindowSize * time.Duration(rs.nextFire+1)
-			if rs.watermark < end {
-				break
-			}
-			w := rs.open[rs.nextFire]
-			if w == nil {
-				w = &windowState{index: rs.nextFire}
-			}
-			delete(rs.open, rs.nextFire)
-			// Late counts accrue after firing; attach the state so the
-			// final accounting can pick them up via lateOf.
-			if err := rs.fire(w); err != nil {
-				return err
-			}
-			rs.nextFire++
-		}
+}
+
+// windowEndTime is the event time at which window k fires.
+func (rs *runState) windowEndTime(k int) time.Duration {
+	if rs.paneMode {
+		return rs.paneSize * time.Duration(rs.paneEnd(k))
 	}
-	if rs.met != nil {
-		// How far arrival order ran ahead of event time: the delay
-		// model's effective disorder, as seen by the engine.
-		if lag := int64(ev.Arrival - rs.watermark); lag > 0 {
-			rs.met.MaxWatermarkLagNS.Max(lag)
+	return rs.cfg.WindowSize * time.Duration(k+1)
+}
+
+// fireNext fires window nextFire via the mode's fire path and advances
+// nextFire.
+func (rs *runState) fireNext() error {
+	if rs.paneMode {
+		if err := rs.firePaned(rs.nextFire); err != nil {
+			return err
 		}
+		rs.nextFire++
+		return nil
 	}
+	w := rs.open[rs.nextFire]
+	if w == nil {
+		w = &windowState{index: rs.nextFire}
+	}
+	delete(rs.open, rs.nextFire)
+	// Late counts accrue after firing; the final accounting picks them
+	// up via lateOf.
+	if err := rs.fire(w); err != nil {
+		return err
+	}
+	rs.nextFire++
 	return nil
 }
 
@@ -643,13 +743,8 @@ func (rs *runState) loop() (err error) {
 	// Fire any windows still open (source exhausted before watermark
 	// passed their end — only possible for the final window on extreme
 	// delays).
-	for ; rs.nextFire < cfg.NumWindows; rs.nextFire++ {
-		w := rs.open[rs.nextFire]
-		if w == nil {
-			w = &windowState{index: rs.nextFire}
-		}
-		delete(rs.open, rs.nextFire)
-		if err := rs.fire(w); err != nil {
+	for rs.nextFire < cfg.NumWindows {
+		if err := rs.fireNext(); err != nil {
 			return err
 		}
 	}

@@ -92,6 +92,14 @@ func NewGenericEngine(cfg GenericConfig) (*GenericEngine, error) {
 	if cfg.Assigner == nil {
 		return nil, errors.New("stream: Assigner is required")
 	}
+	// Misconfigured assigners are rejected once here rather than
+	// per-event inside Assign, so the hot path stays branch-free and a
+	// bad Slide cannot surface as a mid-run crash.
+	if sa, ok := cfg.Assigner.(SlidingAssigner); ok {
+		if sa.Slide <= 0 || sa.Slide > sa.Size {
+			return nil, fmt.Errorf("stream: SlidingAssigner Slide %v outside (0, Size=%v]", sa.Slide, sa.Size)
+		}
+	}
 	if cfg.Rate <= 0 {
 		return nil, errors.New("stream: Rate must be positive")
 	}

@@ -118,6 +118,68 @@ func TestCrashRecoveryDeterminism(t *testing.T) {
 	}
 }
 
+// paneRecoveryCfg is recoveryCfg in pane-sharing sliding mode: windows
+// still 1 s long but starting every 500 ms, so snapshots carry sealed
+// panes (retained for unfired overlapping windows) alongside the open
+// ones, and restore must rebuild both plus the re-derived seal
+// horizon.
+func paneRecoveryCfg(workers, partitions int, lambda float64) Config {
+	cfg := recoveryCfg(workers, partitions)
+	cfg.Slide = 500 * time.Millisecond
+	cfg.DecayLambda = lambda
+	return cfg
+}
+
+// TestPaneCrashRecoveryDeterminism extends the fault-tolerance
+// contract to pane-sharing sliding windows, undecayed and decayed: a
+// crashed-and-resumed run is bit-identical to an uninterrupted one —
+// including the pane decomposition each window reports — across the
+// workers × partitions matrix.
+func TestPaneCrashRecoveryDeterminism(t *testing.T) {
+	for _, lambda := range []float64{0, 0.8} {
+		for _, partitions := range []int{1, 4} {
+			for _, workers := range []int{1, 4} {
+				baseline, baseStats := mustRunCollect(t, paneRecoveryCfg(workers, partitions, lambda))
+
+				cfg := paneRecoveryCfg(workers, partitions, lambda)
+				cfg.CheckpointStore = checkpoint.NewMemStore()
+				worker := 0
+				if workers > 1 && partitions > 1 {
+					worker = 1
+				}
+				cfg.Faults = faultinject.New().WithPanic(worker, 2500)
+
+				results, stats, err := RunRecovering(cfg)
+				if err != nil {
+					t.Fatalf("lambda=%v workers=%d partitions=%d: %v", lambda, workers, partitions, err)
+				}
+				assertSameRun(t, "pane-recovered", results, stats, baseline, baseStats)
+				assertSameWindows(t, "pane-recovered", results, baseline)
+				if cfg.Metrics.RecoveredPanics.Load() == 0 {
+					t.Errorf("lambda=%v workers=%d partitions=%d: fault did not fire", lambda, workers, partitions)
+				}
+			}
+		}
+	}
+}
+
+// TestTumblingRejectsPaneSnapshot asserts the mode guard on restore: a
+// snapshot taken by a sliding run holds pane state a tumbling engine
+// cannot interpret, so resuming it with Slide = 0 must fail as corrupt
+// rather than silently misreading pane indices as window indices.
+func TestTumblingRejectsPaneSnapshot(t *testing.T) {
+	cfg := paneRecoveryCfg(1, 4, 0)
+	store := checkpoint.NewMemStore()
+	cfg.CheckpointStore = store
+	mustRunCollect(t, cfg)
+
+	cfg.Slide = 0
+	_, err := Resume(cfg, func(WindowResult) {})
+	if !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
 // TestRecoveryBeforeFirstCheckpoint crashes before any window fires:
 // the store is empty, so RunRecovering must fall back to a clean
 // restart — which cannot re-crash, because faults are one-shot.

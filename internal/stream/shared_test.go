@@ -92,6 +92,52 @@ func TestSharedSketchParallelRun(t *testing.T) {
 	}
 }
 
+// TestSharedSketchRejectsNonFinite poisons every 10th payload with an
+// alternating ±Inf or NaN: the engine rejects them before the shared
+// writer (and the writer's own validation would catch any that slipped
+// through), so after the run the shared sketch holds exactly the
+// accepted finite events and its count proves no poison reached it.
+func TestSharedSketchRejectsNonFinite(t *testing.T) {
+	sh, err := concurrent.NewDDSketch(0.01, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sharedRunConfig(1, sh)
+	clean := datagen.NewUniform(1, 100, 7)
+	n := 0
+	cfg.Values = datagen.SourceFunc(func() float64 {
+		n++
+		switch {
+		case n%30 == 0:
+			return math.NaN()
+		case n%20 == 0:
+			return math.Inf(-1)
+		case n%10 == 0:
+			return math.Inf(1)
+		}
+		return clean.Next()
+	})
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RejectedInput == 0 {
+		t.Fatal("poisoned source produced no rejections")
+	}
+	if got := sh.Count(); got != uint64(st.Accepted) {
+		t.Fatalf("shared count %d, accepted %d (non-finite payloads leaked)", got, st.Accepted)
+	}
+	if med, err := sh.Snapshot().Quantile(0.5); err != nil {
+		t.Fatal(err)
+	} else if math.IsNaN(med) || math.IsInf(med, 0) {
+		t.Errorf("median %v: shared sketch was poisoned", med)
+	}
+}
+
 // TestSharedSketchLiveQueries queries the shared sketch from the emit
 // callback — mid-run, between windows — exercising the live-read path
 // the layer exists for. Each snapshot must be within the relaxation

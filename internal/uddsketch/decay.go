@@ -1,0 +1,53 @@
+package uddsketch
+
+import (
+	"math"
+
+	"repro/internal/sketch"
+)
+
+var _ sketch.CountScaler = (*Sketch)(nil)
+
+// ScaleCount implements sketch.CountScaler by rounded bucket scaling:
+// every bucket count c becomes round(c·g) (buckets rounding to 0 are
+// dropped — valid sketches never hold empty buckets), the zero counter
+// scales the same way, and the total count is recomputed as the sum of
+// the scaled parts so Σ buckets + zeroCnt == count holds exactly. Each
+// bucket transforms independently of every other, so the result does
+// not depend on map iteration order. Scaling only removes buckets, so
+// the maxBuckets budget and the current collapse level are untouched;
+// min/max are kept as conservative bounds. If every count rounds away
+// the sketch resets.
+func (s *Sketch) ScaleCount(g float64) {
+	if math.IsNaN(g) || g >= 1 {
+		return
+	}
+	if g <= 0 {
+		s.Reset()
+		return
+	}
+	scaleMap := func(m map[int]int64) (map[int]int64, int64) {
+		out := make(map[int]int64, len(m))
+		var total int64
+		for i, c := range m {
+			sc := int64(math.Round(float64(c) * g))
+			if sc > 0 {
+				out[i] = sc
+				total += sc
+			}
+		}
+		return out, total
+	}
+	pos, posTotal := scaleMap(s.positive)
+	neg, negTotal := scaleMap(s.negative)
+	zero := int64(math.Round(float64(s.zeroCnt) * g))
+	count := posTotal + negTotal + zero
+	if count == 0 {
+		s.Reset()
+		return
+	}
+	s.positive = pos
+	s.negative = neg
+	s.zeroCnt = zero
+	s.count = count
+}

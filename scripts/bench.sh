@@ -22,6 +22,11 @@
 #    w=1 vs w=ncpu scaling rows → BENCH_concurrent.json. Note the
 #    scaling rows only move on multi-core runners; the locked-vs-
 #    concurrent pairs show the design win on any machine.
+#  - pane: sliding-window pane sharing. Self-comparison: the generic
+#    engine recomputing every overlapping window (each event inserted
+#    into ~16 open sketches at slide = window/16) against the
+#    pane-sharing engine (one insert per event, windows assembled by
+#    merging panes), with a hard >= 3x speedup floor → BENCH_pane.json
 #
 # Each step is a named gate: on failure the script prints exactly which
 # gate tripped and stops there.
@@ -138,5 +143,34 @@ compare_concurrent() {
 gate concurrent-benchmarks bench_concurrent
 gate concurrent-compare compare_concurrent
 cat BENCH_concurrent.json
+
+pane_current=results/bench_pane_current.txt
+
+bench_pane() {
+	go test -run '^$' -bench 'BenchmarkSlidingThroughput' \
+		-benchmem -benchtime "$BENCHTIME" . | tee "$pane_current"
+}
+
+compare_pane() {
+	go run ./cmd/benchjson \
+		-current "$pane_current" \
+		-compare 'BenchmarkSlidingThroughput/recompute=BenchmarkSlidingThroughput/pane' \
+		-out BENCH_pane.json
+}
+
+# The pane win must be structural, not noise: at slide = window/16 the
+# recompute baseline inserts every event ~16 times, so the shared path
+# has to come out at least 3x faster on any machine.
+check_pane_speedup() {
+	go run ./cmd/benchjson -current "$pane_current" \
+		-compare 'BenchmarkSlidingThroughput/recompute=BenchmarkSlidingThroughput/pane' |
+		grep -o '"speedup": *[0-9.]*' | head -n 1 |
+		awk -F': *' '{ if ($2 + 0 >= 3.0) { print "pane speedup " $2 "x (>= 3x)"; exit 0 } else { print "pane speedup " $2 "x below the 3x floor" > "/dev/stderr"; exit 1 } }'
+}
+
+gate pane-benchmarks bench_pane
+gate pane-compare compare_pane
+gate pane-speedup check_pane_speedup
+cat BENCH_pane.json
 
 echo "bench.sh: all gates passed"

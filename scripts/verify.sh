@@ -94,6 +94,13 @@ gate chaos go test -race \
 # tests and the multi-writer/multi-reader soak in the root package.
 gate concurrent go test -race -run 'Concurrent|Relaxation|Shared|Epoch|Snapshot|Writer' \
 	./internal/concurrent ./internal/stream .
+# Sliding-window pane sharing under the race detector: pane-merged
+# windows must be bit-identical to recompute-from-scratch references
+# (serial and parallel), decay must be metamorphic at λ=0, pane state
+# must survive crash recovery, and ScaleCount must be deterministic.
+gate pane go test -race \
+	-run 'Pane|Sliding|Decay|ScaleCount|WeightedQuantiles|TumblingSlide' \
+	./internal/stream ./internal/sketch ./internal/stats ./internal/harness
 # Smoke-run the perf-gate benchmarks (fixed iteration count: checks
 # they still execute, not their timing — scripts/bench.sh does that).
 gate bench-smoke-stream go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
@@ -101,6 +108,7 @@ gate bench-smoke-query go test -run '^$' -bench 'BenchmarkQuantileAll' -benchtim
 gate bench-smoke-insert go test -run '^$' -bench 'BenchmarkInsertMapping|BenchmarkInsertStore|BenchmarkInsertIndexer' -benchtime 100x .
 gate bench-smoke-accuracy go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
 gate bench-smoke-concurrent go test -run '^$' -bench 'BenchmarkConcurrentInsert' -benchtime 100x .
+gate bench-smoke-pane go test -run '^$' -bench 'BenchmarkSlidingThroughput' -benchtime 100x .
 gate metrics-endpoint metrics_smoke
 
 echo "verify.sh: all gates passed"
