@@ -448,3 +448,51 @@ func BenchmarkStreamThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBudgetOverhead measures what the memory-budget governor
+// costs the serial hot path. "off" is MemoryBudget 0 (nil governor:
+// one predictable branch per cadence check); "slack" is a budget so
+// far above the workload's footprint that the governor tracks and
+// enforces on cadence but never degrades, evicts or sheds. bench.sh
+// gates off=slack at >= 0.98x: a non-binding budget may cost at most
+// 2% throughput, and a disabled one nothing measurable.
+func BenchmarkBudgetOverhead(b *testing.B) {
+	vals := paretoValues(1<<18, 29)
+	builders, err := core.BuildersForDataset(datagen.DatasetPareto, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		budget int
+	}{
+		{"off", 0},
+		{"slack", 1 << 30},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			i := 0
+			src := datagen.SourceFunc(func() float64 {
+				v := vals[i&(1<<18-1)]
+				i++
+				return v
+			})
+			eng, err := stream.NewEngine(stream.Config{
+				WindowSize:   time.Second,
+				Rate:         100_000,
+				NumWindows:   b.N/100_000 + 1,
+				Partitions:   4,
+				Workers:      1,
+				Values:       src,
+				Builder:      builders["ddsketch"],
+				MemoryBudget: bc.budget,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := eng.Run(func(stream.WindowResult) {}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -96,7 +96,13 @@ func parseFile(path string) (map[string]Result, error) {
 				r.AllocsPerOp = v
 			}
 		}
-		out[gomaxprocsSuffix.ReplaceAllString(fields[0], "")] = r
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		// With -count=N each benchmark appears N times; keep the
+		// fastest run (best-of-N), the standard way to strip scheduler
+		// noise from a shared CI machine before a ratio gate.
+		if prev, ok := out[name]; !ok || r.NsPerOp < prev.NsPerOp {
+			out[name] = r
+		}
 	}
 	return out, sc.Err()
 }

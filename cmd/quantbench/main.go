@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -22,8 +23,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/concurrent"
@@ -64,6 +67,7 @@ func main() {
 		linger        = flag.Duration("linger", 0, "with -http, keep the process (and endpoints) alive this long after the runs finish")
 		concWriters   = flag.Int("concurrent-writers", 0, "run a live concurrent shared-sketch ingestion stream with this many writer goroutines (0 disables); with -http, live snapshots are served at /quantile while the stream runs")
 		concSketch    = flag.String("concurrent-sketch", "kll", "shared sketch for -concurrent-writers: kll or ddsketch")
+		memBudget     = flag.Int("mem-budget", 0, "cap each stream run's live sketch footprint at this many bytes: sketches degrade in place past the budget (coarser but still bounded summaries), events are shed only when degradation cannot fit it (0 disables)")
 	)
 	flag.Parse()
 
@@ -98,6 +102,13 @@ func main() {
 		}
 	}
 
+	// A SIGINT/SIGTERM anywhere past this point requests a graceful
+	// shutdown: the linger is cut short, the metrics server drains with
+	// a bounded deadline, and shared writers are flushed so the final
+	// state is exact. A second signal kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	opts := harness.Options{
 		Scale:         *scale,
 		Runs:          *runs,
@@ -110,6 +121,7 @@ func main() {
 		Parallel:      *parallel,
 		StreamWorkers: *streamWorkers,
 		EvalWorkers:   *evalWorkers,
+		MemoryBudget:  *memBudget,
 	}
 	if !*quiet {
 		opts.Out = os.Stderr
@@ -160,9 +172,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "quantbench: serving metrics on http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: mux}
 		go func() {
-			if err := http.Serve(ln, mux); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "quantbench: http server:", err)
+			}
+		}()
+		// Drain in-flight scrapes on exit, but never hang on a stuck
+		// client: Shutdown is bounded by its own deadline.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "quantbench: http shutdown:", err)
 			}
 		}()
 	}
@@ -218,6 +240,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "quantbench: concurrent:", err)
 			os.Exit(1)
 		}
+		// The engine's workers flushed their own writer handles at
+		// close; this quiescent-point flush covers any handle the run
+		// did not own, so post-run snapshots (a /quantile scrape during
+		// the linger, the metrics dump) are exact.
+		shared.Flush()
 	}
 
 	if reg != nil {
@@ -229,7 +256,11 @@ func main() {
 	}
 	if *httpAddr != "" && *linger > 0 {
 		fmt.Fprintf(os.Stderr, "quantbench: lingering %s for scrapes\n", *linger)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "quantbench: interrupted, shutting down")
+		}
 	}
 }
 

@@ -1,0 +1,239 @@
+// Package budget implements the memory governor behind
+// stream.Config.MemoryBudget: it tracks the live footprint of a set of
+// sketches (sketch.FootprintOf: true live bytes where the sketch
+// reports them, the paper's structural accounting otherwise) and, when
+// the tracked total exceeds a configured byte budget, degrades the
+// largest sketches in place (sketch.Degrader) until the total fits
+// again or every sketch is exhausted.
+//
+// Degradation order is deterministic: strictly largest-footprint first,
+// ties broken by ascending tracking ID. Enforcement happens only at the
+// engine's deterministic safe points (batch boundaries, seal/fire
+// barriers), so a budgeted run is a pure function of its configuration
+// — the property every bit-identity test in this repository leans on.
+//
+// The governor is rung 1 of the engine's degradation ladder; rungs 2
+// (sealed-pane coarsening) and 3 (shedding) live in internal/stream,
+// which consults Outcome.Exhausted to climb.
+package budget
+
+import (
+	"sort"
+
+	"repro/internal/sketch"
+)
+
+// entry is one tracked sketch with its last-refreshed footprint.
+type entry struct {
+	id   int64
+	sk   sketch.Sketch
+	foot int
+	// dead marks a sketch that refused to degrade (or freed nothing)
+	// during the current Enforce call; cleared on the next call, since
+	// a grown sketch may become degradable again.
+	dead bool
+}
+
+// Governor tracks live sketches against a byte budget. A nil Governor
+// is valid and inert: every method no-ops, so the unbudgeted hot path
+// pays one branch. Governors are single-goroutine, like the sketches
+// they track; the parallel engine gives each worker its own governor
+// over its share of the budget.
+type Governor struct {
+	limit   int
+	entries map[int64]*entry
+	order   []*entry // Enforce scratch, reused across calls
+
+	degradations int64 // cumulative successful Degrade calls
+	highWater    int   // max post-Enforce usage ever observed
+	interval     int   // adaptive enforcement cadence, see Interval
+}
+
+// BaseInterval is the densest enforcement cadence in processed events —
+// the interval engines use while the budget is binding: frequent enough
+// that the footprint between passes can only grow by a few hundred
+// inserts' worth of buckets, rare enough to keep the governor off the
+// per-event profile. While the tracked footprint stays at or below half
+// the limit, Interval backs off exponentially (doubling per pass,
+// capped at 64× base) so a slack budget costs next to nothing; it snaps
+// back to BaseInterval the moment usage crosses half the limit.
+const BaseInterval = 256
+
+// Outcome reports one Enforce pass.
+type Outcome struct {
+	// Usage is the refreshed tracked footprint after any degradation.
+	Usage int
+	// Degradations counts the successful Degrade calls of this pass.
+	Degradations int
+	// Freed is the total bytes the pass reclaimed.
+	Freed int
+	// Exhausted is set when Usage still exceeds the budget but no
+	// tracked sketch can shrink any further — the engine's cue to climb
+	// to the next rung of the ladder (coarsen panes, then shed).
+	Exhausted bool
+}
+
+// New returns a governor enforcing limit bytes, or nil (inert) when
+// limit <= 0.
+func New(limit int) *Governor {
+	if limit <= 0 {
+		return nil
+	}
+	return &Governor{limit: limit, entries: make(map[int64]*entry), interval: BaseInterval}
+}
+
+// Limit returns the configured byte budget (0 for a nil governor).
+func (g *Governor) Limit() int {
+	if g == nil {
+		return 0
+	}
+	return g.limit
+}
+
+// Track registers sk under id, replacing any previous sketch with the
+// same id. IDs are caller-assigned; the engine uses window·P+partition
+// so the degradation order is reproducible.
+func (g *Governor) Track(id int64, sk sketch.Sketch) {
+	if g == nil || sk == nil {
+		return
+	}
+	g.entries[id] = &entry{id: id, sk: sk, foot: sketch.FootprintOf(sk)}
+}
+
+// Untrack forgets id (a fired window, an evicted pane).
+func (g *Governor) Untrack(id int64) {
+	if g == nil {
+		return
+	}
+	delete(g.entries, id)
+}
+
+// Tracked reports the number of tracked sketches.
+func (g *Governor) Tracked() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.entries)
+}
+
+// Degradations reports the cumulative successful Degrade calls.
+func (g *Governor) Degradations() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.degradations
+}
+
+// HighWater reports the maximum post-Enforce usage ever observed — the
+// bound the budget property test asserts never exceeds the limit (for
+// budgets above the degradation floor).
+func (g *Governor) HighWater() int {
+	if g == nil {
+		return 0
+	}
+	return g.highWater
+}
+
+// Usage refreshes and sums the tracked footprints.
+func (g *Governor) Usage() int {
+	if g == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range g.entries {
+		e.foot = sketch.FootprintOf(e.sk)
+		total += e.foot
+	}
+	return total
+}
+
+// Enforce refreshes the tracked footprints and, while the total exceeds
+// the budget, degrades the largest degradable sketch (ties by ascending
+// id). onDegrade, when non-nil, observes each successful step's id —
+// the engine uses it to attribute degradations to windows. The pass
+// ends when the total fits, or when every sketch is dead (refused or
+// freed nothing), reported as Exhausted.
+func (g *Governor) Enforce(onDegrade func(id int64)) Outcome {
+	if g == nil {
+		return Outcome{}
+	}
+	out := Outcome{Usage: g.Usage()}
+	if out.Usage <= g.limit {
+		g.note(out.Usage)
+		return out
+	}
+	order := g.order[:0]
+	for _, e := range g.entries {
+		e.dead = false
+		order = append(order, e)
+	}
+	g.order = order
+	for out.Usage > g.limit {
+		// Re-sort each step: a degraded sketch's footprint changed, and
+		// the next-largest victim must be chosen against fresh sizes.
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].foot != order[j].foot {
+				return order[i].foot > order[j].foot
+			}
+			return order[i].id < order[j].id
+		})
+		victim := (*entry)(nil)
+		for _, e := range order {
+			if !e.dead {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			out.Exhausted = true
+			break
+		}
+		d, ok := victim.sk.(sketch.Degrader)
+		if !ok {
+			victim.dead = true
+			continue
+		}
+		freed, err := d.Degrade()
+		if err != nil || freed <= 0 {
+			victim.dead = true
+			continue
+		}
+		victim.foot = sketch.FootprintOf(victim.sk)
+		out.Usage -= freed
+		out.Freed += freed
+		out.Degradations++
+		g.degradations++
+		if onDegrade != nil {
+			onDegrade(victim.id)
+		}
+	}
+	g.note(out.Usage)
+	return out
+}
+
+// Interval returns the current enforcement cadence in events: engines
+// re-run Enforce after this many processed events. It adapts after
+// every pass (see BaseInterval) and is a deterministic function of the
+// enforcement history, so cadence backoff never breaks bit-identity.
+// A nil governor reports an unreachable cadence.
+func (g *Governor) Interval() int {
+	if g == nil {
+		return int(^uint(0) >> 1)
+	}
+	return g.interval
+}
+
+// note records the post-enforcement usage high-water mark and adapts
+// the enforcement cadence to how close usage runs to the limit.
+func (g *Governor) note(usage int) {
+	if usage > g.highWater {
+		g.highWater = usage
+	}
+	if usage <= g.limit/2 {
+		if g.interval < BaseInterval<<6 {
+			g.interval <<= 1
+		}
+	} else {
+		g.interval = BaseInterval
+	}
+}

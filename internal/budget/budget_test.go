@@ -1,0 +1,198 @@
+package budget
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kll"
+	"repro/internal/moments"
+	"repro/internal/sketch"
+)
+
+func fill(s sketch.Sketch, n int, seed uint64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+	for i := 0; i < n; i++ {
+		s.Insert(rng.Float64() * 1000)
+	}
+}
+
+// TestNilGovernor pins that a nil governor (no budget configured) is
+// inert on every method — the unbudgeted hot path contract.
+func TestNilGovernor(t *testing.T) {
+	var g *Governor = New(0)
+	if g != nil {
+		t.Fatal("New(0) should return nil")
+	}
+	if New(-1) != nil {
+		t.Fatal("New(-1) should return nil")
+	}
+	g.Track(1, kll.New(64))
+	g.Untrack(1)
+	if g.Usage() != 0 || g.Limit() != 0 || g.Tracked() != 0 ||
+		g.Degradations() != 0 || g.HighWater() != 0 {
+		t.Error("nil governor reported non-zero state")
+	}
+	if out := g.Enforce(nil); out != (Outcome{}) {
+		t.Errorf("nil Enforce = %+v, want zero", out)
+	}
+}
+
+// TestUnderBudgetNoop pins that Enforce never degrades when the tracked
+// total already fits.
+func TestUnderBudgetNoop(t *testing.T) {
+	s := kll.NewWithSeed(128, 1)
+	fill(s, 10000, 1)
+	g := New(1 << 30)
+	g.Track(1, s)
+	out := g.Enforce(nil)
+	if out.Degradations != 0 || out.Exhausted || out.Freed != 0 {
+		t.Errorf("under-budget Enforce degraded: %+v", out)
+	}
+	if out.Usage != sketch.FootprintOf(s) {
+		t.Errorf("usage %d, want %d", out.Usage, sketch.FootprintOf(s))
+	}
+	if g.HighWater() != out.Usage {
+		t.Errorf("high water %d, want %d", g.HighWater(), out.Usage)
+	}
+}
+
+// TestEnforceLargestFirst pins the deterministic victim order: the
+// largest sketch degrades first, and a budget chosen between the two
+// footprints leaves the smaller sketch untouched.
+func TestEnforceLargestFirst(t *testing.T) {
+	big := kll.NewWithSeed(256, 2)
+	small := kll.NewWithSeed(32, 3)
+	fill(big, 50000, 2)
+	fill(small, 50000, 3)
+	bigFoot, smallFoot := sketch.FootprintOf(big), sketch.FootprintOf(small)
+	if bigFoot <= smallFoot {
+		t.Fatalf("test setup: big %d not larger than small %d", bigFoot, smallFoot)
+	}
+	// A budget that only the big sketch violates on its own.
+	g := New(bigFoot - 1 + smallFoot)
+	g.Track(1, big)
+	g.Track(2, small)
+	var order []int64
+	out := g.Enforce(func(id int64) { order = append(order, id) })
+	if len(order) == 0 || order[0] != 1 {
+		t.Fatalf("first victim %v, want sketch 1 (largest)", order)
+	}
+	if small.K() != 32 {
+		t.Errorf("small sketch degraded (k=%d) while big could still shrink", small.K())
+	}
+	if out.Usage > g.Limit() {
+		t.Errorf("post-enforce usage %d above limit %d", out.Usage, g.Limit())
+	}
+	if out.Exhausted {
+		t.Error("exhausted with a reachable budget")
+	}
+}
+
+// TestEnforceTieBreaksByID pins that equal footprints degrade in
+// ascending-id order, making budgeted runs reproducible.
+func TestEnforceTieBreaksByID(t *testing.T) {
+	a := kll.NewWithSeed(128, 4)
+	b := kll.NewWithSeed(128, 4)
+	fill(a, 20000, 4)
+	fill(b, 20000, 4) // same seed + data => identical footprint
+	if sketch.FootprintOf(a) != sketch.FootprintOf(b) {
+		t.Skip("identical builds diverged in footprint; tie unreachable")
+	}
+	g := New(sketch.FootprintOf(a) + sketch.FootprintOf(b) - 1)
+	g.Track(7, a)
+	g.Track(3, b)
+	var first int64 = -1
+	g.Enforce(func(id int64) {
+		if first < 0 {
+			first = id
+		}
+	})
+	if first != 3 {
+		t.Errorf("first victim id = %d, want 3 (lowest id wins ties)", first)
+	}
+}
+
+// TestEnforceExhausted pins the ladder hand-off: when nothing tracked
+// can shrink (moments is fixed-size), Enforce reports Exhausted instead
+// of spinning or panicking.
+func TestEnforceExhausted(t *testing.T) {
+	m := moments.New(moments.DefaultK)
+	fill(m, 1000, 5)
+	g := New(1) // impossible budget
+	g.Track(1, m)
+	out := g.Enforce(nil)
+	if !out.Exhausted {
+		t.Fatal("want Exhausted with only a fixed-size sketch tracked")
+	}
+	if out.Degradations != 0 {
+		t.Errorf("moments degraded %d times", out.Degradations)
+	}
+	// A degradable sketch also exhausts once it hits its floor.
+	k := kll.NewWithSeed(64, 6)
+	fill(k, 20000, 6)
+	g2 := New(1)
+	g2.Track(1, k)
+	out2 := g2.Enforce(nil)
+	if !out2.Exhausted {
+		t.Fatal("want Exhausted after degrading KLL to its floor")
+	}
+	if out2.Degradations == 0 {
+		t.Error("KLL should have degraded before exhausting")
+	}
+	if k.K() != 8 {
+		t.Errorf("KLL left at k=%d, want floor 8", k.K())
+	}
+}
+
+// TestUntrackReleases pins that untracked sketches stop counting toward
+// usage and are never degraded.
+func TestUntrackReleases(t *testing.T) {
+	a := kll.NewWithSeed(128, 7)
+	b := kll.NewWithSeed(128, 8)
+	fill(a, 20000, 7)
+	fill(b, 20000, 8)
+	g := New(1 << 30)
+	g.Track(1, a)
+	g.Track(2, b)
+	full := g.Usage()
+	g.Untrack(1)
+	if got := g.Usage(); got >= full {
+		t.Errorf("usage %d did not drop from %d after Untrack", got, full)
+	}
+	if g.Tracked() != 1 {
+		t.Errorf("tracked %d, want 1", g.Tracked())
+	}
+	// Now force enforcement: only b may degrade.
+	g2 := New(1)
+	g2.Track(1, a)
+	g2.Untrack(1)
+	g2.Track(2, b)
+	g2.Enforce(func(id int64) {
+		if id == 1 {
+			t.Error("degraded an untracked sketch")
+		}
+	})
+	if a.K() != 128 {
+		t.Errorf("untracked sketch degraded to k=%d", a.K())
+	}
+}
+
+// TestDegradationsAccumulate pins the cumulative counter across
+// multiple Enforce passes as sketches regrow.
+func TestDegradationsAccumulate(t *testing.T) {
+	s := kll.NewWithSeed(256, 9)
+	fill(s, 50000, 9)
+	g := New(sketch.FootprintOf(s) / 2)
+	g.Track(1, s)
+	out1 := g.Enforce(nil)
+	if out1.Degradations == 0 {
+		t.Fatal("first pass did not degrade")
+	}
+	if g.Degradations() != int64(out1.Degradations) {
+		t.Errorf("cumulative %d, want %d", g.Degradations(), out1.Degradations)
+	}
+	out2 := g.Enforce(nil)
+	if want := int64(out1.Degradations + out2.Degradations); g.Degradations() != want {
+		t.Errorf("cumulative %d after second pass, want %d", g.Degradations(), want)
+	}
+}

@@ -1,0 +1,181 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// IsTransient is the default transient-vs-permanent classifier for
+// store errors. Transient failures (EIO on a flaky disk, EINTR,
+// EAGAIN, timeouts, anything advertising net.Error-style Temporary or
+// Timeout) are worth retrying; structural failures (missing snapshot,
+// corrupt envelope) never heal by retry and are returned immediately.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	// Structural store/codec errors are permanent by definition.
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrNoSnapshot) ||
+		errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) {
+		return false
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EIO, syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	var temp interface{ Temporary() bool }
+	if errors.As(err, &temp) && temp.Temporary() {
+		return true
+	}
+	var to interface{ Timeout() bool }
+	if errors.As(err, &to) && to.Timeout() {
+		return true
+	}
+	return false
+}
+
+// RetryStore wraps a Store with bounded retries for transient faults,
+// using capped decorrelated-jitter backoff (the AWS architecture-blog
+// scheme: each delay is uniform in [base, 3·prev], capped). Retrying
+// a checkpoint Put only affects when the snapshot lands, never what it
+// contains — the engine's windows stay bit-identical — so retries are
+// safe to layer under any engine configuration.
+//
+// The zero-value knobs get production defaults on first use; tests
+// override Sleep to run instantly and MaxElapsed to bound the loop.
+// The backoff state is unsynchronized: RetryStore expects the engine's
+// single snapshotting goroutine, like DirStore.
+type RetryStore struct {
+	// Inner is the wrapped store. Required.
+	Inner Store
+
+	// MaxElapsed bounds the total time spent on one operation,
+	// attempts included (default 30s). The deadline is checked before
+	// each sleep; the attempt in flight is never interrupted.
+	MaxElapsed time.Duration
+	// BaseDelay is the minimum backoff (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff step (default 500ms).
+	MaxDelay time.Duration
+
+	// IsTransient classifies errors; nil means the package-level
+	// IsTransient.
+	IsTransient func(error) bool
+	// Sleep is the delay function; nil means time.Sleep. Tests inject
+	// a recorder to run instantly and assert the backoff sequence.
+	Sleep func(time.Duration)
+	// Now is the clock; nil means time.Now. Tests inject a fake to
+	// drive the deadline.
+	Now func() time.Time
+	// Retries, when non-nil, counts every retried attempt — wired to
+	// EngineMetrics.CheckpointRetries by quantbench.
+	Retries *obs.Counter
+
+	// rng is the decorrelated-jitter state, seeded lazily from the
+	// first operation's inputs so the sequence is reproducible.
+	rng uint64
+}
+
+// ErrRetriesExhausted wraps the last transient error when the deadline
+// expires before an attempt succeeds.
+var ErrRetriesExhausted = errors.New("checkpoint: retries exhausted")
+
+func (r *RetryStore) defaults() (maxElapsed, base, maxDelay time.Duration,
+	isTransient func(error) bool, sleep func(time.Duration), now func() time.Time) {
+	maxElapsed = r.MaxElapsed
+	if maxElapsed <= 0 {
+		maxElapsed = 30 * time.Second
+	}
+	base = r.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxDelay = r.MaxDelay
+	if maxDelay < base {
+		maxDelay = 500 * time.Millisecond
+		if maxDelay < base {
+			maxDelay = base
+		}
+	}
+	isTransient = r.IsTransient
+	if isTransient == nil {
+		isTransient = IsTransient
+	}
+	sleep = r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	now = r.Now
+	if now == nil {
+		now = time.Now
+	}
+	return
+}
+
+// jitter advances the inline xorshift state and returns a duration
+// uniform in [base, hi] (hi >= base).
+func (r *RetryStore) jitter(base, hi time.Duration) time.Duration {
+	if r.rng == 0 {
+		r.rng = 0x9e3779b97f4a7c15
+	}
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	if hi <= base {
+		return base
+	}
+	return base + time.Duration(x%uint64(hi-base+1))
+}
+
+// do runs op with the retry loop; what labels errors.
+func (r *RetryStore) do(what string, op func() error) error {
+	maxElapsed, base, maxDelay, isTransient, sleep, now := r.defaults()
+	deadline := now().Add(maxElapsed)
+	prev := base
+	for {
+		err := op()
+		if err == nil || !isTransient(err) {
+			return err
+		}
+		if !now().Before(deadline) {
+			return fmt.Errorf("%w: %s: %w", ErrRetriesExhausted, what, err)
+		}
+		// Decorrelated jitter: uniform in [base, 3·prev], capped.
+		hi := 3 * prev
+		if hi > maxDelay {
+			hi = maxDelay
+		}
+		d := r.jitter(base, hi)
+		prev = d
+		r.Retries.Inc()
+		sleep(d)
+	}
+}
+
+// Put implements Store with retries.
+func (r *RetryStore) Put(seq uint64, data []byte) error {
+	return r.do("put", func() error { return r.Inner.Put(seq, data) })
+}
+
+// Get implements Store with retries.
+func (r *RetryStore) Get(seq uint64) ([]byte, error) {
+	var data []byte
+	err := r.do("get", func() (e error) { data, e = r.Inner.Get(seq); return })
+	return data, err
+}
+
+// Seqs implements Store with retries.
+func (r *RetryStore) Seqs() ([]uint64, error) {
+	var seqs []uint64
+	err := r.do("seqs", func() (e error) { seqs, e = r.Inner.Seqs(); return })
+	return seqs, err
+}

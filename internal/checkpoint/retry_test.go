@@ -1,0 +1,169 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flakyStore fails the first failN Puts with err, then delegates.
+type flakyStore struct {
+	Store
+	failN int
+	err   error
+	puts  int
+}
+
+func (f *flakyStore) Put(seq uint64, data []byte) error {
+	f.puts++
+	if f.puts <= f.failN {
+		return f.err
+	}
+	return f.Store.Put(seq, data)
+}
+
+// TestIsTransient pins the default classifier.
+func TestIsTransient(t *testing.T) {
+	transient := []error{
+		syscall.EIO,
+		fmt.Errorf("wrapped: %w", syscall.EINTR),
+		syscall.EAGAIN,
+		syscall.ETIMEDOUT,
+	}
+	for _, err := range transient {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		ErrNotFound,
+		ErrNoSnapshot,
+		ErrCorrupt,
+		ErrVersion,
+		fmt.Errorf("wrapped: %w", ErrCorrupt),
+		errors.New("some logic bug"),
+	}
+	for _, err := range permanent {
+		if IsTransient(err) {
+			t.Errorf("IsTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestRetryStorePutRecovers pins the happy retry path: transient EIO
+// failures are absorbed, the payload lands intact, and the retry
+// counter reflects every retried attempt.
+func TestRetryStorePutRecovers(t *testing.T) {
+	inner := &flakyStore{Store: NewMemStore(), failN: 3, err: fmt.Errorf("disk: %w", syscall.EIO)}
+	var slept []time.Duration
+	var retries obs.Counter
+	rs := &RetryStore{
+		Inner:   inner,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+		Retries: &retries,
+	}
+	if err := rs.Put(7, []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if inner.puts != 4 {
+		t.Errorf("inner saw %d puts, want 4 (3 failures + success)", inner.puts)
+	}
+	if retries.Load() != 3 {
+		t.Errorf("retry counter = %d, want 3", retries.Load())
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	base, cap := 5*time.Millisecond, 500*time.Millisecond
+	prev := base
+	for i, d := range slept {
+		hi := 3 * prev
+		if hi > cap {
+			hi = cap
+		}
+		if d < base || d > hi {
+			t.Errorf("sleep %d = %v outside decorrelated-jitter range [%v, %v]", i, d, base, hi)
+		}
+		prev = d
+	}
+	got, err := rs.Get(7)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get after retries = %q, %v", got, err)
+	}
+}
+
+// TestRetryStorePermanentFailsFast pins that permanent errors are
+// returned immediately, unretried.
+func TestRetryStorePermanentFailsFast(t *testing.T) {
+	inner := &flakyStore{Store: NewMemStore(), failN: 100, err: fmt.Errorf("decode: %w", ErrCorrupt)}
+	rs := &RetryStore{
+		Inner: inner,
+		Sleep: func(time.Duration) { t.Fatal("slept on a permanent error") },
+	}
+	if err := rs.Put(1, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Put = %v, want ErrCorrupt through", err)
+	}
+	if inner.puts != 1 {
+		t.Errorf("inner saw %d puts, want 1", inner.puts)
+	}
+	if _, err := rs.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound fast", err)
+	}
+}
+
+// TestRetryStoreDeadline pins the bounded-retry contract: a fault that
+// never clears exhausts the deadline and surfaces the last error.
+func TestRetryStoreDeadline(t *testing.T) {
+	inner := &flakyStore{Store: NewMemStore(), failN: 1 << 30, err: syscall.EIO}
+	now := time.Unix(0, 0)
+	rs := &RetryStore{
+		Inner:      inner,
+		MaxElapsed: time.Second,
+		Sleep:      func(d time.Duration) { now = now.Add(d) },
+		Now:        func() time.Time { return now },
+	}
+	err := rs.Put(1, []byte("x"))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("Put = %v, want ErrRetriesExhausted", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("exhaustion error %v does not wrap the last cause", err)
+	}
+	if inner.puts < 2 {
+		t.Errorf("inner saw %d puts, want at least one retry before giving up", inner.puts)
+	}
+}
+
+// TestRetryStoreSeqs pins that reads are retried too.
+type flakySeqs struct {
+	Store
+	fails int
+}
+
+func (f *flakySeqs) Seqs() ([]uint64, error) {
+	if f.fails > 0 {
+		f.fails--
+		return nil, syscall.EAGAIN
+	}
+	return f.Store.Seqs()
+}
+
+func TestRetryStoreSeqs(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Put(3, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	rs := &RetryStore{
+		Inner: &flakySeqs{Store: mem, fails: 2},
+		Sleep: func(time.Duration) {},
+	}
+	seqs, err := rs.Seqs()
+	if err != nil || len(seqs) != 1 || seqs[0] != 3 {
+		t.Fatalf("Seqs = %v, %v", seqs, err)
+	}
+}

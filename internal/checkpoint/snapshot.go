@@ -87,6 +87,16 @@ type Snapshot struct {
 	// optional trailer after Windows, so tumbling snapshots keep their
 	// historical byte layout and old blobs still decode.
 	Panes []PaneSnap
+	// ShedBudget counts events shed by the memory-budget governor's
+	// last rung, extending the accounting identity to
+	// Generated == Accepted + DroppedLate + RejectedInput + ShedBudget.
+	// It rides in an optional extension trailer (marker U32(0), which
+	// no pane trailer can start with — pane counts are >= 1) written
+	// only when non-zero, so unbudgeted snapshots keep their historical
+	// byte layout. Per-window degradation counts are deliberately not
+	// persisted: the degraded sketch state itself is exact in the
+	// partial blobs, and the counts reset on resume.
+	ShedBudget int64
 }
 
 // EncodeSnapshot serializes s and seals it in an "engine-snapshot"
@@ -151,6 +161,10 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 				w.Byte(0)
 			}
 		}
+	}
+	if s.ShedBudget != 0 {
+		w.U32(0) // extension-trailer marker; a pane count is never 0
+		w.I64(s.ShedBudget)
 	}
 	return Seal(snapshotName, w.Bytes())
 }
@@ -220,27 +234,46 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, r.Err()
 	}
 	// Optional pane trailer: present only for pane-sharing sliding
-	// snapshots, absent in tumbling (and pre-pane) blobs.
+	// snapshots, absent in tumbling (and pre-pane) blobs. A leading
+	// U32 of 0 is instead the extension-trailer marker (pane counts
+	// are always >= 1).
 	if r.Remaining() != 0 {
 		nPane := int(r.U32())
-		if r.Err() != nil || nPane < 1 || nPane > maxCount(r, 18) {
+		if r.Err() != nil || nPane < 0 || nPane > maxCount(r, 18) {
 			return nil, ErrCorrupt
 		}
-		s.Panes = make([]PaneSnap, nPane)
-		for i := range s.Panes {
-			p := &s.Panes[i]
-			p.Index = r.I64()
-			p.Accepted = r.I64()
-			if r.Byte() == 1 {
-				p.HasValues = true
-				p.Values = r.F64s()
+		if nPane > 0 {
+			s.Panes = make([]PaneSnap, nPane)
+			for i := range s.Panes {
+				p := &s.Panes[i]
+				p.Index = r.I64()
+				p.Accepted = r.I64()
+				if r.Byte() == 1 {
+					p.HasValues = true
+					p.Values = r.F64s()
+				}
+				if r.Byte() == 1 {
+					p.Sketch = r.Blob()
+				}
 			}
-			if r.Byte() == 1 {
-				p.Sketch = r.Blob()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			// The pane trailer may itself be followed by the extension
+			// trailer; consume its marker if present.
+			if r.Remaining() != 0 {
+				if r.U32() != 0 || r.Err() != nil {
+					return nil, ErrCorrupt
+				}
+				nPane = 0
 			}
 		}
-		if r.Err() != nil {
-			return nil, r.Err()
+		if nPane == 0 {
+			// Extension trailer (marker already consumed).
+			s.ShedBudget = r.I64()
+			if r.Err() != nil || s.ShedBudget < 0 {
+				return nil, ErrCorrupt
+			}
 		}
 	}
 	if r.Remaining() != 0 {

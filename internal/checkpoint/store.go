@@ -87,10 +87,11 @@ const (
 )
 
 // DirStore persists snapshots as files in a directory, one per
-// sequence number. Put writes to a temp file in the same directory and
-// renames it into place, so a crash mid-write never leaves a partial
-// snapshot under the final name (rename is atomic on POSIX
-// filesystems).
+// sequence number. Put writes to a temp file in the same directory,
+// fsyncs it, renames it into place, and fsyncs the directory, so a
+// crash mid-write never leaves a partial snapshot under the final name
+// (rename is atomic on POSIX filesystems) and a crash right after Put
+// returns cannot lose the directory entry itself.
 type DirStore struct {
 	dir string
 }
@@ -111,7 +112,11 @@ func (d *DirStore) Path(seq uint64) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix))
 }
 
-// Put implements Store: write-to-temp, fsync, rename.
+// Put implements Store: write-to-temp, fsync, rename, fsync the
+// directory. Without the final directory sync the rename itself is not
+// durable: a power loss after Put returns could roll the directory back
+// to a state where the snapshot never existed, which breaks the
+// contract RetryStore and the recovery loop build on.
 func (d *DirStore) Put(seq uint64, data []byte) error {
 	f, err := os.CreateTemp(d.dir, snapPrefix+"*.tmp")
 	if err != nil {
@@ -136,6 +141,19 @@ func (d *DirStore) Put(seq uint64, data []byte) error {
 	if err := os.Rename(tmp, d.Path(seq)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return d.syncDir()
+}
+
+// syncDir fsyncs the store directory, making completed renames durable.
+func (d *DirStore) syncDir() error {
+	dir, err := os.Open(d.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
 	}
 	return nil
 }

@@ -71,6 +71,12 @@ type Shared interface {
 	// concurrently inserting (a quiescent point: end of stream, end of
 	// test, checkpoint barrier).
 	Flush()
+	// Footprint estimates the shared sketch's resident heap bytes —
+	// the published sketch state plus every writer's buffer capacity —
+	// so a memory-budget governor can account for shared ingestion
+	// alongside the per-window sketches. Safe to call concurrently with
+	// writers; the estimate is a relaxed read like Snapshot.
+	Footprint() int
 }
 
 // bufSink absorbs one writer's full buffer into the shared sketch.

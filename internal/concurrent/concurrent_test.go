@@ -447,3 +447,41 @@ func TestConcurrentWritersReaders(t *testing.T) {
 		})
 	}
 }
+
+// TestSharedFootprint pins the budget-governor accounting surface: a
+// fresh shared sketch already charges its writer buffers at capacity,
+// and the footprint grows as state is published (KLL samples, DDSketch
+// counter pages).
+func TestSharedFootprint(t *testing.T) {
+	const writers, bufSize = 4, 256
+	bufBytes := writers * bufSize * 8
+
+	k := NewKLL(kll.DefaultK, writers, bufSize)
+	if got := k.Footprint(); got < bufBytes {
+		t.Errorf("fresh SharedKLL footprint %d < buffer capacity %d", got, bufBytes)
+	}
+	base := k.Footprint()
+	w := k.Writer(0)
+	for _, v := range testValues(8 * bufSize) {
+		w.Insert(v)
+	}
+	if got := k.Footprint(); got <= base {
+		t.Errorf("SharedKLL footprint did not grow after handoffs: %d <= %d", got, base)
+	}
+
+	d, err := NewDDSketch(0.01, writers, bufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = d.Footprint()
+	if base < bufBytes {
+		t.Errorf("fresh SharedDDSketch footprint %d < buffer capacity %d", base, bufBytes)
+	}
+	w = d.Writer(0)
+	for _, v := range testValues(4 * bufSize) {
+		w.Insert(v)
+	}
+	if got := d.Footprint(); got <= base {
+		t.Errorf("SharedDDSketch footprint did not grow after page installs: %d <= %d", got, base)
+	}
+}

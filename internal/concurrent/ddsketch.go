@@ -355,3 +355,19 @@ func (s *SharedDDSketch) Flush() {
 		w.Flush()
 	}
 }
+
+// Footprint implements Shared: the page directories, every installed
+// counter page (512 B each), and the writer buffers' full capacity.
+// Page pointers are loaded atomically, so the estimate is a relaxed
+// cut like copyInto's.
+func (s *SharedDDSketch) Footprint() int {
+	total := (len(s.pos.pages) + len(s.neg.pages)) * 8 // directories
+	for _, st := range []*atomicStore{s.pos, s.neg} {
+		for p := range st.pages {
+			if st.pages[p].Load() != nil {
+				total += pageLen * 8
+			}
+		}
+	}
+	return total + len(s.writers)*s.bufSize*8
+}

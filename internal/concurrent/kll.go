@@ -97,6 +97,13 @@ func (s *SharedKLL) Epoch() uint64 { return s.state.Load().epoch }
 // Count implements Shared.
 func (s *SharedKLL) Count() uint64 { return s.state.Load().sk.Count() }
 
+// Footprint implements Shared: the published sketch's footprint plus
+// the writer buffers' full capacity (they fill and drain continuously,
+// so capacity, not length, is the resident cost).
+func (s *SharedKLL) Footprint() int {
+	return s.state.Load().sk.Footprint() + len(s.writers)*s.bufSize*8
+}
+
 // Flush implements Shared. Quiescent-only: see the interface contract.
 func (s *SharedKLL) Flush() {
 	for _, w := range s.writers {

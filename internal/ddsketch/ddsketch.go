@@ -457,6 +457,117 @@ func (s *Sketch) MemoryBytes() int {
 	return 8 * numbers
 }
 
+// Footprint implements sketch.Footprinter: the structural store bytes
+// plus the InsertBatch staging scratch the sketch retains across calls.
+func (s *Sketch) Footprint() int {
+	return s.MemoryBytes() + 8*(cap(s.posScratch)+cap(s.negScratch))
+}
+
+// minDegradeBuckets is the per-store floor below which Degrade refuses
+// to collapse further: with so few buckets left a collapse frees almost
+// nothing and the store is already a coarse histogram.
+const minDegradeBuckets = 4
+
+// Degrade implements sketch.Degrader: collapse the lowest-value half of
+// each store's non-empty buckets into the lowest surviving bucket —
+// lowest indices of the positive store, highest (most negative) indices
+// of the negative store — rebuilding the stores so dense spans and
+// paginated pages actually shrink. The mapping is untouched, so the
+// degraded sketch merges with any sketch of the same γ, and values
+// above the collapsed region keep the full α guarantee; like the
+// reference CollapsingLowestDenseStore, only the lowest quantiles'
+// relative-error guarantee is forfeited (estimates there remain clamped
+// to the exact [min, max]).
+func (s *Sketch) Degrade() (int, error) {
+	before := s.Footprint()
+	count := s.Count()
+	collapsed := false
+	if st, did := s.collapseExtreme(s.positive, true); did {
+		s.positive = st
+		collapsed = true
+	}
+	if st, did := s.collapseExtreme(s.negative, false); did {
+		s.negative = st
+		collapsed = true
+	}
+	if !collapsed {
+		return 0, sketch.ErrNotDegradable
+	}
+	s.posScratch, s.negScratch = nil, nil
+	s.assertCount("degrade", count)
+	freed := before - s.Footprint()
+	if freed < 0 {
+		freed = 0
+	}
+	return freed, nil
+}
+
+// collapseExtreme rebuilds st with the half of its buckets holding the
+// most extreme low values folded into the lowest surviving bucket. low
+// selects which end is extreme: the low-index end (positive store) or
+// the high-index end (negative store, where higher index = more
+// negative value).
+func (s *Sketch) collapseExtreme(st Store, low bool) (Store, bool) {
+	nb := st.NonEmptyBuckets()
+	if nb < minDegradeBuckets {
+		return st, false
+	}
+	drop := nb / 2 // buckets folded away
+	ns := s.storeFn()
+	if low {
+		// Fold the `drop` lowest buckets into the lowest survivor.
+		seen := 0
+		var boundary int
+		st.ForEach(func(i int, c int64) bool {
+			if seen < drop {
+				seen++
+				boundary = i // grows until the last folded bucket
+				return true
+			}
+			if seen == drop {
+				seen++
+				boundary = i // the lowest surviving bucket
+			}
+			return false
+		})
+		st.ForEach(func(i int, c int64) bool {
+			if i < boundary {
+				ns.Add(boundary, c)
+			} else {
+				ns.Add(i, c)
+			}
+			return true
+		})
+	} else {
+		// Fold the `drop` highest buckets into the highest survivor.
+		keep := nb - drop
+		seen := 0
+		boundary := 0
+		st.ForEach(func(i int, c int64) bool {
+			seen++
+			boundary = i
+			return seen < keep // stops at the highest surviving bucket
+		})
+		st.ForEach(func(i int, c int64) bool {
+			if i > boundary {
+				ns.Add(boundary, c)
+			} else {
+				ns.Add(i, c)
+			}
+			return true
+		})
+	}
+	return ns, true
+}
+
+// AccuracyBound implements sketch.AccuracyBounder: the mapping's
+// relative accuracy α, which store collapses do not change — Degrade
+// instead narrows the value range over which α holds (quantiles below
+// the collapsed boundary lose the guarantee), so budget-degraded
+// DDSketch windows are flagged by their degradation count rather than
+// a larger bound.
+func (s *Sketch) AccuracyBound() float64 { return s.mapping.Alpha() }
+
 // NonEmptyBuckets reports the number of non-empty buckets across both
 // stores (the statistic the paper tracks in Sec 4.3).
 func (s *Sketch) NonEmptyBuckets() int {

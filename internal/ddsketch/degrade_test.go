@@ -1,0 +1,110 @@
+package ddsketch
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// TestDegrade pins the sketch.Degrader contract for DDSketch: each step
+// halves the non-empty bucket count by folding the lowest-value region,
+// conserves the count exactly, leaves upper quantiles within the α
+// guarantee, and eventually refuses with ErrNotDegradable.
+func TestDegrade(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		s    *Sketch
+	}{
+		{"dense", New(0.01)},
+		{"paginated", NewPaginated(0.01)},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			s := mk.s
+			rng := rand.New(rand.NewPCG(1, 2))
+			const n = 50000
+			for i := 0; i < n; i++ {
+				x := rng.ExpFloat64() * 100
+				if i%10 == 0 {
+					x = -x // exercise the negative store too
+				}
+				s.Insert(x)
+			}
+			p99Before, err := s.Quantile(0.99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One degrade step folds the lowest half of the buckets: the
+			// upper tail keeps its α guarantee (boundary well below p99).
+			if _, err := s.Degrade(); err != nil {
+				t.Fatalf("first degrade: %v", err)
+			}
+			p99After, err := s.Quantile(0.99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(p99After-p99Before) / p99Before; rel > 3*s.Alpha() {
+				t.Errorf("p99 moved %.2f%% after one degrade (%v -> %v)", rel*100, p99Before, p99After)
+			}
+			buckets := s.NonEmptyBuckets()
+			steps := 1
+			for {
+				freed, err := s.Degrade()
+				if errors.Is(err, sketch.ErrNotDegradable) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("degrade step %d: %v", steps, err)
+				}
+				steps++
+				if freed < 0 {
+					t.Fatalf("step %d: negative freed %d", steps, freed)
+				}
+				if s.Count() != n {
+					t.Fatalf("step %d: count %d, want %d", steps, s.Count(), n)
+				}
+				if nb := s.NonEmptyBuckets(); nb >= buckets {
+					t.Fatalf("step %d: buckets %d did not shrink from %d", steps, nb, buckets)
+				} else {
+					buckets = nb
+				}
+			}
+			if steps < 3 {
+				t.Fatalf("only %d degrade steps before exhaustion", steps)
+			}
+			// After degradation to exhaustion (a handful of buckets per
+			// store) no quantile keeps the α guarantee, but estimates stay
+			// clamped to the exact observed range.
+			if lo, _ := s.Quantile(0.001); lo < s.min || lo > s.max {
+				t.Errorf("low quantile %v escaped [%v, %v]", lo, s.min, s.max)
+			}
+		})
+	}
+}
+
+// TestDegradeMergesWithFresh pins that a degraded DDSketch still merges
+// with an undegraded sketch of the same mapping: Degrade collapses the
+// store but never touches γ.
+func TestDegradeMergesWithFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	degraded, fresh := New(0.01), New(0.01)
+	for i := 0; i < 20000; i++ {
+		degraded.Insert(rng.ExpFloat64() * 10)
+		fresh.Insert(rng.ExpFloat64() * 10)
+	}
+	if _, err := degraded.Degrade(); err != nil {
+		t.Fatal(err)
+	}
+	want := degraded.Count() + fresh.Count()
+	if err := fresh.Merge(degraded); err != nil {
+		t.Fatalf("fresh.Merge(degraded): %v", err)
+	}
+	if fresh.Count() != want {
+		t.Errorf("merged count = %d, want %d", fresh.Count(), want)
+	}
+	if _, err := fresh.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+}

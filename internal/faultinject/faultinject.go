@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -60,6 +61,21 @@ type Plan struct {
 	corruptMode  string
 	corruptArmed bool
 	corruptFired atomic.Bool
+
+	// Transient store faults: unlike corruption (silent damage), these
+	// make Put fail loudly in ways a retrying store can absorb.
+	eioSeq   uint64
+	eioLeft  atomic.Int64 // failures remaining; <= 0 disarms
+	eioArmed bool
+
+	slowSeq   uint64
+	slowDur   time.Duration
+	slowArmed bool
+	slowFired atomic.Bool
+
+	tornSeq   uint64
+	tornArmed bool
+	tornFired atomic.Bool
 }
 
 // New returns an empty (inert) Plan.
@@ -107,6 +123,39 @@ func (p *Plan) WithCorruptCheckpoint(seq uint64, mode string) *Plan {
 	return p
 }
 
+// WithEIO arms a transient write failure: the Put for checkpoint seq
+// fails its first n attempts with an error wrapping syscall.EIO, then
+// succeeds — the shape checkpoint.RetryStore is built to absorb.
+func (p *Plan) WithEIO(seq uint64, n int64) *Plan {
+	if n < 1 {
+		panic("faultinject: eio failure count must be >= 1")
+	}
+	p.eioSeq, p.eioArmed = seq, true
+	p.eioLeft.Store(n)
+	return p
+}
+
+// WithSlowPut arms a one-shot stall on the Put for checkpoint seq: the
+// write sleeps for d before reaching the store, modelling a disk that
+// went away briefly without failing.
+func (p *Plan) WithSlowPut(seq uint64, d time.Duration) *Plan {
+	if d < 0 {
+		panic("faultinject: slow duration must be >= 0")
+	}
+	p.slowSeq, p.slowDur, p.slowArmed = seq, d, true
+	return p
+}
+
+// WithTornPut arms a one-shot torn write on checkpoint seq: the first
+// Put writes only half the payload to the store and then reports EIO,
+// so a retry must overwrite the partial record. Against DirStore the
+// half-written file lands under the final name, exercising both the
+// retry path and the envelope checksum that guards reads.
+func (p *Plan) WithTornPut(seq uint64) *Plan {
+	p.tornSeq, p.tornArmed = seq, true
+	return p
+}
+
 // OnEvent is the per-insert hook: worker is the inserting worker,
 // part the event's partition, workerEvent and partEvent the
 // worker-local and partition-local insert counts (zero-based). It may
@@ -134,17 +183,18 @@ func (p *Plan) DuplicateBatch(shipped int64) bool {
 	return p.dupFired.CompareAndSwap(false, true)
 }
 
-// WrapStore wraps store so the configured checkpoint corruption is
-// applied on Put. With no corruption armed (or a nil Plan) it returns
-// store unchanged.
+// WrapStore wraps store so the configured checkpoint faults (silent
+// corruption and the loud transient failures) are applied on Put. With
+// no store fault armed (or a nil Plan) it returns store unchanged.
 func (p *Plan) WrapStore(store checkpoint.Store) checkpoint.Store {
-	if p == nil || !p.corruptArmed || store == nil {
+	if p == nil || store == nil ||
+		(!p.corruptArmed && !p.eioArmed && !p.slowArmed && !p.tornArmed) {
 		return store
 	}
 	return &corruptingStore{Store: store, plan: p}
 }
 
-// corruptingStore damages the configured sequence number on Put.
+// corruptingStore applies the plan's checkpoint faults on Put.
 type corruptingStore struct {
 	checkpoint.Store
 	plan *Plan
@@ -152,7 +202,22 @@ type corruptingStore struct {
 
 func (c *corruptingStore) Put(seq uint64, data []byte) error {
 	p := c.plan
-	if seq == p.corruptSeq && p.corruptFired.CompareAndSwap(false, true) {
+	if p.slowArmed && seq == p.slowSeq && p.slowFired.CompareAndSwap(false, true) {
+		time.Sleep(p.slowDur)
+	}
+	if p.tornArmed && seq == p.tornSeq && p.tornFired.CompareAndSwap(false, true) {
+		// Land the partial record under the final key, then fail: only
+		// a retry (or the envelope checksum at read time) saves us.
+		_ = c.Store.Put(seq, data[:len(data)/2])
+		return fmt.Errorf("faultinject: torn write at seq %d: %w", seq, syscall.EIO)
+	}
+	if p.eioArmed && seq == p.eioSeq && p.eioLeft.Load() > 0 {
+		if left := p.eioLeft.Add(-1); left >= 0 {
+			return fmt.Errorf("faultinject: transient write failure at seq %d (%d more): %w",
+				seq, left, syscall.EIO)
+		}
+	}
+	if p.corruptArmed && seq == p.corruptSeq && p.corruptFired.CompareAndSwap(false, true) {
 		switch p.corruptMode {
 		case CorruptTruncate:
 			data = data[:len(data)/2]
@@ -173,8 +238,11 @@ func (c *corruptingStore) Put(seq uint64, data []byte) error {
 //	stall@p<part>:<event>:<duration> stall partition part for duration
 //	dup@<batch>                      deliver the batch-th batch twice
 //	corrupt@<seq>:truncate|bitflip   damage checkpoint seq on Put
+//	eio@<seq>:<n>                    fail checkpoint seq's first n Puts with EIO
+//	slow@<seq>:<duration>            stall checkpoint seq's Put once
+//	torn@<seq>                       write half of checkpoint seq, then fail once
 //
-// Example: -fault "panic@w1:5000,corrupt@2:bitflip".
+// Example: -fault "panic@w1:5000,corrupt@2:bitflip,eio@3:2".
 func Parse(spec string) (*Plan, error) {
 	p := New()
 	for _, part := range strings.Split(spec, ",") {
@@ -225,8 +293,30 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faultinject: %q: want corrupt@<seq>:truncate|bitflip", part)
 			}
 			p.WithCorruptCheckpoint(seq, mode)
+		case "eio":
+			seqStr, nStr, okC := strings.Cut(arg, ":")
+			seq, err1 := strconv.ParseUint(seqStr, 10, 64)
+			n, err2 := strconv.ParseInt(nStr, 10, 64)
+			if !okC || err1 != nil || err2 != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: %q: want eio@<seq>:<n>", part)
+			}
+			p.WithEIO(seq, n)
+		case "slow":
+			seqStr, dStr, okC := strings.Cut(arg, ":")
+			seq, err1 := strconv.ParseUint(seqStr, 10, 64)
+			d, err2 := time.ParseDuration(dStr)
+			if !okC || err1 != nil || err2 != nil || d < 0 {
+				return nil, fmt.Errorf("faultinject: %q: want slow@<seq>:<duration>", part)
+			}
+			p.WithSlowPut(seq, d)
+		case "torn":
+			seq, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %q: want torn@<seq>", part)
+			}
+			p.WithTornPut(seq)
 		default:
-			return nil, fmt.Errorf("faultinject: unknown fault kind %q (panic, stall, dup, corrupt)", kind)
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q (panic, stall, dup, corrupt, eio, slow, torn)", kind)
 		}
 	}
 	return p, nil

@@ -74,6 +74,70 @@ func TestCorruptingStore(t *testing.T) {
 	}
 }
 
+func TestEIOStore(t *testing.T) {
+	inner := checkpoint.NewMemStore()
+	p := New().WithEIO(2, 2)
+	store := p.WrapStore(inner)
+	if err := store.Put(1, []byte{9}); err != nil {
+		t.Fatalf("untargeted seq failed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		err := store.Put(2, []byte{1, 2})
+		if err == nil {
+			t.Fatalf("attempt %d: eio fault did not fire", i)
+		}
+		if !checkpoint.IsTransient(err) {
+			t.Fatalf("attempt %d: eio error %v not classified transient", i, err)
+		}
+	}
+	if err := store.Put(2, []byte{1, 2}); err != nil {
+		t.Fatalf("third attempt should succeed: %v", err)
+	}
+	if got, _ := inner.Get(2); string(got) != string([]byte{1, 2}) {
+		t.Errorf("payload after recovery = %v", got)
+	}
+}
+
+func TestTornPutStore(t *testing.T) {
+	inner := checkpoint.NewMemStore()
+	p := New().WithTornPut(1)
+	store := p.WrapStore(inner)
+	payload := []byte{1, 2, 3, 4, 5, 6}
+	err := store.Put(1, payload)
+	if err == nil || !checkpoint.IsTransient(err) {
+		t.Fatalf("torn put error = %v, want transient failure", err)
+	}
+	// The partial record landed — exactly the hazard the envelope
+	// checksum and the retry overwrite exist for.
+	if got, _ := inner.Get(1); len(got) != len(payload)/2 {
+		t.Fatalf("partial record = %v, want half of %v", got, payload)
+	}
+	if err := store.Put(1, payload); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	if got, _ := inner.Get(1); string(got) != string(payload) {
+		t.Errorf("record after retry = %v", got)
+	}
+}
+
+// TestRetryStoreAbsorbsInjectedFaults is the integration seam: a
+// faultinject-wrapped store under checkpoint.RetryStore completes
+// without the caller ever seeing an error.
+func TestRetryStoreAbsorbsInjectedFaults(t *testing.T) {
+	inner := checkpoint.NewMemStore()
+	p := New().WithEIO(1, 3)
+	rs := &checkpoint.RetryStore{
+		Inner: p.WrapStore(inner),
+		Sleep: func(time.Duration) {},
+	}
+	if err := rs.Put(1, []byte("snap")); err != nil {
+		t.Fatalf("retry store surfaced injected fault: %v", err)
+	}
+	if got, _ := inner.Get(1); string(got) != "snap" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
 func TestParse(t *testing.T) {
 	p, err := Parse("panic@w1:5000, stall@p2:100:50ms, dup@7, corrupt@3:truncate")
 	if err != nil {
@@ -92,9 +156,24 @@ func TestParse(t *testing.T) {
 		t.Errorf("corrupt fault parsed wrong")
 	}
 
+	p2, err := Parse("eio@4:2, slow@5:20ms, torn@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.eioArmed || p2.eioSeq != 4 || p2.eioLeft.Load() != 2 {
+		t.Errorf("eio fault parsed wrong")
+	}
+	if !p2.slowArmed || p2.slowSeq != 5 || p2.slowDur != 20*time.Millisecond {
+		t.Errorf("slow fault parsed wrong")
+	}
+	if !p2.tornArmed || p2.tornSeq != 6 {
+		t.Errorf("torn fault parsed wrong")
+	}
+
 	for _, bad := range []string{
 		"panic@5000", "panic@w1", "stall@p1:2", "dup@x",
 		"corrupt@1:melt", "jitter@5", "panic",
+		"eio@1:0", "eio@1", "slow@1:fast", "torn@x",
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)

@@ -136,6 +136,7 @@ func streamAccuracyPartitioned(opts Options, dataset string, delayMean time.Dura
 			Builder:       newMultiBuilder(core.AlgorithmNames(), builders),
 			CollectValues: true,
 			Metrics:       opts.engineMetrics(),
+			MemoryBudget:  opts.MemoryBudget,
 		}
 		if opts.CheckpointDir != "" {
 			// Fault-tolerant mode: per-run store subdirectory, plus the

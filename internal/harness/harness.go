@@ -84,6 +84,11 @@ type Options struct {
 	// checkpoint, duplicate a batch). Faults are one-shot across the
 	// whole experiment; recovery keeps the results identical.
 	Faults *faultinject.Plan
+	// MemoryBudget, when positive, caps each stream run's live sketch
+	// footprint in bytes (stream.Config.MemoryBudget): sketches degrade
+	// in place when the budget is exceeded, and events are shed only
+	// when degradation cannot fit it.
+	MemoryBudget int
 	// Out receives progress logging; nil silences it.
 	Out io.Writer
 }

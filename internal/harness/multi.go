@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sketch"
 )
@@ -20,6 +21,8 @@ type multiSketch struct {
 var (
 	_ sketch.Sketch      = (*multiSketch)(nil)
 	_ sketch.CountScaler = (*multiSketch)(nil)
+	_ sketch.Footprinter = (*multiSketch)(nil)
+	_ sketch.Degrader    = (*multiSketch)(nil)
 )
 
 // newMultiBuilder wraps per-algorithm builders into a single builder for
@@ -100,6 +103,42 @@ func (m *multiSketch) MemoryBytes() int {
 
 // Name implements sketch.Sketch.
 func (m *multiSketch) Name() string { return "multi" }
+
+// Footprint implements sketch.Footprinter: the sum of the children's
+// live footprints, so a memory-budget governor charges the multiplexer
+// by what it actually holds.
+func (m *multiSketch) Footprint() int {
+	total := 0
+	for _, name := range m.order {
+		total += sketch.FootprintOf(m.children[name])
+	}
+	return total
+}
+
+// Degrade implements sketch.Degrader by degrading the currently
+// largest degradable child (ties by algorithm order), so a budgeted
+// multi-algorithm run sheds memory where it is actually spent. Children
+// at their floor fall through to the next largest; ErrNotDegradable
+// only when every child refuses.
+func (m *multiSketch) Degrade() (int, error) {
+	type cand struct {
+		name string
+		foot int
+	}
+	cands := make([]cand, 0, len(m.order))
+	for _, name := range m.order {
+		if _, ok := m.children[name].(sketch.Degrader); ok {
+			cands = append(cands, cand{name, sketch.FootprintOf(m.children[name])})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].foot > cands[j].foot })
+	for _, c := range cands {
+		if freed, err := m.children[c.name].(sketch.Degrader).Degrade(); err == nil {
+			return freed, nil
+		}
+	}
+	return 0, sketch.ErrNotDegradable
+}
 
 // Reset implements sketch.Sketch.
 func (m *multiSketch) Reset() {

@@ -1,0 +1,90 @@
+package kll
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// TestDegrade pins the sketch.Degrader contract for KLL: each step
+// halves k (flooring at 8), conserves the count exactly, keeps queries
+// sane, grows the reported accuracy bound, and eventually refuses with
+// ErrNotDegradable.
+func TestDegrade(t *testing.T) {
+	s := NewWithSeed(256, 42)
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Insert(rng.Float64() * 1000)
+	}
+	prevBound := s.AccuracyBound()
+	steps := 0
+	for {
+		before := s.Footprint()
+		freed, err := s.Degrade()
+		if errors.Is(err, sketch.ErrNotDegradable) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("degrade step %d: %v", steps, err)
+		}
+		steps++
+		if s.Count() != n {
+			t.Fatalf("step %d: count %d, want %d", steps, s.Count(), n)
+		}
+		if foot := s.Footprint(); before-foot != freed {
+			t.Errorf("step %d: freed %d but footprint went %d -> %d", steps, freed, before, foot)
+		}
+		if b := s.AccuracyBound(); b <= prevBound {
+			t.Errorf("step %d: bound %v did not grow past %v", steps, b, prevBound)
+		} else {
+			prevBound = b
+		}
+		if est, err := s.Quantile(0.5); err != nil || est < 0 || est > 1000 {
+			t.Fatalf("step %d: median %v err %v", steps, est, err)
+		}
+	}
+	if s.K() != minDegradeK {
+		t.Errorf("final k = %d, want floor %d", s.K(), minDegradeK)
+	}
+	if steps != 5 { // 256 -> 128 -> 64 -> 32 -> 16 -> 8
+		t.Errorf("took %d steps, want 5", steps)
+	}
+	// Degraded accuracy: the median of Uniform(0,1000) should still be
+	// recognizable even at k = 8 over 100k items.
+	est, _ := s.Quantile(0.5)
+	if math.Abs(est-500) > 250 {
+		t.Errorf("median after full degradation: %v", est)
+	}
+}
+
+// TestDegradeMergesWithFresh pins the property the budget governor
+// relies on: a degraded partial still merges with a fresh full-k
+// partial (both directions), landing at the min k.
+func TestDegradeMergesWithFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	degraded := NewWithSeed(128, 7)
+	fresh := NewWithSeed(128, 8)
+	for i := 0; i < 20000; i++ {
+		degraded.Insert(rng.Float64())
+		fresh.Insert(rng.Float64())
+	}
+	if _, err := degraded.Degrade(); err != nil {
+		t.Fatal(err)
+	}
+	want := degraded.Count() + fresh.Count()
+
+	into := fresh
+	if err := into.Merge(degraded); err != nil {
+		t.Fatalf("fresh.Merge(degraded): %v", err)
+	}
+	if into.Count() != want || into.K() != 64 {
+		t.Errorf("merged count=%d k=%d, want count=%d k=64", into.Count(), into.K(), want)
+	}
+	if _, err := into.Quantile(0.9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -204,10 +204,39 @@ func TestMergePreservesAccuracy(t *testing.T) {
 	}
 }
 
-func TestMergeIncompatible(t *testing.T) {
+func TestMergeMinK(t *testing.T) {
+	// Differing k merge under the DataSketches min-k rule: the receiver
+	// adopts the smaller k (either direction) so budget-degraded
+	// sketches stay mergeable with full-k ones.
+	rng := rand.New(rand.NewPCG(11, 12))
 	a, b := New(100), New(200)
-	if err := a.Merge(b); err == nil {
-		t.Error("different k should not merge")
+	var n uint64
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64() * 100
+		a.Insert(x)
+		b.Insert(x + 100)
+		n += 2
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("min-k merge (small ← large): %v", err)
+	}
+	if a.K() != 100 || a.Count() != n {
+		t.Errorf("merged k=%d count=%d, want k=100 count=%d", a.K(), a.Count(), n)
+	}
+	big, small := New(200), New(100)
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64() * 100
+		big.Insert(x)
+		small.Insert(x + 100)
+	}
+	if err := big.Merge(small); err != nil {
+		t.Fatalf("min-k merge (large ← small): %v", err)
+	}
+	if big.K() != 100 {
+		t.Errorf("merged k = %d, want the min k 100", big.K())
+	}
+	if _, err := big.Quantile(0.5); err != nil {
+		t.Fatalf("quantile after min-k merge: %v", err)
 	}
 }
 

@@ -1,0 +1,35 @@
+package moments
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// TestDegradeNotDegradable pins that the fixed-size Moments Sketch
+// always refuses to degrade, untouched.
+func TestDegradeNotDegradable(t *testing.T) {
+	s := New(DefaultK)
+	for i := 0; i < 100; i++ {
+		s.Insert(float64(i))
+	}
+	before, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed, derr := s.Degrade()
+	if !errors.Is(derr, sketch.ErrNotDegradable) || freed != 0 {
+		t.Errorf("Degrade = (%d, %v), want (0, ErrNotDegradable)", freed, derr)
+	}
+	after, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("refused Degrade mutated the sketch")
+	}
+	if sketch.FootprintOf(s) < s.MemoryBytes() {
+		t.Errorf("Footprint %d below MemoryBytes %d", sketch.FootprintOf(s), s.MemoryBytes())
+	}
+}

@@ -374,6 +374,22 @@ func (s *Sketch) MemoryBytes() int {
 	return 8 * (s.k + 2 + 3)
 }
 
+// Footprint implements sketch.Footprinter: the structural power-sum
+// state plus the retained solver scratch (the normalized-moment buffer;
+// the solver grids are shared query-time machinery rebuilt on demand
+// and already bounded by SetGridSize).
+func (s *Sketch) Footprint() int {
+	return s.MemoryBytes() + 8*cap(s.rawScratch)
+}
+
+// Degrade implements sketch.Degrader: the Moments Sketch is fixed-size
+// by construction — k power sums regardless of stream length — so there
+// is no accuracy-for-memory knob to turn; it always reports
+// ErrNotDegradable and the budget governor moves past it.
+func (s *Sketch) Degrade() (int, error) {
+	return 0, sketch.ErrNotDegradable
+}
+
 // Reset implements sketch.Sketch.
 func (s *Sketch) Reset() {
 	for i := range s.powerSums {

@@ -193,6 +193,23 @@ type EngineMetrics struct {
 	// also reported once per process on stderr; this counter makes it
 	// visible to scrapes and tests.
 	WorkersClamped Counter
+	// Degradations counts in-place sketch degradations applied by the
+	// memory-budget governor (rung 1 of the degradation ladder).
+	Degradations Counter
+	// BudgetEvictions counts sealed panes coarsened (merged into their
+	// successor early) to reclaim memory (rung 2).
+	BudgetEvictions Counter
+	// BudgetShed counts events dropped because the budget was exhausted
+	// past every degradation rung (rung 3). These extend the accounting
+	// identity: Generated == Accepted + DroppedLate + RejectedInput +
+	// ShedBudget.
+	BudgetShed Counter
+	// BudgetBytes is the governor's tracked footprint after the most
+	// recent enforcement pass (0 when no budget is configured).
+	BudgetBytes Gauge
+	// CheckpointRetries counts transient checkpoint-store failures
+	// absorbed by retry (checkpoint.RetryStore).
+	CheckpointRetries Counter
 }
 
 func (m *EngineMetrics) fields() []field {
@@ -212,6 +229,11 @@ func (m *EngineMetrics) fields() []field {
 		{"replayed_events_total", counterKind, m.ReplayedEvents.Load()},
 		{"recovered_panics_total", counterKind, m.RecoveredPanics.Load()},
 		{"workers_clamped_total", counterKind, m.WorkersClamped.Load()},
+		{"degradations_total", counterKind, m.Degradations.Load()},
+		{"budget_evictions_total", counterKind, m.BudgetEvictions.Load()},
+		{"budget_shed_total", counterKind, m.BudgetShed.Load()},
+		{"budget_bytes", gaugeKind, m.BudgetBytes.Load()},
+		{"checkpoint_retries_total", counterKind, m.CheckpointRetries.Load()},
 	}
 }
 

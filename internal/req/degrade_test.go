@@ -1,0 +1,90 @@
+package req
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// TestDegrade pins the sketch.Degrader contract for REQ: each step
+// halves the section sizes, conserves the count, keeps queries sane,
+// grows the reported error scale, and eventually refuses.
+func TestDegrade(t *testing.T) {
+	s := NewWithSeed(DefaultSectionSize, true, 9)
+	rng := rand.New(rand.NewPCG(5, 6))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Insert(rng.ExpFloat64() * 100)
+	}
+	startRetained := s.Retained()
+	prevBound := s.AccuracyBound()
+	steps := 0
+	for {
+		freed, err := s.Degrade()
+		if errors.Is(err, sketch.ErrNotDegradable) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("degrade step %d: %v", steps, err)
+		}
+		steps++
+		if freed < 0 {
+			t.Fatalf("step %d: negative freed %d", steps, freed)
+		}
+		if s.Count() != n {
+			t.Fatalf("step %d: count %d, want %d", steps, s.Count(), n)
+		}
+		if b := s.AccuracyBound(); b <= prevBound {
+			t.Errorf("step %d: bound %v did not grow past %v", steps, b, prevBound)
+		} else {
+			prevBound = b
+		}
+		if _, err := s.Quantile(0.99); err != nil {
+			t.Fatalf("step %d: quantile: %v", steps, err)
+		}
+	}
+	if steps == 0 {
+		t.Fatal("sketch refused to degrade at all")
+	}
+	if got := s.Retained(); got >= startRetained {
+		t.Errorf("retained %d did not shrink from %d", got, startRetained)
+	}
+	// Fully degraded compactors sit at (or just above — rounding can
+	// strand a compactor at 6 when half its size float would round
+	// below the floor) the minimum section size.
+	for h, c := range s.compactors {
+		if c.sectionSize > minSectionSize+2 {
+			t.Errorf("compactor %d sectionSize = %d, want <= %d", h, c.sectionSize, minSectionSize+2)
+		}
+	}
+}
+
+// TestDegradeMergesWithFresh pins that a degraded REQ partial merges
+// with a fresh full-k partial in both directions under the min-k rule.
+func TestDegradeMergesWithFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	degraded := NewWithSeed(DefaultSectionSize, true, 1)
+	fresh := NewWithSeed(DefaultSectionSize, true, 2)
+	for i := 0; i < 20000; i++ {
+		degraded.Insert(rng.Float64())
+		fresh.Insert(rng.Float64())
+	}
+	if _, err := degraded.Degrade(); err != nil {
+		t.Fatal(err)
+	}
+	want := degraded.Count() + fresh.Count()
+	if err := fresh.Merge(degraded); err != nil {
+		t.Fatalf("fresh.Merge(degraded): %v", err)
+	}
+	if fresh.Count() != want {
+		t.Errorf("merged count = %d, want %d", fresh.Count(), want)
+	}
+	if fresh.K() != degraded.K() {
+		t.Errorf("merged k = %d, want the degraded (min) k %d", fresh.K(), degraded.K())
+	}
+	if _, err := fresh.Quantile(0.9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -382,9 +382,16 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 	if !ok {
 		return fmt.Errorf("%w: cannot merge %s into req", sketch.ErrIncompatible, other.Name())
 	}
-	if o.k != s.k || o.hra != s.hra {
-		return fmt.Errorf("%w: config mismatch (k=%d,hra=%v) vs (k=%d,hra=%v)",
-			sketch.ErrIncompatible, s.k, s.hra, o.k, o.hra)
+	if o.hra != s.hra {
+		return fmt.Errorf("%w: hra mismatch %v vs %v", sketch.ErrIncompatible, s.hra, o.hra)
+	}
+	// Differing k merge under the min-k rule (mirroring KLL): the merged
+	// sketch adopts the smaller configuration, so budget-degraded
+	// partials (Degrade) stay mergeable with full-k ones at the degraded
+	// error bound. The accuracy mode itself must match — HRA and LRA
+	// sketches protect opposite ends of their buffers.
+	if o.k < s.k {
+		s.k = o.k
 	}
 	for len(s.compactors) < len(o.compactors) {
 		h := len(s.compactors)
@@ -396,8 +403,11 @@ func (s *Sketch) Merge(other sketch.Sketch) error {
 		// sorted prefix remains valid.
 		c.buf = append(c.buf, oc.buf...)
 		c.state |= oc.state
-		// Adopt the finer (further advanced) section configuration.
-		if oc.numSections > c.numSections {
+		// Adopt the finer (further advanced) section configuration; at
+		// equal advancement, the smaller (degraded) section size wins so
+		// the merge direction cannot resurrect a pre-degradation config.
+		if oc.numSections > c.numSections ||
+			(oc.numSections == c.numSections && oc.sectionSize < c.sectionSize) {
 			c.numSections = oc.numSections
 			c.sectionSize = oc.sectionSize
 			c.sectionSizeF = oc.sectionSizeF
@@ -431,6 +441,62 @@ func (s *Sketch) NumLevels() int { return len(s.compactors) }
 // sample plus per-compactor and global bookkeeping.
 func (s *Sketch) MemoryBytes() int {
 	return 4*s.Retained() + 5*8*len(s.compactors) + 8*8
+}
+
+// Footprint implements sketch.Footprinter: the live bytes actually
+// held — allocated buffer and merge-scratch capacity per compactor plus
+// the sorted-view caches and fixed bookkeeping — as opposed to
+// MemoryBytes' occupancy-based Table 3 accounting.
+func (s *Sketch) Footprint() int {
+	b := 0
+	for _, c := range s.compactors {
+		b += 4*(cap(c.buf)+cap(c.scratch)) + 5*8
+	}
+	return b + 4*cap(s.auxVals) + 8*cap(s.auxCum) + 16*cap(s.auxScratch) + 8*8
+}
+
+// Degrade implements sketch.Degrader: halve every compactor's section
+// size (floored at the minimum, 4) and force-compact under the shrunken
+// capacities, clipping buffers to their new occupancy. The degraded
+// sketch stays mergeable with full-k sketches through the min-k Merge
+// rule; its relative-error scale grows by ≈√2 per step (AccuracyBound).
+func (s *Sketch) Degrade() (int, error) {
+	before := s.Footprint()
+	shrunk := false
+	for _, c := range s.compactors {
+		if ne := nearestEven(c.sectionSizeF / 2); ne >= minSectionSize && ne < c.sectionSize {
+			c.sectionSizeF /= 2
+			c.sectionSize = ne
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		return 0, sketch.ErrNotDegradable
+	}
+	if nk := nearestEven(float64(s.k) / 2); nk >= minSectionSize {
+		s.k = nk
+	}
+	s.auxValid = false
+	s.compress()
+	for _, c := range s.compactors {
+		c.buf = slices.Clip(c.buf)
+		c.scratch = nil
+	}
+	s.auxVals, s.auxCum, s.auxScratch = nil, nil, nil
+	freed := before - s.Footprint()
+	if freed < 0 {
+		freed = 0
+	}
+	return freed, nil
+}
+
+// AccuracyBound implements sketch.AccuracyBounder with the DataSketches
+// empirical scale for ReqSketch's relative rank error, ε(k) ≈ √(0.0512/k)
+// (≈4.1% relative standard error at the study's k = 30). Like KLL's, it
+// is a comparable error scale that grows as the sketch degrades, not a
+// formal tail bound.
+func (s *Sketch) AccuracyBound() float64 {
+	return math.Sqrt(0.0512 / float64(s.k))
 }
 
 // Reset implements sketch.Sketch.

@@ -198,9 +198,17 @@ func TestMergeIncompatible(t *testing.T) {
 	if err := a.Merge(b); err == nil {
 		t.Error("HRA and LRA sketches should not merge")
 	}
+	// Differing section sizes merge under the min-k rule (the receiver
+	// adopts the smaller configuration) so budget-degraded sketches stay
+	// mergeable with full-k ones.
 	c := New(16, true)
-	if err := a.Merge(c); err == nil {
-		t.Error("different section sizes should not merge")
+	c.Insert(1)
+	a.Insert(2)
+	if err := c.Merge(a); err != nil {
+		t.Fatalf("min-k merge: %v", err)
+	}
+	if c.K() != 8 || c.Count() != 2 {
+		t.Errorf("merged k=%d count=%d, want k=8 count=2", c.K(), c.Count())
 	}
 }
 

@@ -29,6 +29,10 @@ var (
 	ErrUnsupportedValue = errors.New("sketch: unsupported value")
 	// ErrCorrupt is returned when deserializing malformed bytes.
 	ErrCorrupt = errors.New("sketch: corrupt serialized data")
+	// ErrNotDegradable is returned by Degrade when a sketch cannot shrink
+	// any further: either its accuracy knob is already at the floor, or
+	// the structure is fixed-size by construction (moments).
+	ErrNotDegradable = errors.New("sketch: not degradable")
 )
 
 // Sketch is the uniform interface over all quantile sketches evaluated in
@@ -207,6 +211,60 @@ type BatchInserter interface {
 type CountScaler interface {
 	// ScaleCount multiplies the sketch's effective weight by g.
 	ScaleCount(g float64)
+}
+
+// Footprinter is implemented by sketches that can report their live
+// memory footprint — the bytes actually held right now, including
+// allocated-but-unused buffer capacity and reusable scratch — as
+// opposed to MemoryBytes, which reports the paper's structural Table 3
+// accounting. The memory-budget governor (internal/budget) charges
+// sketches by Footprint when available and falls back to MemoryBytes;
+// use FootprintOf for that dispatch.
+type Footprinter interface {
+	// Footprint reports the sketch's current live size in bytes.
+	Footprint() int
+}
+
+// FootprintOf charges s by its live footprint when it reports one and
+// by its structural MemoryBytes otherwise.
+func FootprintOf(s Sketch) int {
+	if f, ok := s.(Footprinter); ok {
+		return f.Footprint()
+	}
+	return s.MemoryBytes()
+}
+
+// Degrader is implemented by sketches that can trade accuracy for
+// memory on demand — the per-sketch knob behind the memory-budget
+// governor's degradation ladder (internal/budget). Each call performs
+// one degradation step: KLL and REQ force-compact to a smaller k,
+// DDSketch collapses the lowest-value region of its store, UDDSketch
+// runs one extra uniform collapse (α-deterioration, Epicoco et al.),
+// and moments — fixed-size by construction — always refuses.
+//
+// Contract: Degrade either strictly shrinks the sketch and returns the
+// bytes freed (freedBytes ≥ 0 as measured by FootprintOf before/after),
+// or returns ErrNotDegradable leaving the sketch untouched. Count() is
+// conserved exactly, every structural invariant holds afterwards, and
+// the result remains mergeable with undegraded sketches of the same
+// configuration family (documented per implementation). The step is a
+// pure function of the prior state, so budgeted engine runs stay
+// deterministic.
+type Degrader interface {
+	// Degrade performs one accuracy-for-memory degradation step.
+	Degrade() (freedBytes int, err error)
+}
+
+// AccuracyBounder is implemented by sketches that can report their
+// current error guarantee as a single dimensionless number: relative
+// value error α for the histogram sketches, an empirical normalized
+// rank-error scale for the samplers. The bound grows monotonically as
+// the sketch degrades, which is what the stream engine surfaces on
+// each WindowResult so consumers can see exactly how much accuracy a
+// budget-constrained window gave up.
+type AccuracyBounder interface {
+	// AccuracyBound reports the sketch's current error bound.
+	AccuracyBound() float64
 }
 
 // BulkInserter is implemented by sketches that can absorb n identical

@@ -79,6 +79,7 @@ func (rs *runState) snapshot() error {
 		Accepted:      rs.stats.Accepted,
 		DroppedLate:   rs.stats.DroppedLate,
 		RejectedInput: rs.stats.RejectedInput,
+		ShedBudget:    rs.stats.ShedBudget,
 	}
 	lateWins := make([]int, 0, len(rs.lateOf))
 	for wi := range rs.lateOf {
@@ -180,6 +181,7 @@ func (rs *runState) restore(snap *checkpoint.Snapshot) error {
 		Accepted:      snap.Accepted,
 		DroppedLate:   snap.DroppedLate,
 		RejectedInput: snap.RejectedInput,
+		ShedBudget:    snap.ShedBudget,
 	}
 	for i := range snap.LateWindows {
 		rs.lateOf[int(snap.LateWindows[i])] = snap.LateDrops[i]
@@ -250,6 +252,9 @@ func (rs *runState) restore(snap *checkpoint.Snapshot) error {
 				return err
 			}
 			sp.sketch = sk
+			if rs.gov != nil {
+				rs.gov.Track(-1-int64(j), sk)
+			}
 		}
 		rs.sealed[j] = sp
 	}

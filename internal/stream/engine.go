@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/checkpoint"
 	"repro/internal/concurrent"
 	"repro/internal/datagen"
@@ -116,6 +117,28 @@ type Config struct {
 	// the run — see internal/faultinject. Nil costs one predictable
 	// branch per event on the insert path.
 	Faults *faultinject.Plan
+	// MemoryBudget, when positive, caps the engine's live sketch
+	// footprint (sketch.FootprintOf over every open partition sketch
+	// and sealed pane) at roughly this many bytes, enforced by a
+	// governor at deterministic points (every budget.BaseInterval
+	// processed events while binding — backing off when slack — and at
+	// fire barriers) through a three-rung
+	// degradation ladder: (1) degrade the largest sketches in place
+	// (sketch.Degrader — KLL/REQ shrink k, DDSketch folds its lowest
+	// buckets, UDDSketch collapses uniformly), (2) in sliding mode,
+	// coarsen the oldest sealed panes by merging them into their
+	// successors early when every remaining window sees both, and
+	// (3) as a last resort shed new events, counted in
+	// Stats.ShedBudget — never a panic. Fired windows report the
+	// degradations applied to their data and the resulting accuracy
+	// bound (WindowResult.Degradations / AccuracyBound). With
+	// Workers > 1 each worker governs its own partitions over an equal
+	// share of the budget and only rung 1 runs there (no shedding), so
+	// a budgeted parallel run stays deterministic for a fixed worker
+	// count but is not bit-identical across worker counts the way
+	// unbudgeted runs are. 0 disables the governor; the unbudgeted hot
+	// path pays one predictable branch per event.
+	MemoryBudget int
 	// SharedSketch, when non-nil, additionally feeds every accepted
 	// event into the given concurrent shared sketch, so live quantile
 	// queries can be answered mid-window (and mid-run) through
@@ -165,18 +188,35 @@ type WindowResult struct {
 	// by exp(-λ·(End - paneEnd_i)) where paneEnd_i is (i+1) pane
 	// lengths after Start... precisely, the window's first pane ends at
 	// End - (len(PaneCounts)-1)·paneLen and each later pane one paneLen
-	// after, with paneLen = gcd(WindowSize, Slide).
+	// after, with paneLen = gcd(WindowSize, Slide). Budget coarsening
+	// (Config.MemoryBudget rung 2) can fold a pane into its successor,
+	// leaving a 0 entry whose events are counted one slot later.
 	PaneCounts []int
+	// Degradations counts the budget-governor degradations applied to
+	// this window's data (its open partition sketches, and in sliding
+	// mode its constituent sealed panes). Always 0 without
+	// Config.MemoryBudget. Not persisted across checkpoint resume —
+	// the degraded sketch state itself is exact in the snapshot, only
+	// the count resets.
+	Degradations int
+	// AccuracyBound is the merged sketch's self-reported error bound
+	// (sketch.AccuracyBounder: rank-error estimate for KLL/REQ,
+	// relative α for DDSketch/UDDSketch) at fire time, which grows as
+	// the budget governor degrades the sketch. 0 when the sketch does
+	// not implement AccuracyBounder (moments).
+	AccuracyBound float64
 }
 
 // Stats aggregates engine-level counters over one run. Every generated
 // event is accounted for exactly once:
 //
-//	Generated == Accepted + DroppedLate + RejectedInput
+//	Generated == Accepted + DroppedLate + RejectedInput + ShedBudget
 //
 // holds on the serial, parallel and generic paths alike (enforced by
 // TestStatsIdentity / TestParallelDrainLosesNothing), and survives a
 // crash-and-resume cycle intact (TestCrashRecoveryDeterminism).
+// ShedBudget is 0 without Config.MemoryBudget, reducing the identity
+// to its historical three-term form.
 type Stats struct {
 	// Generated is the number of events the source produced within the
 	// measured run (GenTime < NumWindows·WindowSize). Grace-period
@@ -193,6 +233,12 @@ type Stats struct {
 	// sketch. Rejected events still advance the watermark — their
 	// timestamps are sound, only the payloads are not.
 	RejectedInput int64
+	// ShedBudget is the total number of valid, on-time events dropped
+	// because Config.MemoryBudget was exhausted past every degradation
+	// rung. Shed events still advance the watermark. Always 0 without
+	// a budget, and on the parallel path (which degrades but never
+	// sheds).
+	ShedBudget int64
 }
 
 // LossRate returns the fraction of generated events dropped as late.
@@ -213,9 +259,13 @@ type partialSink interface {
 	insert(win, part int, v float64)
 	// partials returns window win's partition sketches, indexed by
 	// partition (nil entries for partitions that saw no events), with
-	// every insert for that window applied. It is the fire barrier: the
-	// window's state is removed from the sink.
-	partials(win int) []sketch.Sketch
+	// every insert for that window applied, plus the number of budget
+	// degradations the sink applied to them (workerPool counts its
+	// workers' in-sink degradations; seqSink reports 0 because the
+	// engine's governor attributes serial degradations to windowState
+	// directly). It is the fire barrier: the window's state is removed
+	// from the sink.
+	partials(win int) ([]sketch.Sketch, int)
 	// snapshot returns, for every open window, one sealed checkpoint
 	// envelope per partition holding that partition sketch's serialized
 	// state (nil entries for partitions without a sketch). It is a
@@ -232,15 +282,25 @@ type partialSink interface {
 }
 
 // seqSink is the single-threaded partialSink: inserts run on the
-// engine's goroutine as the events are processed.
+// engine's goroutine as the events are processed. With a budget
+// governor wired (gov non-nil) every partition sketch is tracked under
+// the id win·partitions+part from creation to its fire barrier, so the
+// engine's enforcement passes see the sink's full footprint.
 type seqSink struct {
 	builder    sketch.Builder
 	partitions int
 	open       map[int][]sketch.Sketch
+	gov        *budget.Governor // nil without Config.MemoryBudget
 }
 
-func newSeqSink(builder sketch.Builder, partitions int) *seqSink {
-	return &seqSink{builder: builder, partitions: partitions, open: make(map[int][]sketch.Sketch)}
+func newSeqSink(builder sketch.Builder, partitions int, gov *budget.Governor) *seqSink {
+	return &seqSink{builder: builder, partitions: partitions, open: make(map[int][]sketch.Sketch), gov: gov}
+}
+
+// govID is the governor tracking id of (win, part): deterministic, so
+// degradation order is reproducible run to run.
+func (s *seqSink) govID(win, part int) int64 {
+	return int64(win)*int64(s.partitions) + int64(part)
 }
 
 func (s *seqSink) insert(win, part int, v float64) {
@@ -251,14 +311,20 @@ func (s *seqSink) insert(win, part int, v float64) {
 	}
 	if ps[part] == nil {
 		ps[part] = s.builder()
+		s.gov.Track(s.govID(win, part), ps[part])
 	}
 	ps[part].Insert(v)
 }
 
-func (s *seqSink) partials(win int) []sketch.Sketch {
+func (s *seqSink) partials(win int) ([]sketch.Sketch, int) {
 	ps := s.open[win]
 	delete(s.open, win)
-	return ps
+	if s.gov != nil {
+		for part := range ps {
+			s.gov.Untrack(s.govID(win, part))
+		}
+	}
+	return ps, 0
 }
 
 func (s *seqSink) snapshot() (map[int][][]byte, error) {
@@ -289,7 +355,16 @@ func (s *seqSink) snapshot() (map[int][][]byte, error) {
 	return out, nil
 }
 
-func (s *seqSink) restore(win int, parts []sketch.Sketch) { s.open[win] = parts }
+func (s *seqSink) restore(win int, parts []sketch.Sketch) {
+	s.open[win] = parts
+	if s.gov != nil {
+		for part, sk := range parts {
+			if sk != nil {
+				s.gov.Track(s.govID(win, part), sk)
+			}
+		}
+	}
+}
 
 func (s *seqSink) err() error { return nil }
 
@@ -311,6 +386,7 @@ type windowState struct {
 	index    int
 	values   []float64
 	accepted int64
+	degrades int // budget degradations applied to this window's sketches
 }
 
 // Engine runs a configured streaming job.
@@ -465,6 +541,15 @@ type runState struct {
 	partInserts   []int64           // per-partition insert counts (fault hooks)
 
 	sharedW *concurrent.Writer // serial-path shared-sketch handle (writer 0)
+
+	// Memory-budget governor state (Config.MemoryBudget). gov tracks
+	// the serial sink's open sketches and, in pane mode, the sealed
+	// pane sketches (under negative ids); with Workers > 1 the workers
+	// govern their own sketches and gov covers only sealed panes.
+	gov          *budget.Governor
+	shedding     bool // rung 3 engaged: drop new events until under budget
+	sinceEnforce int  // events processed since the last enforcement pass
+	enforceAt    int  // cached gov.Interval(), refreshed by enforceBudget
 }
 
 func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
@@ -501,9 +586,22 @@ func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
 		rs.delay = cfg.NewDelay()
 	}
 	if cfg.Workers > 1 {
-		rs.sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics, cfg.Faults, cfg.SharedSketch)
+		// Workers govern their own partitions over equal budget shares;
+		// in pane mode half the budget is reserved for the coordinator's
+		// sealed panes (which live outside the workers).
+		workerBudget := cfg.MemoryBudget
+		if workerBudget > 0 && rs.paneMode {
+			workerBudget /= 2
+		}
+		rs.sink = newWorkerPool(cfg.Builder, cfg.Partitions, cfg.Workers, cfg.Metrics, cfg.Faults, cfg.SharedSketch, workerBudget)
+		if rs.paneMode {
+			rs.gov = budget.New(cfg.MemoryBudget / 2)
+			rs.enforceAt = rs.gov.Interval()
+		}
 	} else {
-		rs.sink = newSeqSink(cfg.Builder, cfg.Partitions)
+		rs.gov = budget.New(cfg.MemoryBudget)
+		rs.enforceAt = rs.gov.Interval()
+		rs.sink = newSeqSink(cfg.Builder, cfg.Partitions, rs.gov)
 		rs.serialFaults = cfg.Faults
 		if cfg.SharedSketch != nil {
 			rs.sharedW = cfg.SharedSketch.Writer(0)
@@ -524,7 +622,7 @@ func (e *Engine) newRunState(emit func(WindowResult)) (*runState, error) {
 // advances.
 func (rs *runState) fire(w *windowState) error {
 	merged := rs.cfg.Builder()
-	parts := rs.sink.partials(w.index)
+	parts, sinkDeg := rs.sink.partials(w.index)
 	if err := rs.sink.err(); err != nil {
 		return err
 	}
@@ -542,14 +640,25 @@ func (rs *runState) fire(w *windowState) error {
 	rs.fired++
 	rs.sinceSnap++
 	rs.emit(WindowResult{
-		Index:    w.index,
-		Start:    rs.cfg.WindowSize * time.Duration(w.index),
-		End:      rs.cfg.WindowSize * time.Duration(w.index+1),
-		Sketch:   merged,
-		Values:   w.values,
-		Accepted: w.accepted,
+		Index:         w.index,
+		Start:         rs.cfg.WindowSize * time.Duration(w.index),
+		End:           rs.cfg.WindowSize * time.Duration(w.index+1),
+		Sketch:        merged,
+		Values:        w.values,
+		Accepted:      w.accepted,
+		Degradations:  w.degrades + sinkDeg,
+		AccuracyBound: accuracyBoundOf(merged),
 	})
 	return nil
+}
+
+// accuracyBoundOf reads a sketch's self-reported error bound, 0 when
+// the sketch type has none.
+func accuracyBoundOf(sk sketch.Sketch) float64 {
+	if ab, ok := sk.(sketch.AccuracyBounder); ok {
+		return ab.AccuracyBound()
+	}
+	return 0
 }
 
 // process routes one arrived event: reject invalid payloads, drop late
@@ -563,13 +672,26 @@ func (rs *runState) process(ev Event) error {
 	} else {
 		rs.routeTumbling(ev)
 	}
+	if rs.gov != nil {
+		rs.sinceEnforce++
+		if rs.sinceEnforce >= rs.enforceAt {
+			rs.enforceBudget()
+		}
+	}
 	if ev.GenTime > rs.watermark {
 		rs.watermark = ev.GenTime
 		// Fire every window whose end the watermark has passed.
+		fired := false
 		for rs.nextFire < cfg.NumWindows && rs.watermark >= rs.windowEndTime(rs.nextFire) {
 			if err := rs.fireNext(); err != nil {
 				return err
 			}
+			fired = true
+		}
+		if fired && rs.gov != nil {
+			// Fired windows untracked their sketches; re-evaluate so a
+			// shedding engine recovers as soon as memory is released.
+			rs.enforceBudget()
 		}
 	}
 	if rs.met != nil {
@@ -611,6 +733,15 @@ func (rs *runState) routeTumbling(ev Event) {
 			}
 		}
 	case wi < cfg.NumWindows:
+		if rs.shedding {
+			// Budget exhausted past every degradation rung: the event is
+			// shed, counted, and still advances the watermark in process.
+			rs.stats.ShedBudget++
+			if rs.met != nil {
+				rs.met.BudgetShed.Inc()
+			}
+			return
+		}
 		w := rs.open[wi]
 		if w == nil {
 			w = &windowState{index: wi}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/checkpoint"
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
@@ -67,6 +68,12 @@ type GenericConfig struct {
 	// (see Config.Faults). The generic engine is single-threaded, so
 	// hooks fire as worker 0, partition 0.
 	Faults *faultinject.Plan
+	// MemoryBudget, when positive, caps the total live sketch footprint
+	// in bytes (see Config.MemoryBudget). The generic engine has no
+	// sealed panes, so the ladder is two rungs: degrade open-window
+	// sketches largest-first, then shed (counted in Stats.ShedBudget)
+	// until degradation fits the budget again.
+	MemoryBudget int
 }
 
 // GenericResult is one fired window from the generic engine.
@@ -127,6 +134,7 @@ type genWindowState struct {
 	sk       sketch.Sketch
 	values   []float64
 	accepted int64
+	govID    int64 // budget-governor tracking id (creation order)
 }
 
 // genRunState is one generic run's mutable state, factored out like
@@ -153,6 +161,12 @@ type genRunState struct {
 
 	builderName string
 	inserts     int64 // fault-hook insert count (worker 0, partition 0)
+
+	gov          *budget.Governor // nil without MemoryBudget
+	shedding     bool
+	sinceEnforce int
+	enforceAt    int   // cached gov.Interval(), refreshed by enforceBudget
+	nextGovID    int64 // monotone id source for genWindowState.govID
 }
 
 func (e *GenericEngine) newRunState(emit func(GenericResult)) (*genRunState, error) {
@@ -182,10 +196,39 @@ func (e *GenericEngine) newRunState(emit func(GenericResult)) (*genRunState, err
 		rs.snapEvery = cfg.CheckpointEvery
 		rs.builderName = cfg.Builder().Name()
 	}
+	rs.gov = budget.New(cfg.MemoryBudget)
+	rs.enforceAt = rs.gov.Interval()
 	return rs, nil
 }
 
+// trackWindow registers a freshly created window's sketch with the
+// governor under a creation-order id, so ties in footprint degrade the
+// oldest window first.
+func (rs *genRunState) trackWindow(w *genWindowState) {
+	w.govID = rs.nextGovID
+	rs.nextGovID++
+	rs.gov.Track(w.govID, w.sk)
+}
+
+// enforceBudget runs one governor pass: degrade largest-first (rung 1)
+// and toggle shedding when even that cannot fit the budget. The generic
+// engine has no sealed panes, so there is no coarsening rung.
+func (rs *genRunState) enforceBudget() {
+	rs.sinceEnforce = 0
+	out := rs.gov.Enforce(func(int64) {
+		if rs.met != nil {
+			rs.met.Degradations.Inc()
+		}
+	})
+	rs.shedding = out.Exhausted
+	rs.enforceAt = rs.gov.Interval()
+	if rs.met != nil {
+		rs.met.BudgetBytes.Max(int64(out.Usage))
+	}
+}
+
 func (rs *genRunState) fire(w *genWindowState) {
+	rs.gov.Untrack(w.govID)
 	if rs.met != nil {
 		rs.met.WindowFires.Inc()
 	}
@@ -228,6 +271,13 @@ func (rs *genRunState) process(ev Event) error {
 		if rs.met != nil {
 			rs.met.RejectedInput.Inc()
 		}
+	} else if rs.shedding {
+		// Budget exhausted past every degradation rung: shed before
+		// window assignment; the event still advances the watermark.
+		rs.stats.ShedBudget++
+		if rs.met != nil {
+			rs.met.BudgetShed.Inc()
+		}
 	} else {
 		wins := cfg.Assigner.Assign(eventTime)
 		if cfg.Assigner.MergesWindows() {
@@ -248,6 +298,7 @@ func (rs *genRunState) process(ev Event) error {
 			if w == nil {
 				w = &genWindowState{win: win, sk: cfg.Builder()}
 				rs.open[win] = w
+				rs.trackWindow(w)
 			}
 			if cfg.Faults != nil {
 				cfg.Faults.OnEvent(0, 0, rs.inserts, rs.inserts)
@@ -275,6 +326,12 @@ func (rs *genRunState) process(ev Event) error {
 	if wm := eventTime - cfg.WatermarkLag; wm > rs.watermark {
 		rs.watermark = wm
 		rs.fireReady()
+	}
+	if rs.gov != nil {
+		rs.sinceEnforce++
+		if rs.sinceEnforce >= rs.enforceAt {
+			rs.enforceBudget()
+		}
 	}
 	if rs.met != nil {
 		if lag := int64(ev.Arrival - rs.watermark); lag > 0 {
@@ -313,8 +370,10 @@ func (rs *genRunState) mergeSessions(proto Window) ([]Window, error) {
 	// Deterministic merge order.
 	sort.Slice(absorbed, func(i, j int) bool { return absorbed[i].win.Start < absorbed[j].win.Start })
 	merged := &genWindowState{win: union, sk: rs.cfg.Builder()}
+	rs.trackWindow(merged)
 	for _, w := range absorbed {
 		delete(rs.open, w.win)
+		rs.gov.Untrack(w.govID)
 		if err := merged.sk.Merge(w.sk); err != nil {
 			return nil, fmt.Errorf("stream: session merge [%v, %v) into [%v, %v): %w",
 				w.win.Start, w.win.End, union.Start, union.End, err)
@@ -349,6 +408,7 @@ func (rs *genRunState) snapshot() error {
 		Accepted:      rs.stats.Accepted,
 		DroppedLate:   rs.stats.DroppedLate,
 		RejectedInput: rs.stats.RejectedInput,
+		ShedBudget:    rs.stats.ShedBudget,
 	}
 	snap.InFlight = make([]checkpoint.Event, len(rs.inFlight.data))
 	for i, ev := range rs.inFlight.data {
@@ -418,6 +478,7 @@ func (rs *genRunState) restore(snap *checkpoint.Snapshot) error {
 		Accepted:      snap.Accepted,
 		DroppedLate:   snap.DroppedLate,
 		RejectedInput: snap.RejectedInput,
+		ShedBudget:    snap.ShedBudget,
 	}
 	rs.inFlight.data = make([]Event, len(snap.InFlight))
 	for i, ev := range snap.InFlight {
@@ -443,6 +504,7 @@ func (rs *genRunState) restore(snap *checkpoint.Snapshot) error {
 			w.values = ws.Values
 		}
 		rs.open[win] = w
+		rs.trackWindow(w)
 	}
 	for i := int64(0); i < snap.Drawn; i++ {
 		rs.vals.Next()

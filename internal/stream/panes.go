@@ -47,6 +47,7 @@ type sealedPane struct {
 	sketch   sketch.Sketch
 	values   []float64
 	accepted int64
+	degrades int // budget degradations applied to this pane's sketch
 }
 
 // gcdDur is the greatest common divisor of two positive durations.
@@ -133,6 +134,15 @@ func (rs *runState) routePaned(ev Event) {
 			}
 		}
 	case pi < rs.numPanes:
+		if rs.shedding {
+			// Budget exhausted past every degradation rung: shed, count,
+			// and let the event still advance the watermark in process.
+			rs.stats.ShedBudget++
+			if rs.met != nil {
+				rs.met.BudgetShed.Inc()
+			}
+			return
+		}
 		w := rs.open[pi]
 		if w == nil {
 			w = &windowState{index: pi}
@@ -168,7 +178,7 @@ func (rs *runState) routePaned(ev Event) {
 func (rs *runState) sealPane(j int) error {
 	w := rs.open[j]
 	delete(rs.open, j)
-	parts := rs.sink.partials(j)
+	parts, sinkDeg := rs.sink.partials(j)
 	if err := rs.sink.err(); err != nil {
 		return err
 	}
@@ -187,12 +197,18 @@ func (rs *runState) sealPane(j int) error {
 	if sk == nil && w == nil {
 		return nil
 	}
-	sp := &sealedPane{sketch: sk}
+	sp := &sealedPane{sketch: sk, degrades: sinkDeg}
 	if w != nil {
 		sp.values = w.values
 		sp.accepted = w.accepted
+		sp.degrades += w.degrades
 	}
 	rs.sealed[j] = sp
+	if sk != nil && rs.gov != nil {
+		// Sealed panes stay resident until evicted, so the governor
+		// tracks them under the negative-id namespace (-1-j).
+		rs.gov.Track(-1-int64(j), sk)
+	}
 	return nil
 }
 
@@ -239,6 +255,7 @@ func (rs *runState) firePaned(k int) error {
 	merged := rs.cfg.Builder()
 	var values []float64
 	var accepted int64
+	degrades := 0
 	paneCounts := make([]int, 0, endPane-startPane)
 	for j := startPane; j < endPane; j++ {
 		sp := rs.sealed[j]
@@ -248,6 +265,7 @@ func (rs *runState) firePaned(k int) error {
 		}
 		paneCounts = append(paneCounts, int(sp.accepted))
 		accepted += sp.accepted
+		degrades += sp.degrades
 		if rs.cfg.CollectValues {
 			values = append(values, sp.values...)
 		}
@@ -275,13 +293,15 @@ func (rs *runState) firePaned(k int) error {
 	rs.fired++
 	rs.sinceSnap++
 	rs.emit(WindowResult{
-		Index:      k,
-		Start:      rs.paneSize * time.Duration(startPane),
-		End:        endT,
-		Sketch:     merged,
-		Values:     values,
-		Accepted:   accepted,
-		PaneCounts: paneCounts,
+		Index:         k,
+		Start:         rs.paneSize * time.Duration(startPane),
+		End:           endT,
+		Sketch:        merged,
+		Values:        values,
+		Accepted:      accepted,
+		PaneCounts:    paneCounts,
+		Degradations:  degrades,
+		AccuracyBound: accuracyBoundOf(merged),
 	})
 	// Evict panes below the next window's start — no remaining window
 	// references them. After the last window everything goes.
@@ -292,6 +312,7 @@ func (rs *runState) firePaned(k int) error {
 	for j := range rs.sealed {
 		if j < keep {
 			delete(rs.sealed, j)
+			rs.gov.Untrack(-1 - int64(j))
 		}
 	}
 	if rs.met != nil {

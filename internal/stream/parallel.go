@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/concurrent"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -61,13 +62,21 @@ type restoreMsg struct {
 	sk    sketch.Sketch
 }
 
+// fireReply is a worker's answer to a fire barrier: the window's
+// partition sketches it owned, plus the budget degradations it applied
+// to them while the window was open.
+type fireReply struct {
+	sks      []sketch.Sketch
+	degrades int
+}
+
 // workerMsg is one message to a worker: an event batch, a restore seed,
 // a snapshot barrier (snap non-nil), or a fire barrier (reply non-nil)
 // for window fireWin.
 type workerMsg struct {
 	batch   *eventBatch
 	fireWin int32
-	reply   chan<- []sketch.Sketch
+	reply   chan<- fireReply
 	snap    chan<- workerSnap
 	restore *restoreMsg
 }
@@ -94,17 +103,22 @@ type workerPool struct {
 	seqs    []uint64      // per-partition ship sequence numbers
 	shipped int64         // total batches shipped (faultinject dup basis)
 	chans   []chan workerMsg
-	replies []chan []sketch.Sketch
+	replies []chan fireReply
 	snaps   []chan workerSnap
 	pool    sync.Pool // *eventBatch recycling (coordinator ⇄ workers)
 	wg      sync.WaitGroup
 	met     *obs.EngineMetrics // nil disables queue-depth recording
 	faults  *faultinject.Plan  // nil disables fault hooks
 	shared  concurrent.Shared  // nil disables live shared-sketch feeds
-	failure atomic.Pointer[PanicError]
+	// workerBudget is each worker's byte share of Config.MemoryBudget
+	// (already divided); 0 disables per-worker governors. Workers run
+	// only rung 1 of the ladder (in-place degradation) — shedding on a
+	// worker would make the event stream depend on worker count.
+	workerBudget int
+	failure      atomic.Pointer[PanicError]
 }
 
-func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics, faults *faultinject.Plan, shared concurrent.Shared) *workerPool {
+func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.EngineMetrics, faults *faultinject.Plan, shared concurrent.Shared, memBudget int) *workerPool {
 	p := &workerPool{
 		builder:    builder,
 		partitions: partitions,
@@ -112,11 +126,14 @@ func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.Eng
 		pending:    make([]*eventBatch, partitions),
 		seqs:       make([]uint64, partitions),
 		chans:      make([]chan workerMsg, workers),
-		replies:    make([]chan []sketch.Sketch, workers),
+		replies:    make([]chan fireReply, workers),
 		snaps:      make([]chan workerSnap, workers),
 		met:        met,
 		faults:     faults,
 		shared:     shared,
+	}
+	if memBudget > 0 {
+		p.workerBudget = memBudget / workers
 	}
 	p.pool.New = func() any {
 		return &eventBatch{
@@ -129,7 +146,7 @@ func newWorkerPool(builder sketch.Builder, partitions, workers int, met *obs.Eng
 		// delay heap, watermarks) from insert hiccups like sketch
 		// compactions.
 		p.chans[w] = make(chan workerMsg, 32)
-		p.replies[w] = make(chan []sketch.Sketch, 1)
+		p.replies[w] = make(chan fireReply, 1)
 		p.snaps[w] = make(chan workerSnap, 1)
 		p.wg.Add(1)
 		go p.runWorker(w)
@@ -197,18 +214,21 @@ func (p *workerPool) flushPending() {
 // each worker a fire barrier and reassemble the window's partition
 // sketches in partition order. The channel send/receive pair gives the
 // coordinator a happens-before edge on all of the window's inserts.
-func (p *workerPool) partials(win int) []sketch.Sketch {
+func (p *workerPool) partials(win int) ([]sketch.Sketch, int) {
 	p.flushPending()
 	for w := 0; w < p.workers; w++ {
 		p.chans[w] <- workerMsg{fireWin: int32(win), reply: p.replies[w]}
 	}
 	out := make([]sketch.Sketch, p.partitions)
+	degrades := 0
 	for w := 0; w < p.workers; w++ {
-		for k, sk := range <-p.replies[w] {
+		r := <-p.replies[w]
+		degrades += r.degrades
+		for k, sk := range r.sks {
 			out[w+k*p.workers] = sk
 		}
 	}
-	return out
+	return out, degrades
 }
 
 // snapshot implements partialSink: flush pending batches, then barrier
@@ -301,7 +321,7 @@ func (p *workerPool) runWorker(w int) {
 	for msg := range p.chans[w] {
 		switch {
 		case msg.reply != nil:
-			msg.reply <- nil
+			msg.reply <- fireReply{}
 		case msg.snap != nil:
 			msg.snap <- workerSnap{err: p.err()}
 		case msg.batch != nil:
@@ -336,6 +356,24 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 	seen := make([]uint64, nOwned)      // per-partition last-seen batch seq
 	var inserted int64                  // worker-local insert count (fault hooks)
 	partEvents := make([]int64, nOwned) // partition-local insert counts
+	// Per-worker budget governor (rung 1 only): tracks this worker's
+	// partition sketches under the same win·P+part ids as seqSink, so
+	// degradation order within a worker is deterministic for a fixed
+	// worker count. Enforcement runs at batch boundaries — the same
+	// few-hundred-event cadence as the serial path.
+	gov := budget.New(p.workerBudget)
+	sinceEnforce := 0                // events since the last governor pass
+	enforceAt := gov.Interval()      // cached cadence, refreshed per pass
+	degradeOf := make(map[int32]int) // win → degradations (fire replies)
+	govID := func(win int32, local int) int64 {
+		return int64(win)*int64(p.partitions) + int64(w+local*p.workers)
+	}
+	onDegrade := func(id int64) {
+		if p.met != nil {
+			p.met.Degradations.Inc()
+		}
+		degradeOf[int32(id/int64(p.partitions))]++
+	}
 	for msg := range p.chans[w] {
 		switch {
 		case msg.restore != nil:
@@ -346,16 +384,23 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 				open[rm.win] = sks
 			}
 			sks[rm.local] = rm.sk
+			gov.Track(govID(rm.win, int(rm.local)), rm.sk)
 		case msg.snap != nil:
 			// sealOpen recovers its own panics, so the reply always
 			// arrives and the coordinator cannot deadlock on a snapshot
 			// barrier.
 			msg.snap <- p.sealOpen(open)
 		case msg.reply != nil:
-			// Fire barrier: relinquish the window's partials.
+			// Fire barrier: relinquish the window's partials along with
+			// the degradations applied to them while the window was open.
 			local := open[msg.fireWin]
 			delete(open, msg.fireWin)
-			msg.reply <- local
+			for k := range local {
+				gov.Untrack(govID(msg.fireWin, k))
+			}
+			deg := degradeOf[msg.fireWin]
+			delete(degradeOf, msg.fireWin)
+			msg.reply <- fireReply{sks: local, degrades: deg}
 		default:
 			b := msg.batch
 			local := int(b.part) / p.workers
@@ -384,6 +429,7 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 				}
 				if sks[local] == nil {
 					sks[local] = p.builder()
+					gov.Track(govID(win, local), sks[local])
 				}
 				if p.faults == nil {
 					sketch.InsertAll(sks[local], b.vals[i:j])
@@ -401,8 +447,24 @@ func (p *workerPool) workerLoop(w int) (clean bool) {
 				}
 				i = j
 			}
+			nvals := len(b.vals)
 			b.reset()
 			p.pool.Put(b)
+			if gov != nil {
+				// Batch-boundary enforcement at the governor's adaptive
+				// cadence — the parallel analogue of the serial path
+				// (batches are ≤256 events, so a binding budget enforces
+				// roughly per batch).
+				sinceEnforce += nvals
+				if sinceEnforce >= enforceAt {
+					sinceEnforce = 0
+					out := gov.Enforce(onDegrade)
+					enforceAt = gov.Interval()
+					if p.met != nil {
+						p.met.BudgetBytes.Max(int64(out.Usage))
+					}
+				}
+			}
 		}
 	}
 	if sharedW != nil {

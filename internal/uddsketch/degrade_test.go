@@ -1,0 +1,72 @@
+package uddsketch
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// TestDegrade pins the sketch.Degrader contract for UDDSketch: Degrade
+// is exactly one uniform collapse — the collapse counter advances, α
+// deteriorates by the closed form, the count is conserved, and a
+// degraded sketch still merges with an undegraded one (Merge aligns
+// collapse counts).
+func TestDegrade(t *testing.T) {
+	s := New(0.001, 1<<20) // huge budget: collapses only via Degrade
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Insert(rng.ExpFloat64() * 1000)
+	}
+	buckets := s.NonEmptyBuckets()
+	alpha := s.Alpha()
+	freed, err := s.Degrade()
+	if err != nil {
+		t.Fatalf("degrade: %v", err)
+	}
+	if freed <= 0 {
+		t.Errorf("freed = %d, want > 0 (had %d buckets)", freed, buckets)
+	}
+	if s.Collapses() != 1 {
+		t.Errorf("collapses = %d, want 1", s.Collapses())
+	}
+	wantAlpha := 2 * alpha / (1 + alpha*alpha)
+	if s.Alpha() != wantAlpha || s.AccuracyBound() != wantAlpha {
+		t.Errorf("alpha = %v (bound %v), want %v", s.Alpha(), s.AccuracyBound(), wantAlpha)
+	}
+	if s.Count() != n {
+		t.Errorf("count = %d, want %d", s.Count(), n)
+	}
+	if nb := s.NonEmptyBuckets(); nb >= buckets {
+		t.Errorf("buckets %d did not shrink from %d", nb, buckets)
+	}
+
+	fresh := New(0.001, 1<<20)
+	for i := 0; i < 10000; i++ {
+		fresh.Insert(rng.ExpFloat64() * 1000)
+	}
+	want := s.Count() + fresh.Count()
+	if err := fresh.Merge(s); err != nil {
+		t.Fatalf("fresh.Merge(degraded): %v", err)
+	}
+	if fresh.Count() != want || fresh.Collapses() != 1 {
+		t.Errorf("merged count=%d collapses=%d, want count=%d collapses=1",
+			fresh.Count(), fresh.Collapses(), want)
+	}
+}
+
+// TestDegradeRefusesWhenTiny pins the floor: a near-empty sketch
+// refuses to trade α for nothing.
+func TestDegradeRefusesWhenTiny(t *testing.T) {
+	s := New(0.01, 1024)
+	s.Insert(1)
+	s.Insert(2)
+	if _, err := s.Degrade(); !errors.Is(err, sketch.ErrNotDegradable) {
+		t.Errorf("Degrade on 2-bucket sketch = %v, want ErrNotDegradable", err)
+	}
+	if s.Collapses() != 0 {
+		t.Errorf("refused Degrade must not collapse (got %d)", s.Collapses())
+	}
+}

@@ -530,6 +530,43 @@ func (s *Sketch) clone() *Sketch {
 // NonEmptyBuckets reports the live bucket count across both stores.
 func (s *Sketch) NonEmptyBuckets() int { return len(s.positive) + len(s.negative) }
 
+// Footprint implements sketch.Footprinter. The map-backed stores hold
+// no hidden capacity beyond the paper's 3-numbers-per-bucket
+// accounting, so the live footprint is MemoryBytes itself.
+func (s *Sketch) Footprint() int { return s.MemoryBytes() }
+
+// maxDegradeCollapses caps the collapse counter at its serialization
+// bound (the counter shares its wire word with the indexer flag; α has
+// long saturated at 1 by then anyway).
+const maxDegradeCollapses = 4096
+
+// Degrade implements sketch.Degrader: run one extra uniform collapse —
+// exactly the sketch's native budget mechanism (Epicoco et al.),
+// merging every adjacent bucket pair and deteriorating the guarantee
+// α ← 2α/(1+α²). Merge already aligns differing collapse counts, so a
+// degraded sketch stays mergeable with any sketch of the same initial
+// α. Refused when fewer than 4 buckets are live (a collapse would
+// degrade α while freeing almost nothing).
+func (s *Sketch) Degrade() (int, error) {
+	if s.NonEmptyBuckets() < 4 || s.collapses >= maxDegradeCollapses {
+		return 0, sketch.ErrNotDegradable
+	}
+	before := s.Footprint()
+	s.uniformCollapse()
+	s.assertInvariants("degrade")
+	freed := before - s.Footprint()
+	if freed < 0 {
+		freed = 0
+	}
+	return freed, nil
+}
+
+// AccuracyBound implements sketch.AccuracyBounder: the sketch's current
+// relative accuracy α — the exact post-collapse guarantee, which grows
+// with every Degrade and propagates through merges (the merged sketch
+// carries the worse collapse count's α).
+func (s *Sketch) AccuracyBound() float64 { return s.alpha }
+
 // MemoryBytes implements sketch.Sketch using the paper's accounting for a
 // map-backed store: a map index, a bucket index and a count per bucket
 // (Sec 4.3), plus fixed bookkeeping.

@@ -27,6 +27,11 @@
 #    into ~16 open sketches at slide = window/16) against the
 #    pane-sharing engine (one insert per event, windows assembled by
 #    merging panes), with a hard >= 3x speedup floor → BENCH_pane.json
+#  - budget: memory-budget governor overhead. Self-comparison: the
+#    disabled path (MemoryBudget 0) against a slack budget that tracks
+#    footprints on cadence but never degrades, with a >= 0.98x floor
+#    (the governor may cost at most 2% when not binding) →
+#    BENCH_budget.json
 #
 # Each step is a named gate: on failure the script prints exactly which
 # gate tripped and stops there.
@@ -172,5 +177,37 @@ gate pane-benchmarks bench_pane
 gate pane-compare compare_pane
 gate pane-speedup check_pane_speedup
 cat BENCH_pane.json
+
+budget_current=results/bench_budget_current.txt
+
+bench_budget() {
+	# -count=3 with benchjson's best-of-N duplicate handling: the two
+	# sides differ by low single-digit percent at most, so the 0.98
+	# ratio gate needs scheduler noise stripped out.
+	go test -run '^$' -bench 'BenchmarkBudgetOverhead' \
+		-benchmem -benchtime "$BENCHTIME" -count=3 . | tee "$budget_current"
+}
+
+compare_budget() {
+	go run ./cmd/benchjson \
+		-current "$budget_current" \
+		-compare 'BenchmarkBudgetOverhead/off=BenchmarkBudgetOverhead/slack' \
+		-out BENCH_budget.json
+}
+
+# The governor must be free when it is not binding: a run with a slack
+# budget (tracked but never degrading) may cost at most 2% against the
+# disabled path (MemoryBudget 0, nil governor).
+check_budget_overhead() {
+	go run ./cmd/benchjson -current "$budget_current" \
+		-compare 'BenchmarkBudgetOverhead/off=BenchmarkBudgetOverhead/slack' |
+		grep -o '"speedup": *[0-9.]*' | head -n 1 |
+		awk -F': *' '{ if ($2 + 0 >= 0.98) { print "budget overhead " $2 "x (>= 0.98x)"; exit 0 } else { print "budget overhead " $2 "x below the 0.98x floor" > "/dev/stderr"; exit 1 } }'
+}
+
+gate budget-benchmarks bench_budget
+gate budget-compare compare_budget
+gate budget-overhead check_budget_overhead
+cat BENCH_budget.json
 
 echo "bench.sh: all gates passed"

@@ -43,13 +43,19 @@ metrics_smoke() {
 	bin="$(mktemp -t quantbench.XXXXXX)"
 	log="$(mktemp -t quantbench.log.XXXXXX)"
 	go build -o "$bin" ./cmd/quantbench
-	"$bin" -run table3 -scale 0.02 -quiet -metrics \
+	# -mem-budget arms the governor so the budget counters are exercised,
+	# not just rendered.
+	"$bin" -run table3 -scale 0.02 -quiet -metrics -mem-budget 262144 \
 		-http "127.0.0.1:0" -linger 30s >/dev/null 2>"$log" &
 	local pid=$!
-	local ok=0
+	local ok=0 body
 	for _ in $(seq 1 50); do
 		addr="$(sed -n 's#^quantbench: serving metrics on http://\([^/]*\)/metrics$#\1#p' "$log" | head -n 1)"
-		if [ -n "$addr" ] && curl -sf "http://${addr}/metrics" | grep -q '^quantstream_engine_generated_total'; then
+		if [ -n "$addr" ] && body="$(curl -sf "http://${addr}/metrics")" &&
+			grep -q '^quantstream_engine_generated_total' <<<"$body" &&
+			grep -q '^quantstream_engine_budget_bytes' <<<"$body" &&
+			grep -q '^quantstream_engine_degradations_total' <<<"$body" &&
+			grep -q '^quantstream_engine_checkpoint_retries_total' <<<"$body"; then
 			ok=1
 			break
 		fi
@@ -101,6 +107,15 @@ gate concurrent go test -race -run 'Concurrent|Relaxation|Shared|Epoch|Snapshot|
 gate pane go test -race \
 	-run 'Pane|Sliding|Decay|ScaleCount|WeightedQuantiles|TumblingSlide' \
 	./internal/stream ./internal/sketch ./internal/stats ./internal/harness
+# Memory-budget governor and fault-hardened checkpoint I/O under the
+# race detector: the budget-never-exceeded property, graceful
+# degradation ladders on every sketch, retry/backoff over transient
+# store faults, and the flaky-store soak in the root package.
+gate budget go test -race \
+	-run 'Budget|Degrade|Footprint|Retry|Transient|Shed|Evict|AccuracyBound' \
+	./internal/budget ./internal/checkpoint ./internal/faultinject \
+	./internal/kll ./internal/req ./internal/ddsketch ./internal/uddsketch \
+	./internal/moments ./internal/stream ./internal/concurrent ./internal/harness .
 # Smoke-run the perf-gate benchmarks (fixed iteration count: checks
 # they still execute, not their timing — scripts/bench.sh does that).
 gate bench-smoke-stream go test -run '^$' -bench 'BenchmarkInsertBatch|BenchmarkStreamThroughput' -benchtime 100x .
@@ -109,6 +124,7 @@ gate bench-smoke-insert go test -run '^$' -bench 'BenchmarkInsertMapping|Benchma
 gate bench-smoke-accuracy go test -run '^$' -bench 'BenchmarkAccuracyEval' -benchtime 1x .
 gate bench-smoke-concurrent go test -run '^$' -bench 'BenchmarkConcurrentInsert' -benchtime 100x .
 gate bench-smoke-pane go test -run '^$' -bench 'BenchmarkSlidingThroughput' -benchtime 100x .
+gate bench-smoke-budget go test -run '^$' -bench 'BenchmarkBudgetOverhead' -benchtime 100x .
 gate metrics-endpoint metrics_smoke
 
 echo "verify.sh: all gates passed"

@@ -239,6 +239,128 @@ func TestSoakCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestSoakTransientStoreFaults proves the fault-hardened checkpoint
+// path end to end: a run whose checkpoint store fails transiently —
+// EIO bursts, a slow write, a torn write that leaves a half-record on
+// disk — completes without surfacing any error when wrapped in
+// checkpoint.RetryStore, retries are counted, and the output is
+// bit-identical to an unfaulted baseline. The store underneath is a
+// real DirStore so the atomic temp-file/rename/dir-fsync path is the
+// one being hammered.
+func TestSoakTransientStoreFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	mkCfg := func() stream.Config {
+		return stream.Config{
+			WindowSize:    time.Second,
+			Rate:          4000,
+			NumWindows:    5,
+			Partitions:    4,
+			Workers:       4,
+			NewValues:     func() datagen.Source { return datagen.NewPareto(1.2, 1, 55) },
+			NewDelay:      func() stream.DelayModel { return stream.NewExponentialDelay(120*time.Millisecond, 57) },
+			Builder:       func() sketch.Sketch { return kll.NewWithSeed(128, 53) },
+			CollectValues: true,
+		}
+	}
+	eng, err := stream.NewEngine(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, baseStats, err := eng.RunCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBlobs := make([][]byte, len(baseline))
+	for i, r := range baseline {
+		if baseBlobs[i], err = r.Sketch.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkAgainstBaseline := func(results []stream.WindowResult, st stream.Stats) {
+		t.Helper()
+		if st != baseStats {
+			t.Fatalf("stats diverged: got %+v want %+v", st, baseStats)
+		}
+		for i, r := range results {
+			blob, err := r.Sketch.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, baseBlobs[i]) {
+				t.Fatalf("window %d: sketch under store faults is not bit-identical to the baseline", i)
+			}
+		}
+	}
+
+	// Part 1: a healthy run over a flaky store. Every checkpoint seq is
+	// targeted by some transient fault; RetryStore absorbs all of them.
+	met := obs.NewRegistry().Engine()
+	plan, err := faultinject.Parse("eio@1:2, slow@2:1ms, torn@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := checkpoint.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mkCfg()
+	cfg.CheckpointStore = &checkpoint.RetryStore{
+		Inner:   plan.WrapStore(inner),
+		Retries: &met.CheckpointRetries,
+	}
+	cfg.CheckpointEvery = 1
+	cfg.Metrics = met
+	eng, err = stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := eng.RunCollect()
+	if err != nil {
+		t.Fatalf("flaky store surfaced an error through RetryStore: %v", err)
+	}
+	checkAgainstBaseline(results, st)
+	// eio fires twice and the torn write once; the slow write succeeds
+	// on its first (delayed) attempt.
+	if got := met.CheckpointRetries.Load(); got < 3 {
+		t.Errorf("checkpoint retries = %d, want >= 3 (injected faults never fired)", got)
+	}
+
+	// Part 2: transient store faults during crash recovery — the torn
+	// write lands a half-record that the recovery scan must skip via
+	// the envelope checksum while RetryStore keeps the writes flowing.
+	plan, err = faultinject.Parse("eio@2:2, torn@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = plan.WithPanic(2, int64(baseStats.Generated)/6)
+	inner, err = checkpoint.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	met = obs.NewRegistry().Engine()
+	cfg = mkCfg()
+	cfg.CheckpointStore = &checkpoint.RetryStore{
+		Inner:   plan.WrapStore(inner),
+		Retries: &met.CheckpointRetries,
+	}
+	cfg.CheckpointEvery = 1
+	cfg.Faults = plan
+	cfg.Metrics = met
+	results, st, err = stream.RunRecovering(cfg)
+	if err != nil {
+		t.Fatalf("recovery under transient store faults: %v", err)
+	}
+	checkAgainstBaseline(results, st)
+	if met.RecoveredPanics.Load() == 0 {
+		t.Error("the injected panic never fired")
+	}
+	if met.CheckpointRetries.Load() == 0 {
+		t.Error("the injected store faults never fired")
+	}
+}
+
 // TestConcurrentSharedSketchSoak is the multi-writer/multi-reader soak
 // for the concurrent shared-sketch layer (internal/concurrent): seeded
 // writers hammer inserts while readers continuously snapshot and query,
